@@ -1,0 +1,66 @@
+"""Ablation benchmarks for ReStore's design choices (DESIGN.md §4).
+
+Not paper figures — these probe *why* the design is the way it is:
+repository ordering (§3), the §5 keep rules, the logical optimizer as
+a plan canonicalizer, and cumulative benefit over an analyst workload
+stream (§1 motivation).
+"""
+
+from repro.experiments.ablations import (
+    run_optimizer_ablation,
+    run_ordering_ablation,
+    run_selector_ablation,
+    run_workload_stream,
+)
+from repro.workloads.generator import WorkloadConfig
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_ablation_repository_ordering(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ordering_ablation(pigmix_config=BENCH_PIGMIX),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, "ablation_ordering")
+    for row in result.rows:
+        assert row["penalty"] > 1.5, row  # ordering matters
+
+
+def test_ablation_selector_rules(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_selector_ablation(pigmix_config=BENCH_PIGMIX),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, "ablation_selector")
+    wasteful = [r for r in result.rows if r["query"] == "wasteful"][0]
+    assert wasteful["stored_MB_rules"] < wasteful["stored_MB_keep_all"] / 100
+
+
+def test_ablation_optimizer_canonicalization(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_optimizer_ablation(pigmix_config=BENCH_PIGMIX),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, "ablation_optimizer")
+    optimized = [r for r in result.rows if r["mode"] == "optimized"][0]
+    unoptimized = [r for r in result.rows if r["mode"] == "unoptimized"][0]
+    assert optimized["rewrites_on_spelling_b"] > 0
+    assert optimized["spelling_b_min"] < unoptimized["spelling_b_min"]
+
+
+def test_workload_stream_crossover(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_workload_stream(
+            pigmix_config=BENCH_PIGMIX,
+            workload_config=WorkloadConfig(n_queries=10),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result, "ablation_workload_stream")
+    total = [r for r in result.rows if r["query"] == "TOTAL"][0]
+    assert total["cum_restore_min"] < total["cum_plain_min"]

@@ -1,0 +1,18 @@
+"""Figure 10 benchmark — sub-job reuse under the Aggressive heuristic.
+
+Paper claim: average speedup 24.4, average overhead 1.6 at 150 GB.
+"""
+
+from repro.experiments import fig10
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_fig10_subjob_reuse(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig10.run(pigmix_config=BENCH_PIGMIX), rounds=1, iterations=1
+    )
+    record_result(result, "fig10")
+    avg = [r for r in result.rows if r["query"] == "AVG"][0]
+    assert avg["speedup"] > 3.0      # paper: 24.4
+    assert 1.0 < avg["overhead"] < 3.0  # paper: 1.6

@@ -1,0 +1,17 @@
+"""Figure 11 benchmark — injection overhead at 15 GB vs 150 GB.
+
+Paper claim: overhead is HIGHER at the smaller scale (2.4 vs 1.6).
+"""
+
+from repro.experiments import fig11
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_fig11_overhead_by_scale(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig11.run(pigmix_config=BENCH_PIGMIX), rounds=1, iterations=1
+    )
+    record_result(result, "fig11")
+    avg = [r for r in result.rows if r["query"] == "AVG"][0]
+    assert avg["overhead_15GB"] > avg["overhead_150GB"]

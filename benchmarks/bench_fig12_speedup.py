@@ -1,0 +1,17 @@
+"""Figure 12 benchmark — reuse speedup at 15 GB vs 150 GB.
+
+Paper claim: speedup is HIGHER at the larger scale (24.4 vs 3.0).
+"""
+
+from repro.experiments import fig12
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_fig12_speedup_by_scale(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig12.run(pigmix_config=BENCH_PIGMIX), rounds=1, iterations=1
+    )
+    record_result(result, "fig12")
+    avg = [r for r in result.rows if r["query"] == "AVG"][0]
+    assert avg["speedup_150GB"] > avg["speedup_15GB"]

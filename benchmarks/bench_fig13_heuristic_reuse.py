@@ -1,0 +1,18 @@
+"""Figure 13 benchmark — reuse time by heuristic (HC / HA / NH).
+
+Paper claim: HA matches NH; HC gains less than HA.
+"""
+
+from repro.experiments import fig13
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_fig13_reuse_by_heuristic(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig13.run(pigmix_config=BENCH_PIGMIX), rounds=1, iterations=1
+    )
+    record_result(result, "fig13")
+    for row in result.rows:
+        assert row["reuse_HA_min"] <= row["reuse_NH_min"] * 1.25, row
+        assert row["reuse_HA_min"] < row["no_reuse_min"], row

@@ -1,0 +1,20 @@
+"""Figure 14 benchmark — execution time with injected stores by heuristic.
+
+Paper claim: NH always worst; HA close to HC except group-heavy L6.
+"""
+
+from repro.experiments import fig14
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_fig14_store_time_by_heuristic(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig14.run(pigmix_config=BENCH_PIGMIX), rounds=1, iterations=1
+    )
+    record_result(result, "fig14")
+    for row in result.rows:
+        assert row["store_NH_min"] >= row["store_HA_min"] - 1e-9, row
+        assert row["store_HC_min"] <= row["store_HA_min"] + 1e-9, row
+    l6 = [r for r in result.rows if r["query"] == "L6"][0]
+    assert l6["store_HA_min"] > l6["store_HC_min"] * 1.1

@@ -1,0 +1,18 @@
+"""Figure 15 benchmark — whole-job vs sub-job (HC/HA) reuse.
+
+Paper claim: every reuse mode helps; whole-job and HA nearly tie.
+"""
+
+from repro.experiments import fig15
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_fig15_whole_vs_subjobs(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig15.run(pigmix_config=BENCH_PIGMIX), rounds=1, iterations=1
+    )
+    record_result(result, "fig15")
+    for row in result.rows:
+        for column in ("subjob_HC_min", "subjob_HA_min", "whole_job_min"):
+            assert row[column] < row["no_reuse_min"], (row, column)

@@ -1,0 +1,16 @@
+"""Figure 16 benchmark — overhead/speedup vs % of projected data (QP)."""
+
+from repro.experiments import fig16
+
+from benchmarks.conftest import BENCH_SYNTH
+
+
+def test_fig16_projection_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig16.run(BENCH_SYNTH), rounds=1, iterations=1
+    )
+    record_result(result, "fig16")
+    overheads = [r["overhead"] for r in result.rows]
+    speedups = [r["speedup"] for r in result.rows]
+    assert overheads[-1] > overheads[0]
+    assert speedups[0] > speedups[-1]

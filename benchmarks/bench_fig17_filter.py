@@ -1,0 +1,14 @@
+"""Figure 17 benchmark — overhead/speedup vs % of filtered data (QF)."""
+
+from repro.experiments import fig17
+
+from benchmarks.conftest import BENCH_SYNTH
+
+
+def test_fig17_filter_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig17.run(BENCH_SYNTH), rounds=1, iterations=1
+    )
+    record_result(result, "fig17")
+    assert result.rows[0]["speedup"] > result.rows[-1]["speedup"]
+    assert result.rows[-1]["overhead"] > result.rows[0]["overhead"]

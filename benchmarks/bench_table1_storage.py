@@ -1,0 +1,19 @@
+"""Table 1 benchmark — bytes stored by each heuristic per query.
+
+Paper claim: HC <= HA << NH; HA close to HC except expensive-operator
+queries (L3, L5, L6, L7).
+"""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import BENCH_PIGMIX
+
+
+def test_table1_stored_bytes(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: table1.run(pigmix_config=BENCH_PIGMIX), rounds=1, iterations=1
+    )
+    record_result(result, "table1")
+    for row in result.rows:
+        assert row["HC_GB"] <= row["HA_GB"] + 1e-9, row
+        assert row["HA_GB"] <= row["NH_GB"] + 1e-9, row

@@ -1,0 +1,18 @@
+"""Table 2 benchmark — synthetic field cardinalities / selectivities."""
+
+import pytest
+
+from repro.experiments import table2
+
+from benchmarks.conftest import BENCH_SYNTH
+
+
+def test_table2_selectivities(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: table2.run(BENCH_SYNTH), rounds=1, iterations=1
+    )
+    record_result(result, "table2")
+    for row in result.rows:
+        assert row["measured_selected_pct"] == pytest.approx(
+            row["paper_selected_pct"], rel=0.5, abs=1.0
+        ), row

@@ -1,0 +1,41 @@
+"""Benchmark configuration: instance sizes + result persistence.
+
+Each benchmark regenerates one paper table/figure via the harness in
+``repro.experiments`` and prints the paper-vs-measured table.  Tables
+are also written to ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed from a benchmark run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.pigmix.datagen import PigMixConfig
+from repro.pigmix.synthetic import SyntheticConfig
+
+#: generated instance used by every PigMix-based benchmark; large
+#: enough for stable shapes, small enough to keep the suite fast
+BENCH_PIGMIX = PigMixConfig(
+    n_page_views=400, n_users=40, n_power_users=8, n_widerow=120, seed=42
+)
+
+BENCH_SYNTH = SyntheticConfig(n_rows=2400, seed=7)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Print an ExperimentResult and persist it under results/."""
+
+    def _record(result: ExperimentResult, name: str) -> ExperimentResult:
+        table = result.format_table()
+        print("\n" + table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        return result
+
+    return _record

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment has setuptools but not the ``wheel``
+package, so PEP 660 editable installs (which build an editable wheel)
+fail.  This shim lets ``pip install -e . --no-use-pep517`` — and plain
+``python setup.py develop`` — work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""ReStore: reusing results of MapReduce jobs in Pig — reproduction.
+
+A full-system reproduction of Elghandour & Aboulnaga, *ReStore:
+Reusing Results of MapReduce Jobs*, PVLDB 5(6) / SIGMOD 2012.
+
+Quick start::
+
+    from repro import DistributedFileSystem, PigServer, ReStoreManager
+
+    dfs = DistributedFileSystem()
+    dfs.write_file("data/users", "alice\\t1\\nbob\\t2\\n")
+    restore = ReStoreManager(dfs)
+    server = PigServer(dfs, restore=restore)
+    result = server.run(\"\"\"
+        A = load 'data/users' as (name:chararray, uid:int);
+        B = filter A by uid > 1;
+        store B into 'out';
+    \"\"\")
+    print(result.outputs["out"])
+
+See README.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured reproduction results.
+"""
+
+from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.core.repository import Repository, RepositoryEntry
+from repro.costmodel.model import CostModel
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.runner import HadoopSimulator
+from repro.pig.engine import PigRunResult, PigServer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "DistributedFileSystem",
+    "HadoopSimulator",
+    "PigRunResult",
+    "PigServer",
+    "Repository",
+    "RepositoryEntry",
+    "ReStoreConfig",
+    "ReStoreManager",
+    "__version__",
+]

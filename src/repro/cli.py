@@ -1,0 +1,172 @@
+"""Command-line interface: run Pig scripts and paper experiments.
+
+Usage::
+
+    python -m repro run script.pig --data data/pv.tsv=pigmix/page_views
+    python -m repro explain script.pig
+    python -m repro experiment fig10 --rows 300
+    python -m repro list-experiments
+
+``run``/``explain`` build a fresh simulated cluster, copy the given
+local files into the DFS, and execute the script with ReStore enabled
+(disable with ``--no-restore``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.core.manager import ReStoreManager
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.pig.engine import PigServer
+
+
+def _load_data(dfs: DistributedFileSystem, mappings: List[str]) -> None:
+    for mapping in mappings:
+        if "=" not in mapping:
+            raise SystemExit(
+                f"--data expects LOCAL=DFS_PATH, got {mapping!r}"
+            )
+        local, dfs_path = mapping.split("=", 1)
+        payload = pathlib.Path(local).read_bytes()
+        dfs.write_file(dfs_path, payload, overwrite=True)
+
+
+def _build_engine(args) -> tuple:
+    dfs = DistributedFileSystem(n_datanodes=args.datanodes)
+    _load_data(dfs, args.data or [])
+    restore = None if args.no_restore else ReStoreManager(dfs)
+    server = PigServer(dfs, restore=restore)
+    return dfs, server, restore
+
+
+def cmd_run(args) -> int:
+    source = pathlib.Path(args.script).read_text()
+    dfs, server, restore = _build_engine(args)
+    result = server.run(source, name=pathlib.Path(args.script).stem)
+
+    for path, rows in result.outputs.items():
+        print(f"== {path} ({len(rows)} rows) ==")
+        for row in rows[: args.max_rows]:
+            print("\t".join("" if v is None else str(v) for v in row))
+        if len(rows) > args.max_rows:
+            print(f"... {len(rows) - args.max_rows} more rows")
+    print(f"\nsimulated time: {result.sim_minutes:.2f} min "
+          f"({result.stats.n_jobs_executed} job(s) executed)")
+    if result.rewrites:
+        print("ReStore rewrites:")
+        for event in result.rewrites:
+            print(f"  {event}")
+    if restore is not None:
+        print(f"repository: {len(restore.repository)} entries")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    source = pathlib.Path(args.script).read_text()
+    _, server, _ = _build_engine(args)
+    print(server.explain(source))
+    return 0
+
+
+def _experiment_registry() -> dict:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments import ablations
+
+    registry = {
+        name: module.run for name, module in ALL_EXPERIMENTS.items()
+    }
+    registry["ablation-ordering"] = ablations.run_ordering_ablation
+    registry["ablation-selector"] = ablations.run_selector_ablation
+    registry["ablation-optimizer"] = ablations.run_optimizer_ablation
+    registry["workload-stream"] = ablations.run_workload_stream
+    return registry
+
+
+def cmd_experiment(args) -> int:
+    from repro.pigmix.datagen import PigMixConfig
+    from repro.pigmix.synthetic import SyntheticConfig
+
+    registry = _experiment_registry()
+    if args.name not in registry:
+        print(f"unknown experiment {args.name!r}; try one of:", file=sys.stderr)
+        for name in sorted(registry):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+
+    runner = registry[args.name]
+    kwargs = {}
+    if args.name in ("table2", "fig16", "fig17"):
+        kwargs["config"] = SyntheticConfig(n_rows=max(200, args.rows * 3))
+    else:
+        kwargs["pigmix_config"] = PigMixConfig(
+            n_page_views=args.rows,
+            n_users=max(10, args.rows // 10),
+            n_power_users=max(4, args.rows // 50),
+            n_widerow=max(20, args.rows // 4),
+        )
+    result = runner(**kwargs)
+    print(result.format_table())
+    return 0
+
+
+def cmd_list_experiments(_args) -> int:
+    for name in sorted(_experiment_registry()):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReStore reproduction: run Pig scripts and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_engine_args(p):
+        p.add_argument("script", help="Pig Latin script file")
+        p.add_argument(
+            "--data",
+            action="append",
+            metavar="LOCAL=DFS_PATH",
+            help="copy a local file into the simulated DFS (repeatable)",
+        )
+        p.add_argument("--datanodes", type=int, default=4)
+        p.add_argument(
+            "--no-restore",
+            action="store_true",
+            help="run on a stock engine without ReStore",
+        )
+
+    run_p = sub.add_parser("run", help="execute a Pig script")
+    add_engine_args(run_p)
+    run_p.add_argument("--max-rows", type=int, default=20)
+    run_p.set_defaults(func=cmd_run)
+
+    explain_p = sub.add_parser("explain", help="show the compiled workflow")
+    add_engine_args(explain_p)
+    explain_p.set_defaults(func=cmd_explain)
+
+    exp_p = sub.add_parser("experiment", help="run a paper experiment")
+    exp_p.add_argument("name", help="e.g. fig10, table1, ablation-ordering")
+    exp_p.add_argument(
+        "--rows", type=int, default=300, help="generated page_views rows"
+    )
+    exp_p.set_defaults(func=cmd_experiment)
+
+    list_p = sub.add_parser("list-experiments", help="list experiment names")
+    list_p.set_defaults(func=cmd_list_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""ReStore core: repository, matcher/rewriter, enumerator, policies."""
+
+from repro.core.algorithm1 import PairwisePlanTraversal, algorithm1_contains
+from repro.core.enumerator import CandidateSubJob, SubJobEnumerator
+from repro.core.eviction import (
+    CapacityEviction,
+    EvictionPolicy,
+    InputModifiedEviction,
+    TimeWindowEviction,
+)
+from repro.core.heuristics import (
+    AggressiveHeuristic,
+    ConservativeHeuristic,
+    Heuristic,
+    NeverMaterialize,
+    NoHeuristic,
+    classify_operator,
+    heuristic_by_name,
+)
+from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.core.matcher import MatchResult, PlanMatcher, operators_equivalent
+from repro.core.repository import EntryStats, Repository, RepositoryEntry
+from repro.core.rewriter import PlanRewriter
+from repro.core.selector import (
+    KeepAllSelector,
+    KeepDecision,
+    RuleBasedSelector,
+    Selector,
+)
+
+__all__ = [
+    "AggressiveHeuristic",
+    "PairwisePlanTraversal",
+    "algorithm1_contains",
+    "CandidateSubJob",
+    "CapacityEviction",
+    "ConservativeHeuristic",
+    "EntryStats",
+    "EvictionPolicy",
+    "Heuristic",
+    "InputModifiedEviction",
+    "KeepAllSelector",
+    "KeepDecision",
+    "MatchResult",
+    "NeverMaterialize",
+    "NoHeuristic",
+    "PlanMatcher",
+    "PlanRewriter",
+    "Repository",
+    "RepositoryEntry",
+    "ReStoreConfig",
+    "ReStoreManager",
+    "RuleBasedSelector",
+    "Selector",
+    "SubJobEnumerator",
+    "TimeWindowEviction",
+    "classify_operator",
+    "heuristic_by_name",
+    "operators_equivalent",
+]

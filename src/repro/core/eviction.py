@@ -1,0 +1,99 @@
+"""Repository eviction policies (§5, Rules 3 and 4, plus a capacity
+extension).
+
+* Rule 3 — evict outputs not reused within a window of (logical) time.
+* Rule 4 — evict outputs whose inputs were deleted or modified.
+* Capacity (extension) — when a byte budget is configured, evict
+  least-recently-used entries until the repository fits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.repository import Repository, RepositoryEntry
+from repro.dfs.filesystem import DistributedFileSystem
+
+
+class EvictionPolicy:
+    """Returns the entries that should leave the repository now."""
+
+    name = "abstract"
+
+    def select_victims(
+        self, repository: Repository, dfs: DistributedFileSystem, now: int
+    ) -> List[RepositoryEntry]:
+        raise NotImplementedError
+
+
+class TimeWindowEviction(EvictionPolicy):
+    """Rule 3: not reused within ``window`` logical ticks.
+
+    Our logical clock advances once per executed workflow, so a window
+    of N means "evict if N workflows ran without reusing this output"
+    (Facebook's production analogue: results kept for seven days, §1).
+    """
+
+    name = "time-window"
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def select_victims(
+        self, repository: Repository, dfs: DistributedFileSystem, now: int
+    ) -> List[RepositoryEntry]:
+        victims = []
+        for entry in repository:
+            reference = max(entry.last_used_at, entry.created_at)
+            if now - reference > self.window:
+                victims.append(entry)
+        return victims
+
+
+class InputModifiedEviction(EvictionPolicy):
+    """Rule 4: a source dataset was deleted or has a newer mtime."""
+
+    name = "input-modified"
+
+    def select_victims(
+        self, repository: Repository, dfs: DistributedFileSystem, now: int
+    ) -> List[RepositoryEntry]:
+        victims = []
+        for entry in repository:
+            for path, recorded_mtime in entry.input_mtimes.items():
+                if not dfs.exists(path) or dfs.mtime(path) > recorded_mtime:
+                    victims.append(entry)
+                    break
+        return victims
+
+
+class CapacityEviction(EvictionPolicy):
+    """Extension: keep total stored bytes under a budget (LRU order)."""
+
+    name = "capacity"
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+
+    def select_victims(
+        self, repository: Repository, dfs: DistributedFileSystem, now: int
+    ) -> List[RepositoryEntry]:
+        excess = repository.total_stored_bytes - self.capacity_bytes
+        if excess <= 0:
+            return []
+        by_lru = sorted(
+            repository,
+            key=lambda e: (max(e.last_used_at, e.created_at), e.entry_id),
+        )
+        victims: List[RepositoryEntry] = []
+        freed = 0
+        for entry in by_lru:
+            if freed >= excess:
+                break
+            victims.append(entry)
+            freed += entry.stats.output_bytes
+        return victims

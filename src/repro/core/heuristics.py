@@ -1,0 +1,167 @@
+"""Sub-job selection heuristics (paper §4).
+
+* **Conservative (HC)** — materialize outputs of operators known to
+  reduce their input size: Project and Filter.
+* **Aggressive (HA)** — additionally materialize outputs of expensive
+  operators: Join, Group, and CoGroup.
+* **No heuristic (NH)** — materialize after *every* physical operator.
+
+The physical vocabulary maps onto the paper's operator names as:
+Project = a POForEach with no bag/aggregate expressions (a map-side
+projection); Filter = POFilter; Join = the flattening POForEach right
+after a join POPackage; Group/CoGroup = the POPackage itself (the
+paper's L6 discussion: "a Store operator is injected in the reducer
+after an expensive Group operator").
+"""
+
+from __future__ import annotations
+
+from repro.pig.physical.operators import (
+    PhysicalOperator,
+    POFilter,
+    POForEach,
+    POGlobalRearrange,
+    POLimit,
+    POLoad,
+    POLocalRearrange,
+    POPackage,
+    POSplit,
+    POStore,
+    POUnion,
+)
+from repro.pig.physical.plan import PhysicalPlan
+from repro.relational.expressions import AggCall, BagField, BagStar, Column
+
+
+def _is_group_all(op: POPackage, plan: PhysicalPlan) -> bool:
+    """GROUP ALL: the rearrange key is a constant (one giant group).
+
+    Materializing it would store the whole input as a single bag; with
+    Hadoop combiners the reducer never sees that bag, which is why the
+    paper's Table 1 shows HA == HC for L8 (GROUP ALL + algebraic
+    aggregates).  We exclude it from HA accordingly.
+    """
+    from repro.relational.expressions import Const
+
+    for gr in plan.predecessors(op):
+        for lr in plan.predecessors(gr):
+            if isinstance(lr, POLocalRearrange):
+                if len(lr.key_exprs) == 1 and isinstance(lr.key_exprs[0], Const):
+                    return True
+    return False
+
+
+def classify_operator(op: PhysicalOperator, plan: PhysicalPlan) -> str:
+    """Paper-level operator category of a physical operator."""
+    from repro.pig.physical.operators import POFRJoin
+
+    if isinstance(op, POFRJoin):
+        return "join"
+    if isinstance(op, POFilter):
+        return "filter"
+    if isinstance(op, POPackage):
+        if op.mode == "group" and _is_group_all(op, plan):
+            return "group-all"
+        return {
+            "group": "group",
+            "cogroup": "cogroup",
+            "join": "join-package",
+            "distinct": "distinct",
+            "sort": "sort",
+        }[op.mode]
+    if isinstance(op, POForEach):
+        preds = plan.predecessors(op)
+        if (
+            len(preds) == 1
+            and isinstance(preds[0], POPackage)
+            and preds[0].mode == "join"
+        ):
+            return "join"
+        if any(
+            isinstance(e, (AggCall, BagField, BagStar)) for e in op.exprs
+        ):
+            return "aggregate"
+        return "project"
+    if isinstance(op, POUnion):
+        return "union"
+    if isinstance(op, POLimit):
+        return "limit"
+    if isinstance(op, (POLoad, POStore, POSplit, POLocalRearrange, POGlobalRearrange)):
+        return "structural"
+    return "other"
+
+
+#: categories that can never anchor a sub-job (no materializable rows,
+#: or materializing is meaningless)
+_NEVER = {"structural", "join-package"}
+
+
+class Heuristic:
+    """Decides which operators' outputs to materialize as sub-jobs."""
+
+    name = "abstract"
+
+    def should_materialize(self, op: PhysicalOperator, plan: PhysicalPlan) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Heuristic {self.name}>"
+
+
+class ConservativeHeuristic(Heuristic):
+    """HC: operators that reduce their input size (Project, Filter)."""
+
+    name = "conservative"
+    _CATEGORIES = {"project", "filter"}
+
+    def should_materialize(self, op: PhysicalOperator, plan: PhysicalPlan) -> bool:
+        return classify_operator(op, plan) in self._CATEGORIES
+
+
+class AggressiveHeuristic(Heuristic):
+    """HA: size-reducing plus expensive operators (the paper default)."""
+
+    name = "aggressive"
+    _CATEGORIES = {"project", "filter", "join", "group", "cogroup"}
+
+    def should_materialize(self, op: PhysicalOperator, plan: PhysicalPlan) -> bool:
+        return classify_operator(op, plan) in self._CATEGORIES
+
+
+class NoHeuristic(Heuristic):
+    """NH: a Store after every (materializable) physical operator."""
+
+    name = "no-heuristic"
+
+    def should_materialize(self, op: PhysicalOperator, plan: PhysicalPlan) -> bool:
+        return classify_operator(op, plan) not in _NEVER
+
+
+class NeverMaterialize(Heuristic):
+    """Disables sub-job generation entirely (whole jobs only)."""
+
+    name = "never"
+
+    def should_materialize(self, op: PhysicalOperator, plan: PhysicalPlan) -> bool:
+        return False
+
+
+_BY_NAME = {
+    "conservative": ConservativeHeuristic,
+    "hc": ConservativeHeuristic,
+    "aggressive": AggressiveHeuristic,
+    "ha": AggressiveHeuristic,
+    "no-heuristic": NoHeuristic,
+    "nh": NoHeuristic,
+    "never": NeverMaterialize,
+}
+
+
+def heuristic_by_name(name: str) -> Heuristic:
+    """Look up a heuristic by its paper name (HC / HA / NH / never)."""
+    try:
+        return _BY_NAME[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

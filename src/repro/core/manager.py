@@ -1,0 +1,324 @@
+"""ReStoreManager: the paper's three components wired into the job
+submission loop (§6.2).
+
+For every job about to run: (1) the plan matcher and rewriter scans
+the repository — repeatedly, restarting after every successful rewrite
+— and rewrites the job to load stored outputs; (2) the sub-job
+enumerator injects Split+Store instrumentation chosen by the active
+heuristic; after execution, (3) the enumerated sub-job selector
+decides which outputs stay in the repository, statistics are recorded,
+and eviction policies run between workflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.core.enumerator import CandidateSubJob, SubJobEnumerator
+from repro.core.eviction import EvictionPolicy
+from repro.core.heuristics import Heuristic, heuristic_by_name
+from repro.core.matcher import PlanMatcher
+from repro.core.repository import EntryStats, Repository, RepositoryEntry
+from repro.core.rewriter import PlanRewriter
+from repro.core.selector import KeepAllSelector, Selector
+from repro.costmodel.model import CostModel, estimate_standalone_time
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.mapreduce.job import MapReduceJob, Workflow
+from repro.mapreduce.runner import JobListener
+from repro.mapreduce.stats import JobStats
+from repro.pig.physical.operators import POLoad
+
+
+@dataclass
+class ReStoreConfig:
+    """Behavioural switches for the manager."""
+
+    heuristic: Union[str, Heuristic] = "aggressive"
+    rewrite_enabled: bool = True
+    inject_enabled: bool = True
+    #: whole-job registration policy (§2.1 type 1): "all", "none", or
+    #: "temporary-only".  The last registers only intermediate
+    #: (workflow-internal) job outputs — it isolates sub-job reuse for
+    #: a query's final result while still letting multi-job workflows
+    #: chain through the repository: §3's "even jobs whose input is the
+    #: output of other jobs that are also stored in the repository"
+    #: requires consumers to be redirected to the stored (canonical)
+    #: copy of their producer's output.
+    register_whole_jobs: str = "all"
+    selector: Selector = field(default_factory=KeepAllSelector)
+    eviction_policies: List[EvictionPolicy] = field(default_factory=list)
+    #: upper bound on rewrite rescans per job (paper: loop until no match)
+    max_rewrite_passes: int = 20
+
+    def resolve_heuristic(self) -> Heuristic:
+        if isinstance(self.heuristic, Heuristic):
+            return self.heuristic
+        return heuristic_by_name(self.heuristic)
+
+
+class ReStoreManager(JobListener):
+    """The ReStore system: repository + matcher/rewriter + enumerator."""
+
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        cost_model: Optional[CostModel] = None,
+        repository: Optional[Repository] = None,
+        config: Optional[ReStoreConfig] = None,
+    ):
+        self.dfs = dfs
+        self.cost_model = cost_model or CostModel()
+        self.config = config or ReStoreConfig()
+        self.matcher = PlanMatcher()
+        self.rewriter = PlanRewriter()
+        # explicit None check: an empty Repository is falsy (len == 0)
+        self.repository = (
+            repository if repository is not None else Repository(self.matcher)
+        )
+        self.enumerator = SubJobEnumerator(self.config.resolve_heuristic())
+        #: DFS paths the engine must not delete during temp cleanup
+        self.kept_paths: Set[str] = set()
+        #: logical clock: one tick per workflow (drives eviction Rule 3)
+        self.clock = 0
+        self._pending: Dict[str, List[CandidateSubJob]] = {}
+        self._events: List[str] = []
+        # counters for reporting / tests
+        self.rewrite_count = 0
+        self.elimination_count = 0
+
+    # -- JobListener hooks -----------------------------------------------------------
+
+    def on_workflow_start(self, workflow: Workflow) -> None:
+        self.clock += 1
+        self.run_evictions()
+
+    def before_job(self, job: MapReduceJob, workflow: Workflow) -> bool:
+        if self.config.rewrite_enabled:
+            self._match_and_rewrite(job, workflow)
+        if job.eliminated_by is not None:
+            return False
+        if self.config.inject_enabled:
+            self._pending[job.job_id] = self.enumerator.enumerate_and_inject(job)
+        return True
+
+    def after_job(self, job: MapReduceJob, stats: JobStats, workflow: Workflow) -> None:
+        for candidate in self._pending.pop(job.job_id, []):
+            self._register_sub_job(candidate, stats)
+        self._register_whole_job(job, stats)
+
+    # -- matching & rewriting (component 1) -----------------------------------------------
+
+    def _match_and_rewrite(self, job: MapReduceJob, workflow: Workflow) -> None:
+        """Scan the ordered repository; rewrite on the first match;
+        rescan until no plan matches (paper §3)."""
+        for _ in range(self.config.max_rewrite_passes):
+            matched = False
+            for entry in self.repository.ordered_entries():
+                result = self.matcher.match(job.plan, entry.plan)
+                if result is None:
+                    continue
+                if self._is_noop_match(result, entry):
+                    continue
+                if result.whole_job:
+                    self._apply_whole_job(job, entry, workflow)
+                    return
+                self.rewriter.rewrite_partial(
+                    job.plan, result, entry.output_path, entry.output_schema
+                )
+                entry.mark_used(self.clock)
+                self.rewrite_count += 1
+                self._events.append(
+                    f"{job.job_id}: reused sub-job {entry.entry_id} "
+                    f"({entry.anchor_kind}) from {entry.output_path}"
+                )
+                matched = True
+                break
+            if not matched:
+                return
+
+    @staticmethod
+    def _is_noop_match(result, entry: RepositoryEntry) -> bool:
+        """Reject rewrites that would only swap a Load for an identical
+        Load (possible with trivial entries; avoids rewrite cycles)."""
+        return (
+            isinstance(result.frontier, POLoad)
+            and result.frontier.path == entry.output_path
+        )
+
+    def _apply_whole_job(
+        self, job: MapReduceJob, entry: RepositoryEntry, workflow: Workflow
+    ) -> None:
+        entry.mark_used(self.clock)
+        if job.temporary:
+            # Intermediate job: drop it, point consumers at the stored copy.
+            job.eliminated_by = entry.entry_id
+            others = [j for j in workflow.jobs if j is not job]
+            self.rewriter.redirect_loads(others, job.output_path, entry.output_path)
+            self.elimination_count += 1
+            self._events.append(
+                f"{job.job_id}: whole job answered by {entry.entry_id}; "
+                f"consumers redirected to {entry.output_path}"
+            )
+            return
+        if entry.output_path == job.output_path and self.dfs.exists(entry.output_path):
+            # Resubmission of the very same query: result already there.
+            job.eliminated_by = entry.entry_id
+            self.elimination_count += 1
+            self._events.append(
+                f"{job.job_id}: result already stored at {entry.output_path}"
+            )
+            return
+        # Final job writing elsewhere: degrade to a copy job.
+        self.rewriter.rewrite_as_copy_job(job, entry.output_path, entry.output_schema)
+        self.rewrite_count += 1
+        self._events.append(
+            f"{job.job_id}: whole job matched {entry.entry_id}; "
+            f"rewritten to copy {entry.output_path}"
+        )
+
+    # -- registration (components 2+3) ----------------------------------------------------
+
+    def _register_sub_job(self, candidate: CandidateSubJob, stats: JobStats) -> None:
+        store_stat = stats.store_for_path(candidate.store_path)
+        if store_stat is None:
+            return
+        if len(candidate.plan) <= 2:
+            self._discard_file(candidate.store_path)
+            return
+        if self.repository.find_equivalent(candidate.plan) is not None:
+            # Duplicate computation already stored: drop the new copy.
+            self._discard_file(candidate.store_path)
+            return
+        load_paths = [op.path for op in candidate.plan.loads()]
+        input_bytes = sum(stats.load_bytes.get(p, 0) for p in load_paths)
+        entry = RepositoryEntry(
+            plan=candidate.plan,
+            output_path=candidate.store_path,
+            output_schema=candidate.output_schema,
+            stats=EntryStats(
+                input_bytes=input_bytes,
+                output_bytes=store_stat.bytes,
+                output_records=store_stat.records,
+                exec_time_s=estimate_standalone_time(
+                    self.cost_model,
+                    input_bytes=input_bytes,
+                    output_bytes=store_stat.bytes,
+                    records=stats.input_records,
+                ),
+            ),
+            anchor_kind=candidate.anchor_kind,
+            created_at=self.clock,
+            last_used_at=self.clock,
+            input_mtimes=self._mtimes(load_paths),
+        )
+        decision = self.config.selector.decide(entry)
+        if not decision.keep:
+            self._discard_file(candidate.store_path)
+            self._events.append(
+                f"discarded sub-job output {candidate.store_path}: {decision.reason}"
+            )
+            return
+        self.repository.add(entry)
+        self.kept_paths.add(candidate.store_path)
+
+    def _register_whole_job(self, job: MapReduceJob, stats: JobStats) -> None:
+        policy = self.config.register_whole_jobs
+        if policy == "none":
+            return
+        if policy == "temporary-only" and not job.temporary:
+            return
+        primary = job.plan.primary_store()
+        if primary is None:
+            return
+        clean_plan = job.plan.subplan_upto(primary)
+        if len(clean_plan) <= 2:
+            return  # trivial copy job: nothing worth storing
+        if self.repository.find_equivalent(clean_plan) is not None:
+            return
+        load_paths = [op.path for op in clean_plan.loads()]
+        sim_time = (
+            stats.sim.total_without_side_stores if stats.sim is not None else 0.0
+        )
+        entry = RepositoryEntry(
+            plan=clean_plan,
+            output_path=primary.path,
+            output_schema=primary.schema or job.plan.loads()[0].schema,
+            stats=EntryStats(
+                input_bytes=stats.input_bytes,
+                output_bytes=stats.output_bytes,
+                output_records=stats.output_records,
+                exec_time_s=sim_time,
+            ),
+            anchor_kind="whole-job",
+            created_at=self.clock,
+            last_used_at=self.clock,
+            input_mtimes=self._mtimes(load_paths),
+        )
+        decision = self.config.selector.decide(entry)
+        if not decision.keep:
+            self._events.append(
+                f"not keeping whole-job output {primary.path}: {decision.reason}"
+            )
+            return
+        self.repository.add(entry)
+        if job.temporary:
+            self.kept_paths.add(primary.path)
+
+    def _mtimes(self, paths) -> Dict[str, int]:
+        return {
+            path: self.dfs.mtime(path) for path in paths if self.dfs.exists(path)
+        }
+
+    # -- eviction (§5 rules 3-4) --------------------------------------------------------------
+
+    def run_evictions(self) -> List[str]:
+        """Apply all configured policies until fixpoint.
+
+        Iterating matters for cascades: evicting an entry deletes its
+        owned output file, which is another entry's *input* — Rule 4
+        must then claim that dependent entry on the next pass (stale
+        results never survive transitively).
+        """
+        evicted: List[str] = []
+        changed = True
+        while changed:
+            changed = False
+            for policy in self.config.eviction_policies:
+                victims = policy.select_victims(
+                    self.repository, self.dfs, self.clock
+                )
+                for victim in victims:
+                    if victim.entry_id in evicted:
+                        continue
+                    self._evict(victim, policy.name)
+                    evicted.append(victim.entry_id)
+                    changed = True
+        return evicted
+
+    def _evict(self, entry: RepositoryEntry, reason: str) -> None:
+        try:
+            self.repository.remove(entry.entry_id)
+        except Exception:
+            return
+        if entry.output_path in self.kept_paths:
+            self.kept_paths.discard(entry.output_path)
+            self._discard_file(entry.output_path)
+        self._events.append(
+            f"evicted {entry.entry_id} ({reason}): {entry.output_path}"
+        )
+
+    def _discard_file(self, path: str) -> None:
+        self.dfs.delete_if_exists(path)
+
+    # -- reporting ---------------------------------------------------------------------------------
+
+    def drain_events(self) -> List[str]:
+        events, self._events = self._events, []
+        return events
+
+    def __repr__(self) -> str:
+        return (
+            f"ReStoreManager(entries={len(self.repository)}, "
+            f"rewrites={self.rewrite_count}, eliminations={self.elimination_count})"
+        )

@@ -1,0 +1,231 @@
+"""The ReStore repository of stored MapReduce job outputs.
+
+Each entry keeps exactly what the paper lists (§2.2): (1) the physical
+plan of the job that produced the output, (2) the output's filename in
+the DFS, and (3) statistics — input/output sizes, execution time, how
+often and how recently the output was reused.
+
+``ordered_entries`` realizes §3's ordering rules so that the *first*
+match found during the sequential scan is the best one:
+
+1. plan A before plan B when A subsumes B (all of B's operators have
+   equivalents in A);
+2. otherwise by the input/output size ratio, then by execution time
+   (both: higher first).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.matcher import PlanMatcher
+from repro.exceptions import RepositoryError
+from repro.pig.physical.plan import PhysicalPlan
+from repro.relational.schema import Schema
+
+_ENTRY_COUNTER = itertools.count(1)
+
+
+@dataclass
+class EntryStats:
+    """Execution statistics stored with a repository entry (§5)."""
+
+    input_bytes: int = 0
+    output_bytes: int = 0
+    output_records: int = 0
+    #: estimated standalone execution time of the producing job (sim s)
+    exec_time_s: float = 0.0
+
+    @property
+    def io_ratio(self) -> float:
+        """Input/output size ratio — ordering metric 1 (higher = better)."""
+        return self.input_bytes / max(1, self.output_bytes)
+
+
+@dataclass
+class RepositoryEntry:
+    """One stored job (or sub-job) output."""
+
+    plan: PhysicalPlan
+    output_path: str
+    output_schema: Schema
+    stats: EntryStats = field(default_factory=EntryStats)
+    anchor_kind: str = "whole-job"
+    created_at: int = 0
+    last_used_at: int = 0
+    use_count: int = 0
+    #: DFS logical mtimes of the entry's source datasets at creation
+    #: (eviction Rule 4 compares against current mtimes)
+    input_mtimes: Dict[str, int] = field(default_factory=dict)
+    entry_id: str = field(
+        default_factory=lambda: f"entry_{next(_ENTRY_COUNTER):06d}"
+    )
+
+    def mark_used(self, now: int) -> None:
+        self.use_count += 1
+        self.last_used_at = now
+
+    def to_dict(self) -> dict:
+        return {
+            "entry_id": self.entry_id,
+            "plan": self.plan.to_dict(),
+            "output_path": self.output_path,
+            "output_schema": self.output_schema.to_dict(),
+            "stats": {
+                "input_bytes": self.stats.input_bytes,
+                "output_bytes": self.stats.output_bytes,
+                "output_records": self.stats.output_records,
+                "exec_time_s": self.stats.exec_time_s,
+            },
+            "anchor_kind": self.anchor_kind,
+            "created_at": self.created_at,
+            "last_used_at": self.last_used_at,
+            "use_count": self.use_count,
+            "input_mtimes": self.input_mtimes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RepositoryEntry":
+        entry = cls(
+            plan=PhysicalPlan.from_dict(data["plan"]),
+            output_path=data["output_path"],
+            output_schema=Schema.from_dict(data["output_schema"]),
+            stats=EntryStats(**data["stats"]),
+            anchor_kind=data.get("anchor_kind", "whole-job"),
+            created_at=data.get("created_at", 0),
+            last_used_at=data.get("last_used_at", 0),
+            use_count=data.get("use_count", 0),
+            input_mtimes=dict(data.get("input_mtimes", {})),
+        )
+        entry.entry_id = data.get("entry_id", entry.entry_id)
+        return entry
+
+
+class Repository:
+    """Ordered collection of :class:`RepositoryEntry` objects."""
+
+    def __init__(
+        self,
+        matcher: Optional[PlanMatcher] = None,
+        ordering_enabled: bool = True,
+    ):
+        self.matcher = matcher or PlanMatcher()
+        #: when False, ordered_entries() returns insertion order —
+        #: an ablation knob showing why §3's ordering rules matter
+        #: (the first match found is used for the rewrite)
+        self.ordering_enabled = ordering_enabled
+        self._entries: Dict[str, RepositoryEntry] = {}
+        self._order_cache: Optional[List[RepositoryEntry]] = None
+        self._subsume_cache: Dict[tuple, bool] = {}
+
+    # -- basic operations ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(list(self._entries.values()))
+
+    def entries(self) -> List[RepositoryEntry]:
+        return list(self._entries.values())
+
+    def get(self, entry_id: str) -> RepositoryEntry:
+        try:
+            return self._entries[entry_id]
+        except KeyError:
+            raise RepositoryError(f"no such entry: {entry_id}") from None
+
+    def add(self, entry: RepositoryEntry) -> RepositoryEntry:
+        self._entries[entry.entry_id] = entry
+        self._invalidate()
+        return entry
+
+    def remove(self, entry_id: str) -> RepositoryEntry:
+        entry = self.get(entry_id)
+        del self._entries[entry_id]
+        self._invalidate()
+        return entry
+
+    def find_equivalent(self, plan: PhysicalPlan) -> Optional[RepositoryEntry]:
+        """An existing entry whose plan computes exactly *plan*."""
+        fingerprint = plan.fingerprint()
+        for entry in self._entries.values():
+            if entry.plan.fingerprint() == fingerprint:
+                return entry
+        return None
+
+    def find_by_output_path(self, path: str) -> Optional[RepositoryEntry]:
+        for entry in self._entries.values():
+            if entry.output_path == path:
+                return entry
+        return None
+
+    @property
+    def total_stored_bytes(self) -> int:
+        return sum(e.stats.output_bytes for e in self._entries.values())
+
+    # -- ordering (§3) --------------------------------------------------------------
+
+    def _subsumes(self, a: RepositoryEntry, b: RepositoryEntry) -> bool:
+        key = (a.entry_id, b.entry_id)
+        if key not in self._subsume_cache:
+            self._subsume_cache[key] = self.matcher.contains(a.plan, b.plan)
+        return self._subsume_cache[key]
+
+    def ordered_entries(self) -> List[RepositoryEntry]:
+        """Entries in match-scan order (best candidates first)."""
+        if not self.ordering_enabled:
+            return list(self._entries.values())
+        if self._order_cache is not None:
+            return self._order_cache
+
+        entries = list(self._entries.values())
+        # Metric order first (rule 2): io ratio desc, exec time desc.
+        entries.sort(
+            key=lambda e: (e.stats.io_ratio, e.stats.exec_time_s),
+            reverse=True,
+        )
+        # Stable topological pass for rule 1: count how many other
+        # entries each entry subsumes; more-subsuming entries first.
+        # (Subsumption is a partial order; counting dominated entries
+        # linearizes it while respecting every subsumption pair.)
+        scores = {
+            e.entry_id: sum(
+                1
+                for other in entries
+                if other is not e and self._subsumes(e, other)
+            )
+            for e in entries
+        }
+        entries.sort(key=lambda e: scores[e.entry_id], reverse=True)
+        self._order_cache = entries
+        return entries
+
+    def _invalidate(self) -> None:
+        self._order_cache = None
+        self._subsume_cache.clear()
+
+    # -- persistence -------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"entries": [e.to_dict() for e in self._entries.values()]},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str, matcher: Optional[PlanMatcher] = None) -> "Repository":
+        repo = cls(matcher=matcher)
+        data = json.loads(text)
+        for entry_data in data.get("entries", []):
+            repo.add(RepositoryEntry.from_dict(entry_data))
+        return repo
+
+    def __repr__(self) -> str:
+        return (
+            f"Repository(entries={len(self._entries)}, "
+            f"stored_bytes={self.total_stored_bytes})"
+        )

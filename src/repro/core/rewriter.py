@@ -1,0 +1,123 @@
+"""Plan rewriting: replace matched sub-plans with Loads of stored outputs.
+
+Paper §3: "The matched part of the input physical plan is replaced
+with a Load operator that reads the output of the repository plan from
+the distributed file system."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.matcher import MatchResult
+from repro.exceptions import PlanError
+from repro.mapreduce.job import MapReduceJob
+from repro.pig.physical.operators import (
+    PhysicalOperator,
+    POLoad,
+    POSplit,
+    POStore,
+)
+from repro.pig.physical.plan import PhysicalPlan
+from repro.relational.schema import Schema
+
+
+class PlanRewriter:
+    """Applies matches to job plans."""
+
+    def rewrite_partial(
+        self,
+        plan: PhysicalPlan,
+        match: MatchResult,
+        output_path: str,
+        output_schema: Schema,
+    ) -> POLoad:
+        """Replace the matched sub-plan with a Load of the stored output.
+
+        The frontier's consumers are re-pointed at the new Load; matched
+        operators that no longer reach any store are garbage-collected.
+        Returns the inserted Load.
+        """
+        frontier = match.frontier
+        if frontier is None or frontier not in plan:
+            raise PlanError("match frontier is not part of the plan")
+
+        load = POLoad(output_path, output_schema)
+        plan.add(load)
+        for succ in list(plan.successors(frontier)):
+            plan.disconnect(frontier, succ)
+            plan.connect(load, succ)
+
+        self._garbage_collect(plan)
+        if load not in plan:
+            raise PlanError("rewrite removed its own load (no live consumers)")
+        return load
+
+    def rewrite_as_copy_job(
+        self,
+        job: MapReduceJob,
+        output_path: str,
+        output_schema: Schema,
+    ) -> None:
+        """Whole-plan match on a *final* job: degrade to Load -> Store.
+
+        The result already exists in the repository; the job only has
+        to place a copy at the path the user asked for.
+        """
+        store = job.plan.primary_store()
+        if store is None:
+            raise PlanError("copy-job rewrite needs a primary store")
+        final_path = store.path
+        new_plan = PhysicalPlan()
+        load = POLoad(output_path, output_schema)
+        new_store = POStore(final_path, schema=output_schema)
+        new_plan.add(load)
+        new_plan.add(new_store)
+        new_plan.connect(load, new_store)
+        job.plan = new_plan
+
+    def redirect_loads(
+        self, jobs: List[MapReduceJob], old_path: str, new_path: str
+    ) -> int:
+        """Point every Load of *old_path* in *jobs* at *new_path*.
+
+        Used when a whole job is eliminated: its consumers must read
+        the repository copy instead (paper §3, whole-job case).
+        """
+        redirected = 0
+        for job in jobs:
+            for load in job.plan.loads():
+                if load.path == old_path:
+                    load.path = new_path
+                    redirected += 1
+        return redirected
+
+    # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _garbage_collect(plan: PhysicalPlan) -> None:
+        """Drop operators that can no longer reach a Store.
+
+        After splicing in the Load, the matched chain dangles unless one
+        of its operators still feeds an unmatched consumer (possible
+        with Split tees); iteratively removing store-less sinks keeps
+        exactly the live part.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for op in list(plan.operators):
+                if isinstance(op, POStore):
+                    continue
+                if not plan.successors(op):
+                    plan.remove(op)
+                    changed = True
+        # Contract pass-through splits left with a single successor.
+        for op in list(plan.operators):
+            if isinstance(op, POSplit):
+                succs = plan.successors(op)
+                preds = plan.predecessors(op)
+                if len(succs) == 1 and len(preds) == 1:
+                    pred, succ = preds[0], succs[0]
+                    plan.remove(op)
+                    plan.connect(pred, succ)

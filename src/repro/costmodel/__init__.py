@@ -1,0 +1,13 @@
+"""Analytical cost model (paper Equations 1 and 2) + calibration."""
+
+from repro.costmodel.calibration import DEFAULT_PARAMS, GB, MB, CostParams
+from repro.costmodel.model import CostModel, estimate_standalone_time
+
+__all__ = [
+    "CostModel",
+    "CostParams",
+    "DEFAULT_PARAMS",
+    "GB",
+    "MB",
+    "estimate_standalone_time",
+]

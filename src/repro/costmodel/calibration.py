@@ -1,0 +1,71 @@
+"""Calibrated cost-model constants.
+
+The paper reports wall-clock minutes on a 15-node cluster; we cannot
+rerun that hardware, so the model's constants are back-derived from
+the paper's own measurements (§7):
+
+* PigMix L2 at 150 GB with no reuse runs ≈ 13 min (Figure 10).  The
+  job is I/O bound, so effective aggregate scan+process bandwidth
+  ≈ 150.6 GB / 780 s ≈ 190 MB/s across the cluster — i.e. ≈ 14 MB/s
+  per worker node once CPU, deserialization and disk contention are
+  folded in.  We split that into a read term and a per-record CPU
+  term.
+
+* Figure 11 shows store-injection overhead is *larger* at 15 GB (2.4×)
+  than at 150 GB (1.6×).  A pure bandwidth model cannot produce that
+  (stored bytes shrink with the data), so each injected Store must
+  carry a sizeable fixed cost — task setup, commit, replication
+  pipeline, reduced pipeline parallelism — plus a slow per-byte cost:
+  materialized bytes are written by few tasks with 3-way replication.
+  With a ≈ 60 s fixed cost per injected store and ≈ 10 MB/s effective
+  materialization bandwidth, L2's numbers reproduce:
+  15 GB: (109 s + 2·60 s + 0.31 GB/10 MB/s) / 109 s ≈ 2.4;
+  150 GB: (820 s + 2·60 s + 3.1 GB/10 MB/s) / 820 s ≈ 1.5.
+
+* Hadoop-era job startup (JVM spawn, scheduling) ≈ 25–30 s, which is
+  what bounds the best-case speedup of rewritten jobs (Figure 9's
+  9.8× average rather than 100×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024.0 * 1024.0
+GB = 1024.0 * MB
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable constants of the analytical model (all rates per task).
+
+    Per-task scan bandwidth is set so that a full cluster (56 map
+    slots) reaches the ~190 MB/s aggregate effective rate implied by
+    the paper's L2 measurement: 56 × 3.5 MB/s ≈ 196 MB/s.
+    """
+
+    #: fixed per-job cost: scheduling + JVM startup (s)
+    job_startup_s: float = 25.0
+    #: effective HDFS scan+deserialize bandwidth per map task (bytes/s)
+    read_bw_per_task: float = 3.5 * MB
+    #: per-record pipeline CPU cost (s per operator-record)
+    cpu_per_record_s: float = 0.2e-6
+    #: sort+shuffle bandwidth per reduce task (bytes/s)
+    shuffle_bw_per_task: float = 12.0 * MB
+    #: replicated write bandwidth per writing task (bytes/s)
+    write_bw_per_task: float = 3.0 * MB
+    #: extra fixed cost for each ReStore-injected store (s)
+    side_store_fixed_s: float = 60.0
+
+    def __post_init__(self):
+        for name in (
+            "job_startup_s",
+            "read_bw_per_task",
+            "shuffle_bw_per_task",
+            "write_bw_per_task",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+DEFAULT_PARAMS = CostParams()

@@ -1,0 +1,43 @@
+"""Block abstraction for the simulated distributed file system.
+
+Files are split into fixed-size blocks exactly like HDFS; the block
+size drives how many map tasks a job gets (one per block, as in
+Hadoop's default ``FileInputFormat`` behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Globally unique block identifier."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"blk_{self.value:012d}"
+
+
+@dataclass
+class Block:
+    """One block of file bytes."""
+
+    block_id: BlockId
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+def split_into_blocks(data: bytes, block_size: int) -> Iterator[bytes]:
+    """Yield consecutive *block_size* chunks of *data* (last may be short)."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    if not data:
+        return
+    for offset in range(0, len(data), block_size):
+        yield data[offset : offset + block_size]

@@ -1,0 +1,64 @@
+"""DataNode: stores block replicas and tracks per-node usage."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dfs.blocks import Block, BlockId
+from repro.exceptions import DFSError
+
+
+class DataNode:
+    """One storage node holding block replicas.
+
+    A capacity can be configured (the paper's nodes had 65 GB disks);
+    exceeding it raises, which the experiments use to show repository
+    eviction pressure.
+    """
+
+    def __init__(self, node_id: int, capacity_bytes: int | None = None):
+        self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
+        self._blocks: Dict[BlockId, Block] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.size for b in self._blocks.values())
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def has_block(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def store_block(self, block: Block) -> None:
+        if self.capacity_bytes is not None:
+            if self.used_bytes + block.size > self.capacity_bytes:
+                raise DFSError(
+                    f"datanode {self.node_id} out of space "
+                    f"({self.used_bytes + block.size} > {self.capacity_bytes})"
+                )
+        self._blocks[block.block_id] = block
+        self.bytes_written += block.size
+
+    def read_block(self, block_id: BlockId) -> bytes:
+        try:
+            block = self._blocks[block_id]
+        except KeyError:
+            raise DFSError(
+                f"datanode {self.node_id} does not hold {block_id}"
+            ) from None
+        self.bytes_read += block.size
+        return block.data
+
+    def delete_block(self, block_id: BlockId) -> None:
+        self._blocks.pop(block_id, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataNode(id={self.node_id}, blocks={self.block_count}, "
+            f"used={self.used_bytes})"
+        )

@@ -1,0 +1,218 @@
+"""The DFS facade used by every other subsystem.
+
+``DistributedFileSystem`` glues together the NameNode, a set of
+DataNodes and a replica placement policy, and exposes the small API
+surface the MapReduce engine needs: whole-file reads/writes, appends,
+deletes, renames, listing and stat.  It also accumulates the global
+I/O counters (bytes logically read/written, replica bytes) consumed by
+the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.dfs.blocks import Block, split_into_blocks
+from repro.dfs.datanode import DataNode
+from repro.dfs.namenode import FileStatus, NameNode
+from repro.dfs.replication import PlacementPolicy, RoundRobinPlacement
+from repro.exceptions import DFSError, FileNotFoundInDFS
+
+
+class DistributedFileSystem:
+    """An in-memory HDFS: replicated blocks over simulated datanodes.
+
+    Parameters mirror the paper's cluster: 14 datanodes, 3-way
+    replication.  ``block_size`` defaults to 128 KiB so that the small
+    generated data sets still span multiple blocks (and therefore
+    multiple simulated map tasks).
+    """
+
+    def __init__(
+        self,
+        n_datanodes: int = 14,
+        replication: int = 3,
+        block_size: int = 128 * 1024,
+        node_capacity_bytes: Optional[int] = None,
+        placement: Optional[PlacementPolicy] = None,
+    ):
+        if n_datanodes < 1:
+            raise ValueError("need at least one datanode")
+        self.namenode = NameNode()
+        self.datanodes: List[DataNode] = [
+            DataNode(i, node_capacity_bytes) for i in range(n_datanodes)
+        ]
+        self.replication = replication
+        self.block_size = block_size
+        self.placement = placement or RoundRobinPlacement()
+        # Logical (single-copy) counters, used by the cost model.
+        self.bytes_read = 0
+        self.bytes_written = 0
+        # Physical counter including replication fan-out.
+        self.replica_bytes_written = 0
+
+    # -- writes -------------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes | str, overwrite: bool = False) -> FileStatus:
+        """Create *path* with *data*; replicates each block."""
+        payload = data.encode() if isinstance(data, str) else data
+        if overwrite and self.namenode.exists(path):
+            self.delete(path)
+        inode = self.namenode.create(path, self.replication)
+        self._append_blocks(inode, payload)
+        return self.namenode.stat(path)
+
+    def append(self, path: str, data: bytes | str) -> FileStatus:
+        """Append to an existing file (creates it if missing)."""
+        payload = data.encode() if isinstance(data, str) else data
+        if not self.namenode.exists(path):
+            return self.write_file(path, payload)
+        inode = self.namenode.lookup(path)
+        self._append_blocks(inode, payload)
+        self.namenode.touch(path)
+        return self.namenode.stat(path)
+
+    def write_lines(self, path: str, lines: Iterable[str], overwrite: bool = False) -> FileStatus:
+        text = "".join(line if line.endswith("\n") else line + "\n" for line in lines)
+        return self.write_file(path, text, overwrite=overwrite)
+
+    def _append_blocks(self, inode, payload: bytes) -> None:
+        for chunk in split_into_blocks(payload, self.block_size):
+            block_id = self.namenode.new_block_id()
+            block = Block(block_id, chunk)
+            for node in self.placement.choose(self.datanodes, inode.replication):
+                node.store_block(block)
+                self.replica_bytes_written += block.size
+            inode.block_ids.append(block_id)
+            inode.size += block.size
+        self.bytes_written += len(payload)
+
+    # -- reads ----------------------------------------------------------------------
+
+    def read_file(self, path: str) -> bytes:
+        inode = self.namenode.lookup(path)
+        chunks = []
+        for block_id in inode.block_ids:
+            node = self._locate(block_id)
+            chunks.append(node.read_block(block_id))
+        data = b"".join(chunks)
+        self.bytes_read += len(data)
+        return data
+
+    def read_text(self, path: str) -> str:
+        return self.read_file(path).decode()
+
+    def read_lines(self, path: str) -> List[str]:
+        text = self.read_text(path)
+        return [line for line in text.splitlines() if line != ""]
+
+    def _locate(self, block_id) -> DataNode:
+        for node in self.datanodes:
+            if node.has_block(block_id):
+                return node
+        raise FileNotFoundInDFS(f"no replica found for {block_id}")
+
+    # -- namespace ---------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def delete(self, path: str) -> None:
+        inode = self.namenode.remove(path)
+        for block_id in inode.block_ids:
+            for node in self.datanodes:
+                node.delete_block(block_id)
+
+    def delete_if_exists(self, path: str) -> bool:
+        if self.exists(path):
+            self.delete(path)
+            return True
+        return False
+
+    def rename(self, src: str, dst: str) -> None:
+        self.namenode.rename(src, dst)
+
+    def stat(self, path: str) -> FileStatus:
+        return self.namenode.stat(path)
+
+    def file_size(self, path: str) -> int:
+        return self.namenode.stat(path).size
+
+    def mtime(self, path: str) -> int:
+        return self.namenode.stat(path).mtime
+
+    def list_paths(self, prefix: str = "") -> List[str]:
+        return self.namenode.list_paths(prefix)
+
+    # -- failure handling -------------------------------------------------------------------
+
+    def kill_datanode(self, node_id: int) -> "DataNode":
+        """Simulate a datanode crash: its replicas vanish.
+
+        Files stay readable as long as any replica of every block
+        survives elsewhere (the point of 3-way replication).  Call
+        :meth:`rereplicate` afterwards to restore the replication
+        factor, as HDFS's NameNode would.
+        """
+        for index, node in enumerate(self.datanodes):
+            if node.node_id == node_id:
+                if len(self.datanodes) == 1:
+                    raise DFSError("cannot kill the last datanode")
+                return self.datanodes.pop(index)
+        raise DFSError(f"no such datanode: {node_id}")
+
+    def under_replicated_blocks(self) -> List[tuple]:
+        """(path, block_id, live_replicas) for blocks below target."""
+        out = []
+        for path in self.namenode.list_paths():
+            inode = self.namenode.lookup(path)
+            for block_id in inode.block_ids:
+                live = sum(
+                    1 for node in self.datanodes if node.has_block(block_id)
+                )
+                if live < min(inode.replication, len(self.datanodes)):
+                    out.append((path, block_id, live))
+        return out
+
+    def rereplicate(self) -> int:
+        """Restore the replication factor of under-replicated blocks.
+
+        Copies each surviving replica onto nodes that lack it; returns
+        the number of new replicas created.  Raises if a block lost
+        every replica (data loss — exactly what replication bounds).
+        """
+        created = 0
+        for path, block_id, live in self.under_replicated_blocks():
+            holders = [n for n in self.datanodes if n.has_block(block_id)]
+            if not holders:
+                raise DFSError(
+                    f"data loss: no replica left for {block_id} of {path}"
+                )
+            data = holders[0].read_block(block_id)
+            inode = self.namenode.lookup(path)
+            target_count = min(inode.replication, len(self.datanodes))
+            for node in self.datanodes:
+                if live >= target_count:
+                    break
+                if not node.has_block(block_id):
+                    node.store_block(Block(block_id, data))
+                    self.replica_bytes_written += len(data)
+                    live += 1
+                    created += 1
+        return created
+
+    # -- capacity --------------------------------------------------------------------------
+
+    @property
+    def total_used_bytes(self) -> int:
+        """Physical bytes used across all datanodes (incl. replicas)."""
+        return sum(node.used_bytes for node in self.datanodes)
+
+    def n_blocks(self, path: str) -> int:
+        return self.namenode.stat(path).block_count
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedFileSystem(files={self.namenode.file_count}, "
+            f"nodes={len(self.datanodes)}, used={self.total_used_bytes})"
+        )

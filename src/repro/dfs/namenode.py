@@ -1,0 +1,113 @@
+"""NameNode: the DFS namespace (paths -> block lists + metadata).
+
+Modification times use a logical clock (monotone counter) rather than
+wall time so tests and experiments are deterministic; ReStore's
+eviction Rule 4 ("evict if an input was modified") compares these
+logical mtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dfs.blocks import BlockId
+from repro.exceptions import FileAlreadyExists, FileNotFoundInDFS
+
+
+@dataclass
+class INode:
+    """Metadata for one file."""
+
+    path: str
+    block_ids: List[BlockId] = field(default_factory=list)
+    size: int = 0
+    mtime: int = 0
+    replication: int = 3
+
+
+@dataclass(frozen=True)
+class FileStatus:
+    """Immutable snapshot of file metadata returned by ``stat``."""
+
+    path: str
+    size: int
+    mtime: int
+    block_count: int
+    replication: int
+
+
+class NameNode:
+    """Flat-namespace metadata server (paths are plain strings)."""
+
+    def __init__(self):
+        self._inodes: Dict[str, INode] = {}
+        self._clock = 0
+        self._next_block = 0
+
+    # -- clock / ids -----------------------------------------------------------
+
+    def tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def new_block_id(self) -> BlockId:
+        self._next_block += 1
+        return BlockId(self._next_block)
+
+    # -- namespace operations ----------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self._inodes
+
+    def create(self, path: str, replication: int) -> INode:
+        if path in self._inodes:
+            raise FileAlreadyExists(f"path already exists: {path}")
+        inode = INode(path=path, mtime=self.tick(), replication=replication)
+        self._inodes[path] = inode
+        return inode
+
+    def lookup(self, path: str) -> INode:
+        try:
+            return self._inodes[path]
+        except KeyError:
+            raise FileNotFoundInDFS(f"no such file: {path}") from None
+
+    def remove(self, path: str) -> INode:
+        inode = self.lookup(path)
+        del self._inodes[path]
+        self.tick()
+        return inode
+
+    def rename(self, src: str, dst: str) -> None:
+        if dst in self._inodes:
+            raise FileAlreadyExists(f"rename target exists: {dst}")
+        inode = self.lookup(src)
+        del self._inodes[src]
+        inode.path = dst
+        inode.mtime = self.tick()
+        self._inodes[dst] = inode
+
+    def touch(self, path: str) -> None:
+        self.lookup(path).mtime = self.tick()
+
+    def stat(self, path: str) -> FileStatus:
+        inode = self.lookup(path)
+        return FileStatus(
+            path=inode.path,
+            size=inode.size,
+            mtime=inode.mtime,
+            block_count=len(inode.block_ids),
+            replication=inode.replication,
+        )
+
+    def list_paths(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._inodes if p.startswith(prefix))
+
+    @property
+    def file_count(self) -> int:
+        return len(self._inodes)

@@ -1,0 +1,45 @@
+"""Replica placement policies.
+
+HDFS places one replica locally, one on a remote rack, one on another
+node of that rack.  We have no racks, so the shipped policies spread
+replicas across distinct nodes: round-robin (deterministic, the
+default for reproducible experiments) and seeded-random.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.dfs.datanode import DataNode
+
+
+class PlacementPolicy:
+    """Chooses which datanodes receive the replicas of one block."""
+
+    def choose(self, nodes: Sequence[DataNode], replication: int) -> List[DataNode]:
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deterministic placement: consecutive nodes, rotating start."""
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, nodes: Sequence[DataNode], replication: int) -> List[DataNode]:
+        count = min(replication, len(nodes))
+        chosen = [nodes[(self._next + i) % len(nodes)] for i in range(count)]
+        self._next = (self._next + 1) % len(nodes)
+        return chosen
+
+
+class RandomPlacement(PlacementPolicy):
+    """Seeded random placement across distinct nodes."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, nodes: Sequence[DataNode], replication: int) -> List[DataNode]:
+        count = min(replication, len(nodes))
+        return self._rng.sample(list(nodes), count)

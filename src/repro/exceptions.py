@@ -1,0 +1,59 @@
+"""Exception hierarchy shared across the whole reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a field reference cannot be resolved."""
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or cannot be evaluated."""
+
+
+class DFSError(ReproError):
+    """Base class for distributed-file-system errors."""
+
+
+class FileNotFoundInDFS(DFSError):
+    """The requested path does not exist in the DFS namespace."""
+
+
+class FileAlreadyExists(DFSError):
+    """An exclusive create collided with an existing path."""
+
+
+class PigParseError(ReproError):
+    """The Pig Latin text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", col {column})" if column is not None else ")")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is structurally invalid."""
+
+
+class CompilationError(ReproError):
+    """The MapReduce compiler could not cut the plan into jobs."""
+
+
+class ExecutionError(ReproError):
+    """A MapReduce job failed while executing."""
+
+
+class RepositoryError(ReproError):
+    """The ReStore repository rejected an operation."""

@@ -1,0 +1,5 @@
+"""Row-level execution of physical plans inside simulated MR tasks."""
+
+from repro.execution.interpreter import JobInterpreter
+
+__all__ = ["JobInterpreter"]

@@ -1,0 +1,333 @@
+"""Push-based interpreter for job physical plans.
+
+Executes one MapReduce job's plan over real rows: map branches run
+from each POLoad to the shuffle (or straight to stores for map-only
+jobs), the shuffle buffer sorts and groups, and the reduce segment
+runs from POPackage to the stores.  All byte/record counters that the
+cost model and ReStore statistics need are collected on the way.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from itertools import product
+from typing import Dict, List, Optional
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.exceptions import ExecutionError, PlanError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.shuffle import ShuffleBuffer
+from repro.mapreduce.stats import JobStats, StoreStat
+from repro.pig.physical.operators import (
+    PhysicalOperator,
+    POFilter,
+    POForEach,
+    POFRJoin,
+    POGlobalRearrange,
+    POLimit,
+    POLoad,
+    POLocalRearrange,
+    POPackage,
+    POSplit,
+    POStore,
+    POUnion,
+)
+from repro.relational.tuples import (
+    Bag,
+    Row,
+    deserialize_row,
+    iter_data_lines,
+    serialize_row,
+)
+
+
+class JobInterpreter:
+    """Executes one job plan against the DFS and reports statistics."""
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        dfs: DistributedFileSystem,
+        n_reduce_tasks: int = 8,
+    ):
+        self.job = job
+        self.plan = job.plan
+        self.dfs = dfs
+        self.n_reduce_tasks = max(1, n_reduce_tasks)
+        self._shuffle: Optional[ShuffleBuffer] = None
+        self._store_lines: Dict[int, List[str]] = defaultdict(list)
+        self._limit_counts: Dict[int, int] = defaultdict(int)
+        #: POFRJoin op_id -> [probe rows, build rows]
+        self._frjoin_buffers: Dict[int, List[List[Row]]] = defaultdict(
+            lambda: [[], []]
+        )
+        self._op_records = 0
+        self._map_output_records = 0
+        self._reduce_phase_ids: set = set()
+        #: POLocalRearrange op_id -> null-key policy (join semantics)
+        self._null_key_policy: Dict[int, str] = {}
+        self._null_counter = 0
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self) -> JobStats:
+        started = time.perf_counter()
+        self.plan.validate()
+        stats = JobStats(job_id=self.job.job_id, name=self.job.conf.name)
+
+        gr = self.plan.global_rearrange()
+        if gr is not None:
+            package = self._package_after(gr)
+            # ORDER BY: a single reduce partition gives the total order
+            # (stands in for Pig's sample+range-partition sort pair).
+            n_partitions = 1 if package.mode == "sort" else self.n_reduce_tasks
+            self._shuffle = ShuffleBuffer(n_partitions)
+            self._reduce_phase_ids = self.plan.downstream_closure(gr)
+            self._configure_null_key_policy(package)
+
+        # Map phase: stream every load's rows through its branch.
+        for load in self.plan.loads():
+            if load.schema is None:
+                raise ExecutionError(f"load without schema: {load!r}")
+            rows_read = 0
+            for line in iter_data_lines(self.dfs.read_text(load.path)):
+                row = deserialize_row(line, load.schema)
+                rows_read += 1
+                self._forward(load, row)
+            stats.load_bytes[load.path] = self.dfs.file_size(load.path)
+            stats.input_records += rows_read
+
+        # Map-side joins: all inputs are buffered once the loads drain.
+        self._finalize_frjoins()
+
+        # Reduce phase.
+        if gr is not None:
+            package = self._package_after(gr)
+            for key, branch_rows in self._shuffle.all_groups():
+                stats.reduce_groups += 1
+                for row in self._package_rows(package, key, branch_rows):
+                    self._op_records += 1
+                    self._forward(package, row)
+            stats.shuffle_records = self._shuffle.records
+            stats.shuffle_bytes = self._shuffle.bytes
+
+        # Flush stores.
+        for store in self.plan.stores():
+            lines = self._store_lines.get(store.op_id, [])
+            text = "".join(line + "\n" for line in lines)
+            self.dfs.write_file(store.path, text, overwrite=True)
+            stats.stores.append(
+                StoreStat(
+                    path=store.path,
+                    bytes=len(text.encode()),
+                    records=len(lines),
+                    phase="reduce" if store.op_id in self._reduce_phase_ids else "map",
+                    side=store.side,
+                )
+            )
+
+        stats.map_output_records = self._map_output_records
+        stats.op_records = self._op_records
+        stats.wall_seconds = time.perf_counter() - started
+        return stats
+
+    # -- row routing -------------------------------------------------------------------
+
+    def _forward(self, op: PhysicalOperator, row: Row) -> None:
+        for succ in self.plan.successors(op):
+            self._process(succ, row, source=op)
+
+    def _process(
+        self,
+        op: PhysicalOperator,
+        row: Row,
+        source: Optional[PhysicalOperator] = None,
+    ) -> None:
+        self._op_records += 1
+        if isinstance(op, POFRJoin):
+            branch = self._frjoin_branch(op, source)
+            self._frjoin_buffers[op.op_id][branch].append(row)
+        elif isinstance(op, POFilter):
+            if bool(op.predicate.eval(row)):
+                self._forward(op, row)
+        elif isinstance(op, POForEach):
+            for out in self._foreach_rows(op, row):
+                self._forward(op, out)
+        elif isinstance(op, POLocalRearrange):
+            key = op.make_key(row)
+            if _is_null_key(key):
+                policy = self._null_key_policy.get(op.op_id, "keep")
+                if policy == "drop":
+                    return  # Pig: null keys never match in inner joins
+                if policy == "isolate":
+                    # outer-preserved side: the row survives, unmatched
+                    self._null_counter += 1
+                    key = ("__null__", self._null_counter)
+            self._shuffle.add(key, op.branch, row)
+            self._map_output_records += 1
+        elif isinstance(op, POStore):
+            self._store_lines[op.op_id].append(serialize_row(row))
+        elif isinstance(op, (POSplit, POUnion)):
+            self._forward(op, row)
+        elif isinstance(op, POLimit):
+            if self._limit_counts[op.op_id] < op.n:
+                self._limit_counts[op.op_id] += 1
+                self._forward(op, row)
+        elif isinstance(op, (POGlobalRearrange, POPackage, POLoad)):
+            raise ExecutionError(
+                f"operator {op!r} cannot appear mid-pipeline"
+            )
+        else:
+            raise PlanError(f"interpreter cannot execute {op!r}")
+
+    def _configure_null_key_policy(self, package: POPackage) -> None:
+        """Pig join semantics for null keys: dropped on inner sides,
+        preserved-but-unmatched on outer-preserved sides; GROUP and
+        COGROUP keep nulls (they form their own group)."""
+        if package.mode != "join":
+            return
+        for gr in self.plan.predecessors(package):
+            for lr in self.plan.predecessors(gr):
+                if isinstance(lr, POLocalRearrange):
+                    preserved = (
+                        lr.branch < len(package.outer_flags)
+                        and package.outer_flags[lr.branch]
+                    )
+                    self._null_key_policy[lr.op_id] = (
+                        "isolate" if preserved else "drop"
+                    )
+
+    # -- fragment-replicate join ------------------------------------------------------------
+
+    def _frjoin_branch(
+        self, op: POFRJoin, source: Optional[PhysicalOperator]
+    ) -> int:
+        preds = self.plan.predecessors(op)
+        if source is not None:
+            for branch, pred in enumerate(preds):
+                if pred.op_id == source.op_id:
+                    return branch
+        raise ExecutionError("frjoin received a row from an unknown input")
+
+    def _finalize_frjoins(self) -> None:
+        """Hash-join buffered inputs; topological order chains joins."""
+        for op in self.plan.topo_order():
+            if not isinstance(op, POFRJoin):
+                continue
+            probe_rows, build_rows = self._frjoin_buffers[op.op_id]
+            table: Dict[object, List[Row]] = defaultdict(list)
+            for row in build_rows:
+                key = op.make_key(1, row)
+                if not _is_null_key(key):
+                    table[key].append(row)
+            for row in probe_rows:
+                key = op.make_key(0, row)
+                if _is_null_key(key):
+                    continue
+                for match in table.get(key, ()):
+                    self._op_records += 1
+                    self._forward(op, tuple(row) + tuple(match))
+
+    # -- foreach ----------------------------------------------------------------------------
+
+    def _foreach_rows(self, op: POForEach, row: Row):
+        """Evaluate a FOREACH, expanding FLATTEN cross products."""
+        scalar_or_items = []
+        for expr, flatten in zip(op.exprs, op.flattens):
+            value = expr.eval(row)
+            if flatten:
+                items = _as_flatten_items(value)
+                if not items:
+                    return  # flatten of an empty bag drops the row
+                scalar_or_items.append(("flat", items))
+            else:
+                if isinstance(value, list):
+                    value = Bag(
+                        v if isinstance(v, tuple) else (v,) for v in value
+                    )
+                scalar_or_items.append(("scalar", value))
+
+        flat_groups = [items for tag, items in scalar_or_items if tag == "flat"]
+        if not flat_groups:
+            yield tuple(value for _, value in scalar_or_items)
+            return
+        for combo in product(*flat_groups):
+            out: List = []
+            flat_index = 0
+            for tag, value in scalar_or_items:
+                if tag == "flat":
+                    out.extend(combo[flat_index])
+                    flat_index += 1
+                else:
+                    out.append(value)
+            yield tuple(out)
+
+    # -- package -----------------------------------------------------------------------------
+
+    def _package_after(self, gr: POGlobalRearrange) -> POPackage:
+        succs = self.plan.successors(gr)
+        if len(succs) != 1 or not isinstance(succs[0], POPackage):
+            raise PlanError("global rearrange must feed exactly one package")
+        return succs[0]
+
+    def _package_rows(self, package: POPackage, key, branch_rows: Dict[int, List[Row]]):
+        mode = package.mode
+        if mode == "group":
+            yield (key, Bag(branch_rows.get(0, [])))
+            return
+        if mode == "distinct":
+            first_branch = min(branch_rows)
+            yield branch_rows[first_branch][0]
+            return
+        if mode == "sort":
+            for row in branch_rows.get(0, []):
+                yield row
+            return
+        # cogroup / join: one bag per declared input branch
+        bags = [Bag(branch_rows.get(i, [])) for i in range(package.n_inputs)]
+        if mode == "join":
+            for i, bag in enumerate(bags):
+                if len(bag) == 0:
+                    preserved_elsewhere = any(
+                        package.outer_flags[j] and len(bags[j]) > 0
+                        for j in range(package.n_inputs)
+                        if j != i
+                    )
+                    if preserved_elsewhere:
+                        bags[i] = Bag([self._null_row_for_branch(package, i)])
+                    else:
+                        return  # inner-join semantics: drop the key
+        yield (key, *bags)
+
+    def _null_row_for_branch(self, package: POPackage, branch: int) -> Row:
+        """All-null padding tuple for outer joins."""
+        if package.schema is not None and branch + 1 < len(package.schema):
+            inner = package.schema[branch + 1].inner
+            if inner is not None:
+                return tuple([None] * len(inner))
+        raise ExecutionError(
+            "outer join requires package schema with inner bag schemas"
+        )
+
+
+def _is_null_key(key) -> bool:
+    """A join key is null when any component is null (SQL semantics)."""
+    if key is None:
+        return True
+    if isinstance(key, tuple):
+        return any(k is None for k in key)
+    return False
+
+
+def _as_flatten_items(value) -> List[tuple]:
+    """Normalize a flattened value into a list of field tuples."""
+    if value is None:
+        return []
+    if isinstance(value, Bag):
+        return [tuple(r) for r in value]
+    if isinstance(value, list):
+        return [v if isinstance(v, tuple) else (v,) for v in value]
+    if isinstance(value, tuple):
+        return [value]
+    return [(value,)]

@@ -1,0 +1,66 @@
+"""Paper-experiment harnesses: one module per table/figure (§7).
+
+=========  =================================================
+module     reproduces
+=========  =================================================
+fig09      Figure 9 — whole-job reuse (L3/L11 + variants)
+fig10      Figure 10 — sub-job reuse, aggressive heuristic
+fig11      Figure 11 — store overhead, 15 GB vs 150 GB
+fig12      Figure 12 — reuse speedup, 15 GB vs 150 GB
+fig13      Figure 13 — reuse time per heuristic
+fig14      Figure 14 — store time per heuristic
+table1     Table 1 — stored bytes per heuristic
+fig15      Figure 15 — whole jobs vs sub-jobs
+table2     Table 2 — synthetic selectivities
+fig16      Figure 16 — Project data-reduction sweep (QP)
+fig17      Figure 17 — Filter data-reduction sweep (QF)
+=========  =================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table1,
+    table2,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    PigMixSandbox,
+    QueryMeasurement,
+    SyntheticSandbox,
+    measure_no_reuse,
+    measure_subjob_reuse,
+    measure_whole_job_reuse,
+)
+
+ALL_EXPERIMENTS = {
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "table1": table1,
+    "fig15": fig15,
+    "table2": table2,
+    "fig16": fig16,
+    "fig17": fig17,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "PigMixSandbox",
+    "QueryMeasurement",
+    "SyntheticSandbox",
+    "measure_no_reuse",
+    "measure_subjob_reuse",
+    "measure_whole_job_reuse",
+]

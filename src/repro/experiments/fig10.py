@@ -1,0 +1,76 @@
+"""Figure 10 — the effect of reusing sub-job outputs (150 GB).
+
+Paper: L2–L8 and L11 under the Aggressive heuristic; three bars per
+query: no reuse, generating sub-jobs (overhead), reusing sub-jobs.
+Reported averages: **speedup 24.4**, **overhead 1.6**; "using ReStore
+was beneficial if the output of a sub-job is reused even only once."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.common import (
+    ExperimentResult,
+    arithmetic_mean,
+    measure_subjob_reuse,
+)
+from repro.pigmix.datagen import PigMixConfig
+from repro.pigmix.queries import PIGMIX_QUERY_NAMES
+
+PAPER_AVG_SPEEDUP = 24.4
+PAPER_AVG_OVERHEAD = 1.6
+
+
+def run(
+    scale: str = "150GB",
+    heuristic: str = "aggressive",
+    pigmix_config: Optional[PigMixConfig] = None,
+    queries: Optional[List[str]] = None,
+) -> ExperimentResult:
+    queries = queries or PIGMIX_QUERY_NAMES
+    rows = []
+    for name in queries:
+        m = measure_subjob_reuse(name, scale, heuristic, pigmix_config)
+        rows.append(
+            {
+                "query": name,
+                "no_reuse_min": m.t_no_reuse / 60.0,
+                "generating_min": (m.t_generating or 0.0) / 60.0,
+                "reusing_min": (m.t_reusing or 0.0) / 60.0,
+                "overhead": m.overhead,
+                "speedup": m.speedup,
+            }
+        )
+    rows.append(
+        {
+            "query": "AVG",
+            "overhead": arithmetic_mean([r["overhead"] for r in rows]),
+            "speedup": arithmetic_mean([r["speedup"] for r in rows]),
+        }
+    )
+    return ExperimentResult(
+        title=f"Figure 10: sub-job reuse, {heuristic} heuristic ({scale})",
+        columns=[
+            "query",
+            "no_reuse_min",
+            "generating_min",
+            "reusing_min",
+            "overhead",
+            "speedup",
+        ],
+        rows=rows,
+        paper_claim=(
+            f"avg speedup {PAPER_AVG_SPEEDUP}, avg overhead "
+            f"{PAPER_AVG_OVERHEAD}; L6 has the highest overhead (large "
+            "reduce-side Group output)"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,64 @@
+"""Figure 14 — execution time *with* the extra Store operators chosen
+by each heuristic (150 GB).
+
+Paper: NH is always worst; HA is usually only slightly worse than HC,
+but L6 is the exception where HA is much worse (it stores the large
+Group output in the reducer).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.common import (
+    ExperimentResult,
+    measure_no_reuse,
+    measure_subjob_reuse,
+)
+from repro.pigmix.datagen import PigMixConfig
+from repro.pigmix.queries import PIGMIX_QUERY_NAMES
+
+HEURISTIC_LABELS = {
+    "conservative": "HC",
+    "aggressive": "HA",
+    "no-heuristic": "NH",
+}
+
+
+def run(
+    scale: str = "150GB",
+    pigmix_config: Optional[PigMixConfig] = None,
+    queries: Optional[List[str]] = None,
+) -> ExperimentResult:
+    queries = queries or PIGMIX_QUERY_NAMES
+    rows = []
+    for name in queries:
+        base = measure_no_reuse(name, scale, pigmix_config)
+        row = {"query": name, "no_reuse_min": base.t_no_reuse / 60.0}
+        for heuristic, label in HEURISTIC_LABELS.items():
+            m = measure_subjob_reuse(name, scale, heuristic, pigmix_config)
+            row[f"store_{label}_min"] = (m.t_generating or 0.0) / 60.0
+        rows.append(row)
+    return ExperimentResult(
+        title=f"Figure 14: execution time with injected stores ({scale})",
+        columns=[
+            "query",
+            "no_reuse_min",
+            "store_HC_min",
+            "store_HA_min",
+            "store_NH_min",
+        ],
+        rows=rows,
+        paper_claim=(
+            "NH always worst; HA usually close to HC except L6 where HA "
+            "is much worse"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,66 @@
+"""Figure 15 — whole-job reuse vs sub-job reuse (HC and HA), 150 GB.
+
+Paper: on L3/L11 and their variants all reuse modes help; the best
+results come from whole-job reuse and HA sub-job reuse, and the gap
+between those two is minimal — HA "captures the most expensive parts
+of a MapReduce job while avoiding cheap parts".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.common import (
+    ExperimentResult,
+    measure_no_reuse,
+    measure_subjob_reuse,
+    measure_whole_job_reuse,
+)
+from repro.pigmix.datagen import PigMixConfig
+from repro.pigmix.queries import VARIANT_NAMES
+
+
+def run(
+    scale: str = "150GB",
+    pigmix_config: Optional[PigMixConfig] = None,
+    queries: Optional[List[str]] = None,
+) -> ExperimentResult:
+    queries = queries or VARIANT_NAMES
+    rows = []
+    for name in queries:
+        base = measure_no_reuse(name, scale, pigmix_config)
+        hc = measure_subjob_reuse(name, scale, "conservative", pigmix_config)
+        ha = measure_subjob_reuse(name, scale, "aggressive", pigmix_config)
+        whole = measure_whole_job_reuse(name, scale, pigmix_config)
+        rows.append(
+            {
+                "query": name,
+                "no_reuse_min": base.t_no_reuse / 60.0,
+                "subjob_HC_min": (hc.t_reusing or 0.0) / 60.0,
+                "subjob_HA_min": (ha.t_reusing or 0.0) / 60.0,
+                "whole_job_min": (whole.t_reusing or 0.0) / 60.0,
+            }
+        )
+    return ExperimentResult(
+        title=f"Figure 15: whole jobs vs sub-jobs ({scale})",
+        columns=[
+            "query",
+            "no_reuse_min",
+            "subjob_HC_min",
+            "subjob_HA_min",
+            "whole_job_min",
+        ],
+        rows=rows,
+        paper_claim=(
+            "all reuse types help; whole-job and HA sub-job reuse are best "
+            "and nearly tied"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,40 @@
+"""Cluster configuration — the hardware facts of the simulated cluster.
+
+Defaults mirror the paper's testbed (§7): 15 nodes, one dedicated to
+the JobTracker/NameNode, 14 workers each with 4 map slots and
+2 reduce slots, HDFS with 3-way replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated MapReduce cluster."""
+
+    n_worker_nodes: int = 14
+    map_slots_per_node: int = 4
+    reduce_slots_per_node: int = 2
+    replication: int = 3
+    #: simulated HDFS block size used to derive map-task counts from
+    #: *scaled* input bytes (Hadoop default era: 64–128 MB)
+    sim_block_size: int = 128 * 1024 * 1024
+
+    @property
+    def total_map_slots(self) -> int:
+        return self.n_worker_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return self.n_worker_nodes * self.reduce_slots_per_node
+
+    def n_map_tasks(self, scaled_input_bytes: float) -> int:
+        """One map task per simulated block, at least one."""
+        if scaled_input_bytes <= 0:
+            return 1
+        return max(1, int(-(-scaled_input_bytes // self.sim_block_size)))
+
+    def n_reduce_tasks(self, requested: int) -> int:
+        return max(1, min(requested, self.total_reduce_slots))

@@ -1,0 +1,53 @@
+"""Hadoop-style counters collected during job execution.
+
+The cost model and ReStore's repository statistics are fed entirely
+from these counters — exactly the statistics the paper notes "can
+easily be collected by any MapReduce system" (§5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator
+
+
+class Counters:
+    """A named counter group with dict-like access."""
+
+    # Standard counter names (subset of Hadoop's TaskCounter/FileSystemCounter)
+    MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+    MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+    REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+    REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+    REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+    HDFS_BYTES_READ = "HDFS_BYTES_READ"
+    HDFS_BYTES_WRITTEN = "HDFS_BYTES_WRITTEN"
+    SHUFFLE_BYTES = "SHUFFLE_BYTES"
+    SHUFFLE_RECORDS = "SHUFFLE_RECORDS"
+    OPERATOR_RECORDS = "OPERATOR_RECORDS"
+
+    def __init__(self):
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"

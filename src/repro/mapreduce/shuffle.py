@@ -1,0 +1,85 @@
+"""Sort/shuffle between map and reduce: partition, sort, group.
+
+Keys can be heterogeneous (ints, floats, strings, tuples, None), so
+ordering uses a type-ranked canonical form, and partitioning uses a
+content-stable hash (Python's ``hash`` of strings is process-seeded
+and would make runs non-deterministic).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+from repro.relational.tuples import Row, serialize_row
+
+#: one shuffle record: (key, branch tag, row)
+ShuffleRecord = Tuple[object, int, Row]
+
+
+def stable_hash(key) -> int:
+    """Deterministic non-negative hash of an arbitrary key value."""
+    return zlib.crc32(repr(key).encode())
+
+
+_TYPE_RANK = {type(None): 0, bool: 1, int: 2, float: 2, str: 3, tuple: 4}
+
+
+def sort_key(key):
+    """Total order over heterogeneous key values.
+
+    Numbers sort together (int/float), then strings, then tuples
+    (element-wise recursively); None sorts first — matching Hadoop's
+    null-first writable comparators closely enough for our purposes.
+    """
+    if isinstance(key, tuple):
+        return (4, tuple(sort_key(k) for k in key))
+    rank = _TYPE_RANK.get(type(key), 5)
+    if key is None:
+        return (0, 0)
+    if rank == 5:
+        return (5, repr(key))
+    return (rank, key)
+
+
+class ShuffleBuffer:
+    """Collects map output and serves sorted, grouped reduce input."""
+
+    def __init__(self, n_partitions: int):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_partitions = n_partitions
+        self._partitions: Dict[int, List[ShuffleRecord]] = defaultdict(list)
+        self.records = 0
+        self.bytes = 0
+
+    def add(self, key, branch: int, row: Row) -> None:
+        partition = stable_hash(key) % self.n_partitions
+        self._partitions[partition].append((key, branch, row))
+        self.records += 1
+        # Approximate the wire size the way Hadoop accounts map output
+        # bytes: serialized key + value.
+        self.bytes += len(serialize_row(row)) + len(repr(key)) + 2
+
+    def used_partitions(self) -> List[int]:
+        return sorted(p for p, records in self._partitions.items() if records)
+
+    def grouped(self, partition: int) -> Iterator[Tuple[object, Dict[int, List[Row]]]]:
+        """Yield (key, branch -> rows) groups in key-sorted order."""
+        records = self._partitions.get(partition, [])
+        records.sort(key=lambda rec: sort_key(rec[0]))
+        index = 0
+        while index < len(records):
+            key = records[index][0]
+            bags: Dict[int, List[Row]] = defaultdict(list)
+            while index < len(records) and sort_key(records[index][0]) == sort_key(key):
+                _, branch, row = records[index]
+                bags[branch].append(row)
+                index += 1
+            yield key, bags
+
+    def all_groups(self) -> Iterator[Tuple[object, Dict[int, List[Row]]]]:
+        """All groups across partitions, partition-major order."""
+        for partition in range(self.n_partitions):
+            yield from self.grouped(partition)

@@ -1,0 +1,151 @@
+"""Tokenizer for the Pig Latin subset.
+
+Keywords are *not* reserved at the lexer level: Pig famously allows
+``group`` as both a statement keyword and the implicit field name of a
+grouped relation, so the parser matches keywords contextually and the
+lexer only distinguishes token shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import PigParseError
+
+# token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+DOLLAR = "DOLLAR"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+_TWO_CHAR_SYMBOLS = ("==", "!=", "<=", ">=", "::")
+_ONE_CHAR_SYMBOLS = "=;,().*+-/%<>{}#:"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.kind == IDENT and self.text.lower() == word.lower()
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source* into a list ending with an EOF token."""
+    return list(_token_stream(source))
+
+
+def _token_stream(source: str) -> Iterator[Token]:
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(n: int = 1):
+        nonlocal index, line, column
+        for _ in range(n):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        ch = source[index]
+        # whitespace
+        if ch.isspace():
+            advance()
+            continue
+        # comments: -- to end of line, /* ... */
+        if source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise PigParseError("unterminated block comment", line, column)
+            advance(end + 2 - index)
+            continue
+        start_line, start_col = line, column
+        # strings
+        if ch == "'":
+            end = index + 1
+            chunks = []
+            while end < length and source[end] != "'":
+                if source[end] == "\\" and end + 1 < length:
+                    chunks.append(source[end + 1])
+                    end += 2
+                else:
+                    chunks.append(source[end])
+                    end += 1
+            if end >= length:
+                raise PigParseError("unterminated string literal", start_line, start_col)
+            text = "".join(chunks)
+            advance(end + 1 - index)
+            yield Token(STRING, text, start_line, start_col)
+            continue
+        # dollar positional refs
+        if ch == "$":
+            end = index + 1
+            while end < length and source[end].isdigit():
+                end += 1
+            if end == index + 1:
+                raise PigParseError("expected digits after $", start_line, start_col)
+            text = source[index:end]
+            advance(end - index)
+            yield Token(DOLLAR, text, start_line, start_col)
+            continue
+        # numbers (int or float, optional exponent)
+        if ch.isdigit() or (ch == "." and index + 1 < length and source[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (source[end].isdigit() or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    seen_dot = True
+                end += 1
+            if end < length and source[end] in "eE":
+                exp = end + 1
+                if exp < length and source[exp] in "+-":
+                    exp += 1
+                if exp < length and source[exp].isdigit():
+                    end = exp
+                    while end < length and source[end].isdigit():
+                        end += 1
+                    seen_dot = True
+            text = source[index:end]
+            advance(end - index)
+            yield Token(NUMBER, text, start_line, start_col)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            advance(end - index)
+            yield Token(IDENT, text, start_line, start_col)
+            continue
+        # symbols
+        two = source[index : index + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            advance(2)
+            yield Token(SYMBOL, two, start_line, start_col)
+            continue
+        if ch in _ONE_CHAR_SYMBOLS:
+            advance()
+            yield Token(SYMBOL, ch, start_line, start_col)
+            continue
+        raise PigParseError(f"unexpected character {ch!r}", start_line, start_col)
+
+    yield Token(EOF, "", line, column)

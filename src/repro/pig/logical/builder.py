@@ -1,0 +1,520 @@
+"""AST -> logical plan: name resolution, typing, schema propagation.
+
+This is the Pig front-end's semantic analysis.  All field references
+are resolved to positions here, so everything downstream (physical
+plans, ReStore matching) is alias-independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exceptions import SchemaError
+from repro.pig import ast
+from repro.pig.logical.operators import (
+    LOCogroup,
+    LODistinct,
+    LOFilter,
+    LOForEach,
+    LOJoin,
+    LOLimit,
+    LOLoad,
+    LOSort,
+    LOStore,
+    LOUnion,
+    LogicalOperator,
+    LogicalPlan,
+    ResolvedGenItem,
+)
+from repro.relational.expressions import (
+    AggCall,
+    BagField,
+    BagStar,
+    BinaryOp,
+    Column,
+    Const,
+    Expression,
+    FuncCall,
+    UnaryOp,
+)
+from repro.relational.expressions import AGGREGATE_FUNCTIONS, SCALAR_FUNCTIONS
+from repro.relational.schema import FieldSchema, Schema
+from repro.relational.types import DataType
+
+
+# -- name resolution ---------------------------------------------------------------
+
+
+def resolve_field(schema: Schema, name: str) -> int:
+    """Resolve *name* in *schema*: exact, then unique ``::`` suffix."""
+    if schema.has_field(name):
+        return schema.index_of(name)
+    suffix_matches = [
+        i for i, f in enumerate(schema) if f.name.endswith("::" + name)
+    ]
+    if len(suffix_matches) == 1:
+        return suffix_matches[0]
+    if len(suffix_matches) > 1:
+        raise SchemaError(
+            f"ambiguous field {name!r}: matches "
+            + ", ".join(schema[i].name for i in suffix_matches)
+        )
+    raise SchemaError(
+        f"field {name!r} not found in schema ({', '.join(schema.names)})"
+    )
+
+
+def _type_of_const(value) -> DataType:
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.DOUBLE
+    return DataType.CHARARRAY
+
+
+_SCALAR_RESULT_TYPES = {
+    "CONCAT": DataType.CHARARRAY,
+    "UPPER": DataType.CHARARRAY,
+    "LOWER": DataType.CHARARRAY,
+    "SUBSTRING": DataType.CHARARRAY,
+    "STRSPLIT": DataType.TUPLE,
+    "SIZE": DataType.LONG,
+    "ABS": DataType.DOUBLE,
+    "ROUND": DataType.LONG,
+    "FLOOR": DataType.LONG,
+    "CEIL": DataType.LONG,
+    "LOG": DataType.DOUBLE,
+}
+
+
+def infer_type(expr: Expression, schema: Schema) -> FieldSchema:
+    """Best-effort output field type of *expr* over *schema* rows."""
+    if isinstance(expr, Column):
+        field = schema[expr.index]
+        return FieldSchema(field.name, field.dtype, field.inner)
+    if isinstance(expr, Const):
+        return FieldSchema("const", _type_of_const(expr.value))
+    if isinstance(expr, BagField):
+        inner = schema[expr.bag_index].inner or Schema()
+        if expr.field_index < len(inner):
+            f = inner[expr.field_index]
+            return FieldSchema(f.name, f.dtype, f.inner)
+        return FieldSchema("value", DataType.BYTEARRAY)
+    if isinstance(expr, BagStar):
+        field = schema[expr.bag_index]
+        return FieldSchema(field.name, DataType.BAG, field.inner)
+    if isinstance(expr, AggCall):
+        name = expr.name.upper()
+        source = infer_type(expr.arg, schema)
+        if name in ("COUNT", "COUNT_STAR"):
+            return FieldSchema("count", DataType.LONG)
+        if name == "AVG":
+            return FieldSchema("avg", DataType.DOUBLE)
+        if name == "SUM":
+            dtype = (
+                DataType.DOUBLE
+                if source.dtype in (DataType.FLOAT, DataType.DOUBLE)
+                else DataType.LONG
+            )
+            return FieldSchema("sum", dtype)
+        return FieldSchema(name.lower(), source.dtype)
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("==", "!=", "<", "<=", ">", ">=", "and", "or"):
+            return FieldSchema("bool", DataType.BOOLEAN)
+        left = infer_type(expr.left, schema)
+        right = infer_type(expr.right, schema)
+        if DataType.DOUBLE in (left.dtype, right.dtype) or DataType.FLOAT in (
+            left.dtype,
+            right.dtype,
+        ) or expr.op == "/":
+            return FieldSchema("num", DataType.DOUBLE)
+        return FieldSchema("num", DataType.LONG)
+    if isinstance(expr, UnaryOp):
+        if expr.op in ("not", "isnull", "notnull"):
+            return FieldSchema("bool", DataType.BOOLEAN)
+        return infer_type(expr.operand, schema)
+    if isinstance(expr, FuncCall):
+        dtype = _SCALAR_RESULT_TYPES.get(expr.name.upper(), DataType.BYTEARRAY)
+        return FieldSchema(expr.name.lower(), dtype)
+    return FieldSchema("value", DataType.BYTEARRAY)
+
+
+# -- expression resolution ----------------------------------------------------------
+
+
+class ExpressionResolver:
+    """Resolves AST expressions against one input schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def resolve(self, node: ast.AstExpr) -> Expression:
+        if isinstance(node, ast.ANumber):
+            return Const(node.value)
+        if isinstance(node, ast.AString):
+            return Const(node.value)
+        if isinstance(node, ast.ADollar):
+            if not 0 <= node.index < len(self.schema):
+                raise SchemaError(f"positional ${node.index} out of range")
+            return Column(node.index, self.schema[node.index].name)
+        if isinstance(node, ast.AName):
+            index = resolve_field(self.schema, node.name)
+            return Column(index, self.schema[index].name)
+        if isinstance(node, ast.ADot):
+            return self._resolve_dot(node)
+        if isinstance(node, ast.ABinary):
+            return BinaryOp(node.op, self.resolve(node.left), self.resolve(node.right))
+        if isinstance(node, ast.AUnary):
+            return UnaryOp(node.op, self.resolve(node.operand))
+        if isinstance(node, ast.ACall):
+            return self._resolve_call(node)
+        if isinstance(node, ast.AStar):
+            raise SchemaError("* is only allowed as a GENERATE item or in COUNT(*)")
+        raise SchemaError(f"cannot resolve expression node {node!r}")
+
+    def _resolve_dot(self, node: ast.ADot) -> Expression:
+        if not isinstance(node.base, ast.AName):
+            raise SchemaError("dotted reference base must be a name")
+        base_name = node.base.name
+        # Case 1: base names a bag field -> project inside the bag.
+        if self.schema.has_field(base_name):
+            field = self.schema.field_named(base_name)
+            if field.dtype is DataType.BAG and field.inner is not None:
+                bag_index = self.schema.index_of(base_name)
+                if node.field == "*":
+                    return BagStar(bag_index)
+                inner_index = (
+                    int(node.field[1:])
+                    if node.field.startswith("$")
+                    else resolve_field(field.inner, node.field)
+                )
+                return BagField(bag_index, inner_index, node.field)
+        # Case 2: relation-qualified field (A.user == A::user).
+        qualified = f"{base_name}::{node.field}"
+        if self.schema.has_field(qualified):
+            index = self.schema.index_of(qualified)
+            return Column(index, qualified)
+        raise SchemaError(
+            f"cannot resolve dotted reference {base_name}.{node.field}"
+        )
+
+    def _resolve_call(self, node: ast.ACall) -> Expression:
+        upper = node.name.upper()
+        if upper in AGGREGATE_FUNCTIONS or upper == "COUNT":
+            return self._resolve_aggregate(upper, node)
+        if upper in SCALAR_FUNCTIONS:
+            return FuncCall(upper, tuple(self.resolve(a) for a in node.args))
+        raise SchemaError(f"unknown function {node.name!r}")
+
+    def _resolve_aggregate(self, name: str, node: ast.ACall) -> Expression:
+        if len(node.args) != 1:
+            raise SchemaError(f"{name} takes exactly one argument")
+        arg = node.args[0]
+        if isinstance(arg, ast.AStar):
+            bag_index = self._sole_bag_index()
+            return AggCall("COUNT_STAR", BagStar(bag_index))
+        resolved = self.resolve(arg)
+        if isinstance(resolved, Column):
+            field = self.schema[resolved.index]
+            if field.dtype is DataType.BAG:
+                resolved = BagStar(resolved.index)
+            else:
+                raise SchemaError(
+                    f"{name} needs a bag argument, got scalar field "
+                    f"{field.name!r} (aggregate outside GROUP?)"
+                )
+        if isinstance(resolved, BagStar):
+            if name in ("COUNT", "COUNT_STAR"):
+                return AggCall("COUNT_STAR", resolved)
+            # Pig's SUM(bag) aggregates the bag's first field.
+            inner = self.schema[resolved.bag_index].inner
+            if inner is None or len(inner) == 0:
+                raise SchemaError(f"{name} over a bag with unknown inner schema")
+            return AggCall(name, BagField(resolved.bag_index, 0, inner[0].name))
+        if isinstance(resolved, BagField):
+            return AggCall(name, resolved)
+        raise SchemaError(f"{name} argument must reference a bag")
+
+    def _sole_bag_index(self) -> int:
+        bags = [
+            i for i, f in enumerate(self.schema) if f.dtype is DataType.BAG
+        ]
+        if len(bags) != 1:
+            raise SchemaError("COUNT(*) needs exactly one bag in scope")
+        return bags[0]
+
+
+# -- plan building ----------------------------------------------------------------------
+
+
+class LogicalPlanBuilder:
+    """Builds a :class:`LogicalPlan` from a parsed script."""
+
+    def __init__(self):
+        self.env: dict = {}
+
+    def build(self, script: ast.Script) -> LogicalPlan:
+        stores: List[LOStore] = []
+        for statement in script.statements:
+            built = self._build_statement(statement)
+            if isinstance(built, LOStore):
+                stores.append(built)
+        if not stores:
+            raise SchemaError("script has no STORE statement")
+        return LogicalPlan(stores)
+
+    def _input(self, alias: str) -> LogicalOperator:
+        try:
+            return self.env[alias]
+        except KeyError:
+            raise SchemaError(f"unknown alias {alias!r}") from None
+
+    def _build_statement(self, statement: ast.AstStatement):
+        if isinstance(statement, ast.LoadStmt):
+            return self._build_load(statement)
+        if isinstance(statement, ast.ForeachStmt):
+            return self._build_foreach(statement)
+        if isinstance(statement, ast.FilterStmt):
+            return self._build_filter(statement)
+        if isinstance(statement, ast.JoinStmt):
+            return self._build_join(statement)
+        if isinstance(statement, ast.GroupStmt):
+            return self._build_group(statement)
+        if isinstance(statement, ast.DistinctStmt):
+            node = LODistinct(statement.alias, self._input(statement.input_alias))
+            self.env[statement.alias] = node
+            return node
+        if isinstance(statement, ast.UnionStmt):
+            return self._build_union(statement)
+        if isinstance(statement, ast.OrderStmt):
+            return self._build_order(statement)
+        if isinstance(statement, ast.LimitStmt):
+            node = LOLimit(
+                statement.alias, self._input(statement.input_alias), statement.n
+            )
+            self.env[statement.alias] = node
+            return node
+        if isinstance(statement, ast.SampleStmt):
+            # SAMPLE desugars to a filter with a deterministic row-hash
+            # predicate (Pig implements it the same way).
+            from repro.relational.expressions import RowSample
+
+            node = LOFilter(
+                statement.alias,
+                self._input(statement.input_alias),
+                RowSample(statement.fraction),
+            )
+            self.env[statement.alias] = node
+            return node
+        if isinstance(statement, ast.SplitStmt):
+            return self._build_split(statement)
+        if isinstance(statement, ast.StoreStmt):
+            return LOStore(
+                self._input(statement.input_alias), statement.path, statement.storer
+            )
+        raise SchemaError(f"unsupported statement {statement!r}")
+
+    def _build_load(self, statement: ast.LoadStmt) -> LOLoad:
+        fields = []
+        for fd in statement.schema:
+            dtype = (
+                DataType.from_name(fd.type_name)
+                if fd.type_name
+                else DataType.CHARARRAY
+            )
+            fields.append(FieldSchema(fd.name, dtype))
+        node = LOLoad(
+            statement.alias, statement.path, Schema(tuple(fields)), statement.loader
+        )
+        self.env[statement.alias] = node
+        return node
+
+    def _build_filter(self, statement: ast.FilterStmt) -> LOFilter:
+        input_node = self._input(statement.input_alias)
+        predicate = ExpressionResolver(input_node.schema).resolve(statement.predicate)
+        node = LOFilter(statement.alias, input_node, predicate)
+        self.env[statement.alias] = node
+        return node
+
+    def _build_foreach(self, statement: ast.ForeachStmt) -> LOForEach:
+        input_node = self._input(statement.input_alias)
+        resolver = ExpressionResolver(input_node.schema)
+        items: List[ResolvedGenItem] = []
+        out_fields: List[FieldSchema] = []
+        used_names: set = set()
+
+        def unique(name: str) -> str:
+            base = name
+            counter = 1
+            while name in used_names:
+                name = f"{base}_{counter}"
+                counter += 1
+            used_names.add(name)
+            return name
+
+        for item in statement.items:
+            if isinstance(item.expr, ast.AStar) and not item.flatten:
+                # generate * -> every input column
+                for i, f in enumerate(input_node.schema):
+                    items.append(
+                        ResolvedGenItem(Column(i, f.name), unique(f.name), False)
+                    )
+                    out_fields.append(
+                        FieldSchema(items[-1].name, f.dtype, f.inner)
+                    )
+                continue
+            expr = resolver.resolve(item.expr)
+            if item.flatten:
+                flat_fields = self._flatten_fields(expr, input_node.schema)
+                for f in flat_fields:
+                    out_fields.append(FieldSchema(unique(f.name), f.dtype, f.inner))
+                items.append(
+                    ResolvedGenItem(expr, out_fields[-1].name, True)
+                )
+                continue
+            inferred = infer_type(expr, input_node.schema)
+            name = unique(item.alias or inferred.name)
+            items.append(ResolvedGenItem(expr, name, False))
+            out_fields.append(FieldSchema(name, inferred.dtype, inferred.inner))
+
+        node = LOForEach(
+            statement.alias, input_node, items, Schema(tuple(out_fields))
+        )
+        self.env[statement.alias] = node
+        return node
+
+    def _flatten_fields(self, expr: Expression, schema: Schema) -> List[FieldSchema]:
+        """Output fields contributed by one FLATTEN(...) item."""
+        if isinstance(expr, BagStar):
+            inner = schema[expr.bag_index].inner
+            if inner is None:
+                raise SchemaError("cannot flatten a bag with unknown schema")
+            return list(inner)
+        if isinstance(expr, BagField):
+            inner = schema[expr.bag_index].inner or Schema()
+            if expr.field_index < len(inner):
+                f = inner[expr.field_index]
+                return [FieldSchema(f.name, f.dtype, f.inner)]
+            return [FieldSchema("value", DataType.BYTEARRAY)]
+        if isinstance(expr, Column):
+            field = schema[expr.index]
+            if field.dtype is DataType.TUPLE and field.inner is not None:
+                return list(field.inner)
+            if field.dtype is DataType.BAG and field.inner is not None:
+                return list(field.inner)
+            return [field]
+        raise SchemaError("FLATTEN expects a bag or tuple expression")
+
+    def _build_join(self, statement: ast.JoinStmt) -> LOJoin:
+        input_nodes = [self._input(j.alias) for j in statement.inputs]
+        key_exprs = []
+        for node, join_input in zip(input_nodes, statement.inputs):
+            resolver = ExpressionResolver(node.schema)
+            key_exprs.append(tuple(resolver.resolve(k) for k in join_input.keys))
+        arities = {len(k) for k in key_exprs}
+        if len(arities) != 1:
+            raise SchemaError("join key lists must have equal arity")
+        # Output schema: concatenation with alias:: qualification.
+        fields: List[FieldSchema] = []
+        for node in input_nodes:
+            for f in node.schema:
+                fields.append(
+                    FieldSchema(f"{node.alias}::{f.name}", f.dtype, f.inner)
+                )
+        schema = Schema(tuple(fields))
+        if statement.strategy == "replicated":
+            if any(j.outer for j in statement.inputs):
+                raise SchemaError("replicated join supports inner joins only")
+            if len(input_nodes) != 2:
+                raise SchemaError("replicated join takes exactly two inputs")
+        node = LOJoin(
+            statement.alias,
+            input_nodes,
+            key_exprs,
+            [j.outer for j in statement.inputs],
+            schema,
+            strategy=statement.strategy,
+        )
+        self.env[statement.alias] = node
+        return node
+
+    def _group_key_field(self, key_exprs, schema: Schema) -> FieldSchema:
+        if len(key_exprs) == 1:
+            inferred = infer_type(key_exprs[0], schema)
+            return FieldSchema("group", inferred.dtype, inferred.inner)
+        inner_fields = []
+        used = set()
+        for i, k in enumerate(key_exprs):
+            inferred = infer_type(k, schema)
+            name = inferred.name
+            while name in used:
+                name = f"{name}_{i}"
+            used.add(name)
+            inner_fields.append(FieldSchema(name, inferred.dtype, inferred.inner))
+        return FieldSchema("group", DataType.TUPLE, Schema(tuple(inner_fields)))
+
+    def _build_group(self, statement: ast.GroupStmt) -> LOCogroup:
+        input_nodes = [self._input(a) for a in statement.inputs]
+        key_exprs: List[Tuple[Expression, ...]] = []
+        if statement.group_all:
+            key_exprs = [(Const("all"),) for _ in input_nodes]
+        else:
+            for node, keys in zip(input_nodes, statement.keys_per_input):
+                resolver = ExpressionResolver(node.schema)
+                key_exprs.append(tuple(resolver.resolve(k) for k in keys))
+        group_field = (
+            FieldSchema("group", DataType.CHARARRAY)
+            if statement.group_all
+            else self._group_key_field(key_exprs[0], input_nodes[0].schema)
+        )
+        fields = [group_field]
+        for node in input_nodes:
+            fields.append(FieldSchema(node.alias, DataType.BAG, node.schema))
+        node = LOCogroup(
+            statement.alias,
+            input_nodes,
+            key_exprs,
+            Schema(tuple(fields)),
+            statement.group_all,
+        )
+        self.env[statement.alias] = node
+        return node
+
+    def _build_union(self, statement: ast.UnionStmt) -> LOUnion:
+        input_nodes = [self._input(a) for a in statement.inputs]
+        arities = {len(n.schema) for n in input_nodes}
+        if len(arities) != 1:
+            raise SchemaError("UNION inputs must have the same arity")
+        node = LOUnion(statement.alias, input_nodes)
+        self.env[statement.alias] = node
+        return node
+
+    def _build_order(self, statement: ast.OrderStmt) -> LOSort:
+        input_node = self._input(statement.input_alias)
+        resolver = ExpressionResolver(input_node.schema)
+        sort_items = [
+            (resolver.resolve(item.expr), item.ascending)
+            for item in statement.items
+        ]
+        node = LOSort(statement.alias, input_node, sort_items)
+        self.env[statement.alias] = node
+        return node
+
+    def _build_split(self, statement: ast.SplitStmt) -> Optional[LogicalOperator]:
+        """SPLIT desugars to one FILTER per branch (Pig does the same)."""
+        input_node = self._input(statement.input_alias)
+        resolver = ExpressionResolver(input_node.schema)
+        last = None
+        for branch in statement.branches:
+            predicate = resolver.resolve(branch.condition)
+            node = LOFilter(branch.alias, input_node, predicate)
+            self.env[branch.alias] = node
+            last = node
+        return last
+
+
+def build_logical_plan(script: ast.Script) -> LogicalPlan:
+    """Convenience wrapper: AST script -> logical plan."""
+    return LogicalPlanBuilder().build(script)

@@ -1,0 +1,203 @@
+"""Rule-based logical optimizer.
+
+A small but real subset of Pig's logical rules.  Besides performance,
+canonicalizing plans matters for ReStore: two syntactically different
+queries that compute the same thing normalize to closer plans, which
+raises match rates in the repository.
+
+Rules:
+
+* ``MergeConsecutiveFilters`` — filter(filter(X, p), q) -> filter(X, p AND q)
+* ``MergeForEach``            — composes two back-to-back pure projections
+* ``PushFilterBeforeForEach`` — swaps a filter below a pure projection
+* ``RemoveIdentityForEach``   — drops a projection that copies all fields
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pig.logical.operators import (
+    LOFilter,
+    LOForEach,
+    LogicalOperator,
+    LogicalPlan,
+    ResolvedGenItem,
+)
+from repro.relational.expressions import (
+    BinaryOp,
+    Column,
+    Const,
+    Expression,
+    FuncCall,
+    UnaryOp,
+)
+
+
+def _remap_expression(expr: Expression, mapping: Dict[int, Expression]) -> Expression:
+    """Substitute column references using *mapping* (index -> expr)."""
+    if isinstance(expr, Column):
+        return mapping[expr.index]
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _remap_expression(expr.left, mapping),
+            _remap_expression(expr.right, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _remap_expression(expr.operand, mapping))
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name, tuple(_remap_expression(a, mapping) for a in expr.args)
+        )
+    # Bag expressions never appear above a pure projection.
+    raise ValueError(f"cannot remap {expr!r}")
+
+
+def _is_scalar_expr(expr: Expression) -> bool:
+    if isinstance(expr, (Column, Const)):
+        return True
+    if isinstance(expr, BinaryOp):
+        return _is_scalar_expr(expr.left) and _is_scalar_expr(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _is_scalar_expr(expr.operand)
+    if isinstance(expr, FuncCall):
+        return all(_is_scalar_expr(a) for a in expr.args)
+    return False
+
+
+def _is_pure_projection(node: LogicalOperator) -> bool:
+    return (
+        isinstance(node, LOForEach)
+        and all(not item.flatten for item in node.items)
+        and all(_is_scalar_expr(item.expr) for item in node.items)
+    )
+
+
+class Rule:
+    """One rewrite rule; ``apply`` returns a replacement or None."""
+
+    name = "rule"
+
+    def apply(self, node: LogicalOperator) -> Optional[LogicalOperator]:
+        raise NotImplementedError
+
+
+class MergeConsecutiveFilters(Rule):
+    name = "merge-filters"
+
+    def apply(self, node: LogicalOperator) -> Optional[LogicalOperator]:
+        if not isinstance(node, LOFilter):
+            return None
+        child = node.inputs[0]
+        if not isinstance(child, LOFilter):
+            return None
+        merged_pred = BinaryOp("and", child.predicate, node.predicate)
+        return LOFilter(node.alias, child.inputs[0], merged_pred)
+
+
+class MergeForEach(Rule):
+    name = "merge-foreach"
+
+    def apply(self, node: LogicalOperator) -> Optional[LogicalOperator]:
+        if not (_is_pure_projection(node)):
+            return None
+        child = node.inputs[0]
+        if not _is_pure_projection(child):
+            return None
+        mapping = {i: item.expr for i, item in enumerate(child.items)}
+        try:
+            new_items = [
+                ResolvedGenItem(
+                    _remap_expression(item.expr, mapping), item.name, False
+                )
+                for item in node.items
+            ]
+        except (ValueError, KeyError):
+            return None
+        return LOForEach(node.alias, child.inputs[0], new_items, node.schema)
+
+
+class PushFilterBeforeForEach(Rule):
+    name = "push-filter"
+
+    def apply(self, node: LogicalOperator) -> Optional[LogicalOperator]:
+        if not isinstance(node, LOFilter):
+            return None
+        child = node.inputs[0]
+        if not _is_pure_projection(child):
+            return None
+        mapping = {i: item.expr for i, item in enumerate(child.items)}
+        try:
+            pushed_pred = _remap_expression(node.predicate, mapping)
+        except (ValueError, KeyError):
+            return None
+        assert isinstance(child, LOForEach)
+        new_filter = LOFilter(node.alias + "_pushed", child.inputs[0], pushed_pred)
+        return LOForEach(node.alias, new_filter, child.items, child.schema)
+
+
+class RemoveIdentityForEach(Rule):
+    name = "remove-identity-foreach"
+
+    def apply(self, node: LogicalOperator) -> Optional[LogicalOperator]:
+        if not isinstance(node, LOForEach):
+            return None
+        child = node.inputs[0]
+        if len(node.items) != len(child.schema):
+            return None
+        for i, item in enumerate(node.items):
+            if item.flatten or not isinstance(item.expr, Column):
+                return None
+            if item.expr.index != i or item.name != child.schema[i].name:
+                return None
+        return child
+
+
+DEFAULT_RULES: List[Rule] = [
+    MergeConsecutiveFilters(),
+    MergeForEach(),
+    PushFilterBeforeForEach(),
+    RemoveIdentityForEach(),
+]
+
+
+class LogicalOptimizer:
+    """Applies rules bottom-up until fixpoint (bounded passes)."""
+
+    def __init__(self, rules: Optional[List[Rule]] = None, max_passes: int = 10):
+        self.rules = rules if rules is not None else list(DEFAULT_RULES)
+        self.max_passes = max_passes
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        for _ in range(self.max_passes):
+            if not self._one_pass(plan):
+                break
+        return plan
+
+    def _one_pass(self, plan: LogicalPlan) -> bool:
+        changed = False
+        parents = plan.parents()
+        for node in plan.nodes():
+            for rule in self.rules:
+                replacement = rule.apply(node)
+                if replacement is None or replacement is node:
+                    continue
+                self._replace(plan, parents, node, replacement)
+                return True  # topology changed; restart the pass
+        return changed
+
+    @staticmethod
+    def _replace(
+        plan: LogicalPlan,
+        parents: dict,
+        old: LogicalOperator,
+        new: LogicalOperator,
+    ) -> None:
+        for consumer, position in parents.get(old.op_id, []):
+            consumer.inputs[position] = new
+        for i, store in enumerate(plan.stores):
+            if store is old:
+                plan.stores[i] = new  # only happens for store-level rules

@@ -1,0 +1,32 @@
+"""Physical operators and plan DAGs (what ReStore stores and matches)."""
+
+from repro.pig.physical.operators import (
+    PhysicalOperator,
+    POFilter,
+    POForEach,
+    POGlobalRearrange,
+    POLimit,
+    POLoad,
+    POLocalRearrange,
+    POPackage,
+    POSplit,
+    POStore,
+    POUnion,
+)
+from repro.pig.physical.plan import PhysicalPlan, linear_plan
+
+__all__ = [
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "POFilter",
+    "POForEach",
+    "POGlobalRearrange",
+    "POLimit",
+    "POLoad",
+    "POLocalRearrange",
+    "POPackage",
+    "POSplit",
+    "POStore",
+    "POUnion",
+    "linear_plan",
+]

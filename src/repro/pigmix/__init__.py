@@ -1,0 +1,45 @@
+"""PigMix benchmark substrate: data generators and query texts."""
+
+from repro.pigmix.datagen import (
+    DECLARED_BYTES,
+    PigMixConfig,
+    PigMixDataGenerator,
+    PigMixDataset,
+)
+from repro.pigmix.queries import (
+    PIGMIX_QUERY_NAMES,
+    QUERIES,
+    VARIANT_NAMES,
+    VARIANTS,
+    build_query,
+)
+from repro.pigmix.synthetic import (
+    SYNTHETIC_DECLARED_BYTES,
+    TABLE2_FIELDS,
+    SyntheticConfig,
+    SyntheticDataGenerator,
+    SyntheticDataset,
+    expected_selectivity,
+    qf_query,
+    qp_query,
+)
+
+__all__ = [
+    "DECLARED_BYTES",
+    "PIGMIX_QUERY_NAMES",
+    "PigMixConfig",
+    "PigMixDataGenerator",
+    "PigMixDataset",
+    "QUERIES",
+    "SYNTHETIC_DECLARED_BYTES",
+    "SyntheticConfig",
+    "SyntheticDataGenerator",
+    "SyntheticDataset",
+    "TABLE2_FIELDS",
+    "VARIANTS",
+    "VARIANT_NAMES",
+    "build_query",
+    "expected_selectivity",
+    "qf_query",
+    "qp_query",
+]

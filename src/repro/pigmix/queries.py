@@ -1,0 +1,253 @@
+"""PigMix queries L2–L8 and L11 plus the paper's variants.
+
+The paper evaluates the PigMix subset "L2–L8 and L11", which "test a
+wide range of features and operators ... Join, Group, CoGroup, Filter,
+Distinct, and Union" (§7), and builds variant workloads for the
+whole-job reuse experiment (§7.1): L3 variants change the aggregation
+function, L11 variants change the unioned data sets.
+
+Queries are expressed in the Pig Latin subset this repo implements and
+parameterized by the dataset's table paths and an output path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.pigmix.datagen import PigMixDataGenerator, PigMixDataset
+
+PV = PigMixDataGenerator.PAGE_VIEWS_SCHEMA
+USERS = PigMixDataGenerator.USERS_SCHEMA
+WIDEROW = PigMixDataGenerator.WIDEROW_SCHEMA
+
+
+def _prelude(paths: Dict[str, str]) -> Dict[str, str]:
+    return {
+        "pv": paths["page_views"],
+        "users": paths["users"],
+        "power_users": paths["power_users"],
+        "widerow": paths["widerow"],
+    }
+
+
+def l2(paths: Dict[str, str], out: str) -> str:
+    """Scan + project + selective join with power_users (PigMix L2;
+    the paper's Q1 is this query with the users table)."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, est_revenue;
+alpha = load '{p["power_users"]}' as ({USERS});
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into '{out}';
+"""
+
+
+def l3(paths: Dict[str, str], out: str, agg: str = "SUM") -> str:
+    """Join + group + aggregate (PigMix L3; the paper's Q2 shape).
+
+    ``agg`` parameterizes the L3 variants of §7.1 (L3a/b/c "changed
+    the aggregation function").
+    """
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, est_revenue;
+alpha = load '{p["power_users"]}' as ({USERS});
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, {agg}(C.est_revenue);
+store E into '{out}';
+"""
+
+
+def l4(paths: Dict[str, str], out: str) -> str:
+    """Project + distinct + group + count (distinct aggregate)."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, action;
+C = distinct B;
+D = group C by user;
+E = foreach D generate group, COUNT(C.action);
+store E into '{out}';
+"""
+
+
+def l5(paths: Dict[str, str], out: str) -> str:
+    """Anti-join: users that never viewed a page (tiny output)."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user;
+alpha = load '{p["users"]}' as ({USERS});
+beta = foreach alpha generate name;
+C = join beta by name left outer, B by user;
+D = filter C by user is null;
+E = foreach D generate name;
+store E into '{out}';
+"""
+
+
+def l6(paths: Dict[str, str], out: str) -> str:
+    """Fine-grained group: large reduce-side group output (the paper's
+    HA outlier — storing the Group result in the reducer is expensive)."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, action, timestamp, est_revenue;
+C = group B by (user, action);
+D = foreach C generate group, SUM(B.est_revenue);
+store D into '{out}';
+"""
+
+
+def l7(paths: Dict[str, str], out: str) -> str:
+    """COGROUP of page_views with users."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, est_revenue;
+alpha = load '{p["users"]}' as ({USERS});
+beta = foreach alpha generate name, city;
+C = cogroup B by user, beta by name;
+D = foreach C generate group, SUM(B.est_revenue), COUNT(beta.city);
+store D into '{out}';
+"""
+
+
+def l8(paths: Dict[str, str], out: str) -> str:
+    """GROUP ALL: global aggregates (tiny output, 27 B in Table 1)."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, est_revenue, timestamp;
+C = group B all;
+D = foreach C generate SUM(B.est_revenue), AVG(B.timestamp), COUNT(B.user);
+store D into '{out}';
+"""
+
+
+def l11(
+    paths: Dict[str, str],
+    out: str,
+    left: str = "page_views",
+    right: str = "widerow",
+) -> str:
+    """Distinct users from two sources, unioned and deduplicated.
+
+    Compiles to three MapReduce jobs where the third depends on the
+    other two — exactly the workflow shape §7.1 describes.  ``left``
+    and ``right`` pick the sources for the L11 variants ("changed the
+    data sets that are combined").
+    """
+    schemas = {
+        "page_views": (PV, "user"),
+        "widerow": (WIDEROW, "user"),
+        "users": (USERS, "name"),
+        "power_users": (USERS, "name"),
+    }
+    lschema, lfield = schemas[left]
+    rschema, rfield = schemas[right]
+    return f"""
+A = load '{paths[left]}' as ({lschema});
+B = foreach A generate {lfield};
+C = distinct B;
+alpha = load '{paths[right]}' as ({rschema});
+beta = foreach alpha generate {rfield};
+gamma = distinct beta;
+D = union C, gamma;
+E = distinct D;
+store E into '{out}';
+"""
+
+
+def l11_threeway(paths: Dict[str, str], out: str) -> str:
+    """An L11 variant combining three sources (4 MapReduce jobs)."""
+    return f"""
+A = load '{paths["page_views"]}' as ({PV});
+B = foreach A generate user;
+C = distinct B;
+alpha = load '{paths["widerow"]}' as ({WIDEROW});
+beta = foreach alpha generate user;
+gamma = distinct beta;
+x = load '{paths["users"]}' as ({USERS});
+y = foreach x generate name;
+z = distinct y;
+D = union C, gamma, z;
+E = distinct D;
+store E into '{out}';
+"""
+
+
+def l9(paths: Dict[str, str], out: str) -> str:
+    """ORDER BY one field (PigMix L9 — excluded from the paper's
+    evaluation as "not relevant to result reuse", supported here)."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, est_revenue;
+C = order B by est_revenue;
+store C into '{out}';
+"""
+
+
+def l10(paths: Dict[str, str], out: str) -> str:
+    """ORDER BY multiple fields (PigMix L10, same exclusion note)."""
+    p = _prelude(paths)
+    return f"""
+A = load '{p["pv"]}' as ({PV});
+B = foreach A generate user, action, est_revenue;
+C = order B by user, est_revenue desc;
+store C into '{out}';
+"""
+
+
+#: query name -> builder(paths, out) for the paper's PigMix subset
+QUERIES: Dict[str, Callable[[Dict[str, str], str], str]] = {
+    "L2": l2,
+    "L3": l3,
+    "L4": l4,
+    "L5": l5,
+    "L6": l6,
+    "L7": l7,
+    "L8": l8,
+    "L11": l11,
+}
+
+#: the L3/L11 variant workload of §7.1 (whole-job reuse experiment)
+VARIANTS: Dict[str, Callable[[Dict[str, str], str], str]] = {
+    "L3": lambda p, o: l3(p, o, "SUM"),
+    "L3a": lambda p, o: l3(p, o, "AVG"),
+    "L3b": lambda p, o: l3(p, o, "COUNT"),
+    "L3c": lambda p, o: l3(p, o, "MAX"),
+    "L11": lambda p, o: l11(p, o, "page_views", "widerow"),
+    "L11a": lambda p, o: l11(p, o, "page_views", "users"),
+    "L11b": lambda p, o: l11(p, o, "page_views", "power_users"),
+    # every variant scans page_views (the dominant table), as in §7.1
+    "L11c": l11_threeway,
+    "L11d": lambda p, o: l11(p, o, "widerow", "page_views"),
+}
+
+#: supported queries the paper excluded from its evaluation (§7)
+EXTRA_QUERIES: Dict[str, Callable[[Dict[str, str], str], str]] = {
+    "L9": l9,
+    "L10": l10,
+}
+
+PIGMIX_QUERY_NAMES: List[str] = list(QUERIES)
+VARIANT_NAMES: List[str] = list(VARIANTS)
+
+
+def build_query(name: str, dataset: PigMixDataset, out: str) -> str:
+    """Render query *name* against *dataset*, storing into *out*."""
+    builders = {**QUERIES, **VARIANTS, **EXTRA_QUERIES}
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PigMix query {name!r}; known: {sorted(builders)}"
+        ) from None
+    return builder(dataset.paths, out)

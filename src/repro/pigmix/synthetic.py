@@ -1,0 +1,141 @@
+"""The synthetic workload of §7.5 (data reduction study).
+
+The paper generates a 200M-row / 40 GB file with 12 fields: field1–
+field5 are random 20-character strings (for the Project study) and
+field6–field12 are integers whose cardinalities (Table 2) make an
+equality predicate select 0.5%, 1%, 5%, 10%, 20%, 50% and 60% of the
+rows respectively.  "Cardinality 1.6" (field12) is two values split
+60/40, so selecting the majority value keeps 60%.
+
+Query templates:
+
+* QP — project k of the five string fields, group by them, COUNT;
+* QF — equality-filter on one of field6..field12, group by field1,
+  COUNT.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.costmodel.calibration import GB
+from repro.dfs.filesystem import DistributedFileSystem
+
+#: Table 2 of the paper: field name -> (cardinality, % selected)
+TABLE2_FIELDS = {
+    "field6": (200, 0.5),
+    "field7": (100, 1.0),
+    "field8": (20, 5.0),
+    "field9": (10, 10.0),
+    "field10": (5, 20.0),
+    "field11": (2, 50.0),
+    "field12": (1.6, 60.0),
+}
+
+#: declared size of the paper's synthetic instance
+SYNTHETIC_DECLARED_BYTES = 40.0 * GB
+
+FIELD_NAMES = [f"field{i}" for i in range(1, 13)]
+SCHEMA_TEXT = ", ".join(
+    [f"field{i}" for i in range(1, 6)]
+    + [f"field{i}:int" for i in range(6, 13)]
+)
+
+
+@dataclass
+class SyntheticConfig:
+    n_rows: int = 4000
+    seed: int = 7
+    path: str = "synthetic/data"
+
+
+@dataclass
+class SyntheticDataset:
+    config: SyntheticConfig
+    path: str = ""
+    actual_bytes: int = 0
+
+    @property
+    def data_scale(self) -> float:
+        return SYNTHETIC_DECLARED_BYTES / max(1, self.actual_bytes)
+
+
+class SyntheticDataGenerator:
+    """Generates the §7.5 table with Table 2's selectivities."""
+
+    def __init__(self, config: SyntheticConfig | None = None):
+        self.config = config or SyntheticConfig()
+
+    def _int_field(self, rng: random.Random, name: str) -> int:
+        cardinality, _ = TABLE2_FIELDS[name]
+        if name == "field12":
+            # two values, 60/40: an equality on 0 selects 60%
+            return 0 if rng.random() < 0.6 else 1
+        return rng.randrange(int(cardinality))
+
+    def rows(self) -> List[str]:
+        rng = random.Random(self.config.seed)
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        out = []
+        for _ in range(self.config.n_rows):
+            strings = [
+                "".join(rng.choice(alphabet) for _ in range(20))
+                for _ in range(5)
+            ]
+            ints = [self._int_field(rng, name) for name in FIELD_NAMES[5:]]
+            # Zero-padding keeps integer semantics while giving the row
+            # the paper's byte proportions: projecting one string field
+            # keeps ~18% of the bytes, all five ~74% (§7.5).
+            out.append("\t".join(strings + [f"{v:04d}" for v in ints]))
+        return out
+
+    def generate(self, dfs: DistributedFileSystem) -> SyntheticDataset:
+        dataset = SyntheticDataset(config=self.config)
+        dfs.write_file(
+            self.config.path, "\n".join(self.rows()) + "\n", overwrite=True
+        )
+        dataset.path = self.config.path
+        dataset.actual_bytes = dfs.file_size(self.config.path)
+        return dataset
+
+
+# -- query templates ---------------------------------------------------------------
+
+
+def qp_query(dataset: SyntheticDataset, n_fields: int, out: str) -> str:
+    """QP: project field1..field<n>, group by them, COUNT (§7.5)."""
+    if not 1 <= n_fields <= 5:
+        raise ValueError("QP projects between 1 and 5 fields")
+    projected = ", ".join(f"field{i}" for i in range(1, n_fields + 1))
+    group_key = (
+        f"({projected})" if n_fields > 1 else "field1"
+    )
+    return f"""
+A = load '{dataset.path}' as ({SCHEMA_TEXT});
+B = foreach A generate {projected};
+C = group B by {group_key};
+D = foreach C generate COUNT($1);
+store D into '{out}';
+"""
+
+
+def qf_query(dataset: SyntheticDataset, field_name: str, out: str, value: int = 0) -> str:
+    """QF: equality filter on one of field6..field12, group, COUNT."""
+    if field_name not in TABLE2_FIELDS:
+        raise ValueError(
+            f"QF filters on one of {sorted(TABLE2_FIELDS)}, not {field_name!r}"
+        )
+    return f"""
+A = load '{dataset.path}' as ({SCHEMA_TEXT});
+B = filter A by {field_name} == {value};
+C = group B by field1;
+D = foreach C generate COUNT($1);
+store D into '{out}';
+"""
+
+
+def expected_selectivity(field_name: str) -> float:
+    """Fraction of rows an equality predicate keeps (Table 2)."""
+    return TABLE2_FIELDS[field_name][1] / 100.0

@@ -1,0 +1,55 @@
+"""Relational substrate: types, schemas, rows, bags and expressions."""
+
+from repro.relational.expressions import (
+    AggCall,
+    BagField,
+    BagStar,
+    BinaryOp,
+    Column,
+    Const,
+    Expression,
+    FuncCall,
+    RowSample,
+    UnaryOp,
+    expression_from_dict,
+    register_udf,
+    unregister_udf,
+)
+from repro.relational.schema import FieldSchema, Schema
+from repro.relational.tuples import (
+    Bag,
+    Row,
+    deserialize_row,
+    deserialize_rows,
+    serialize_row,
+    serialize_rows,
+)
+from repro.relational.types import DataType, cast_value, format_value, parse_text
+
+__all__ = [
+    "AggCall",
+    "Bag",
+    "BagField",
+    "BagStar",
+    "BinaryOp",
+    "Column",
+    "Const",
+    "DataType",
+    "Expression",
+    "FieldSchema",
+    "FuncCall",
+    "Row",
+    "RowSample",
+    "Schema",
+    "UnaryOp",
+    "cast_value",
+    "deserialize_row",
+    "deserialize_rows",
+    "expression_from_dict",
+    "format_value",
+    "parse_text",
+    "register_udf",
+    "serialize_row",
+    "unregister_udf",
+    "serialize_rows",
+]

@@ -1,0 +1,179 @@
+"""Schemas: ordered, named, typed field lists attached to plan edges.
+
+A :class:`Schema` describes the tuples flowing on one edge of a logical
+or physical plan.  Fields produced by GROUP/COGROUP carry an *inner*
+schema describing the tuples inside the bag, which lets expressions
+such as ``SUM(C.est_revenue)`` resolve positions inside grouped bags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.exceptions import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class FieldSchema:
+    """One field: a name, a type, and (for bags/tuples) an inner schema."""
+
+    name: str
+    dtype: DataType = DataType.BYTEARRAY
+    inner: Optional["Schema"] = None
+
+    def with_name(self, name: str) -> "FieldSchema":
+        return FieldSchema(name, self.dtype, self.inner)
+
+    def fingerprint(self) -> tuple:
+        inner = self.inner.fingerprint() if self.inner is not None else None
+        return (self.name, self.dtype.value, inner)
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "type": self.dtype.value}
+        if self.inner is not None:
+            out["inner"] = self.inner.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FieldSchema":
+        inner = Schema.from_dict(data["inner"]) if "inner" in data else None
+        return cls(data["name"], DataType.from_name(data["type"]), inner)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable ordered collection of :class:`FieldSchema`."""
+
+    fields: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "fields", tuple(self.fields))
+        seen = set()
+        for f in self.fields:
+            if not isinstance(f, FieldSchema):
+                raise SchemaError(f"schema fields must be FieldSchema, got {f!r}")
+            if f.name in seen:
+                raise SchemaError(f"duplicate field name {f.name!r} in schema")
+            seen.add(f.name)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs) -> "Schema":
+        """Build a schema from ``("name", DataType)`` pairs or bare names."""
+        fields = []
+        for spec in specs:
+            if isinstance(spec, FieldSchema):
+                fields.append(spec)
+            elif isinstance(spec, str):
+                fields.append(FieldSchema(spec))
+            else:
+                name, dtype = spec[0], spec[1]
+                inner = spec[2] if len(spec) > 2 else None
+                if isinstance(dtype, str):
+                    dtype = DataType.from_name(dtype)
+                fields.append(FieldSchema(name, dtype, inner))
+        return cls(tuple(fields))
+
+    @classmethod
+    def parse(cls, text: str) -> "Schema":
+        """Parse ``user:chararray, est_revenue:double`` (types optional)."""
+        fields = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if ":" in part:
+                name, type_name = part.split(":", 1)
+                fields.append(
+                    FieldSchema(name.strip(), DataType.from_name(type_name.strip()))
+                )
+            else:
+                fields.append(FieldSchema(part))
+        return cls(tuple(fields))
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[FieldSchema]:
+        return iter(self.fields)
+
+    def __getitem__(self, index: int) -> FieldSchema:
+        return self.fields[index]
+
+    @property
+    def names(self) -> tuple:
+        return tuple(f.name for f in self.fields)
+
+    @property
+    def types(self) -> tuple:
+        return tuple(f.dtype for f in self.fields)
+
+    def index_of(self, name: str) -> int:
+        """Resolve a field name (or ``$n`` positional ref) to an index."""
+        if name.startswith("$"):
+            idx = int(name[1:])
+            if not 0 <= idx < len(self.fields):
+                raise SchemaError(f"positional reference {name} out of range")
+            return idx
+        for i, f in enumerate(self.fields):
+            if f.name == name:
+                return i
+        raise SchemaError(
+            f"field {name!r} not found in schema ({', '.join(self.names)})"
+        )
+
+    def has_field(self, name: str) -> bool:
+        try:
+            self.index_of(name)
+            return True
+        except SchemaError:
+            return False
+
+    def field_named(self, name: str) -> FieldSchema:
+        return self.fields[self.index_of(name)]
+
+    # -- derivation -------------------------------------------------------------
+
+    def project(self, indexes: Iterable[int]) -> "Schema":
+        return Schema(tuple(self.fields[i] for i in indexes))
+
+    def concat(self, other: "Schema", disambiguate: bool = True) -> "Schema":
+        """Concatenate two schemas, renaming collisions ``name_1`` style.
+
+        Used by JOIN, whose output is the concatenation of both inputs.
+        """
+        fields = list(self.fields)
+        names = set(self.names)
+        for f in other.fields:
+            name = f.name
+            if disambiguate:
+                suffix = 1
+                while name in names:
+                    name = f"{f.name}_{suffix}"
+                    suffix += 1
+            names.add(name)
+            fields.append(f.with_name(name))
+        return Schema(tuple(fields))
+
+    def rename(self, mapping: dict) -> "Schema":
+        return Schema(
+            tuple(f.with_name(mapping.get(f.name, f.name)) for f in self.fields)
+        )
+
+    def fingerprint(self) -> tuple:
+        return tuple(f.fingerprint() for f in self.fields)
+
+    def to_dict(self) -> dict:
+        return {"fields": [f.to_dict() for f in self.fields]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        return cls(tuple(FieldSchema.from_dict(f) for f in data["fields"]))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(f"{f.name}:{f.dtype.value}" for f in self.fields) + ")"

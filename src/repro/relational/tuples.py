@@ -1,0 +1,120 @@
+"""Row and bag representations plus PigStorage (de)serialization.
+
+Rows are plain Python tuples — cheap, hashable, and directly usable as
+shuffle keys.  :class:`Bag` wraps the lists of tuples produced by
+GROUP/COGROUP so downstream code can ask for sizes and samples without
+caring about the underlying container.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.relational.schema import Schema
+from repro.relational.types import DataType, format_value, parse_text
+
+Row = Tuple
+
+
+class Bag:
+    """A collection of rows grouped under one key.
+
+    Pig bags are unordered multisets; we preserve arrival order for
+    determinism (important for reproducible experiments and tests).
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: Iterable[Row] = ()):
+        self._rows: List[Row] = list(rows)
+
+    def append(self, row: Row) -> None:
+        self._rows.append(row)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bag):
+            return self._rows == other._rows
+        if isinstance(other, list):
+            return self._rows == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(r) for r in self._rows[:3])
+        suffix = ", ..." if len(self._rows) > 3 else ""
+        return f"Bag([{preview}{suffix}], n={len(self._rows)})"
+
+    @property
+    def rows(self) -> List[Row]:
+        return self._rows
+
+    def project(self, index: int) -> List:
+        """Extract one field from every row (used by aggregates)."""
+        return [row[index] for row in self._rows]
+
+
+def serialize_row(row: Row) -> str:
+    """Render a row as one PigStorage line (tab-separated fields)."""
+    return "\t".join(_serialize_field(v) for v in row)
+
+
+def _serialize_field(value) -> str:
+    if isinstance(value, Bag):
+        return format_value(value.rows)
+    return format_value(value)
+
+
+def deserialize_row(line: str, schema: Schema) -> Row:
+    """Parse one PigStorage line using *schema* for field typing."""
+    parts = line.split("\t")
+    values = []
+    for i, fs in enumerate(schema):
+        text = parts[i] if i < len(parts) else ""
+        value = parse_text(text, fs.dtype)
+        if fs.dtype is DataType.BAG and fs.inner is not None and value is not None:
+            value = Bag(_retype_rows(value, fs.inner))
+        values.append(value)
+    return tuple(values)
+
+
+def _retype_rows(raw_rows, inner: Schema) -> List[Row]:
+    typed = []
+    for raw in raw_rows:
+        typed.append(
+            tuple(
+                parse_text(v if isinstance(v, str) else str(v), fs.dtype)
+                for v, fs in zip(raw, inner)
+            )
+        )
+    return typed
+
+
+def serialize_rows(rows: Iterable[Row]) -> str:
+    """Serialize many rows into one newline-terminated text blob."""
+    lines = [serialize_row(r) for r in rows]
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def iter_data_lines(text: str) -> List[str]:
+    """Split serialized row text into lines, keeping interior empties.
+
+    An empty line is a legitimate all-null row; only the final empty
+    element produced by the trailing newline is dropped.
+    """
+    if not text:
+        return []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
+
+
+def deserialize_rows(text: str, schema: Schema) -> List[Row]:
+    return [deserialize_row(line, schema) for line in iter_data_lines(text)]

@@ -1,0 +1,9 @@
+"""Analyst-workload stream generation (the paper's §1 motivation)."""
+
+from repro.workloads.generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadQuery,
+)
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator", "WorkloadQuery"]

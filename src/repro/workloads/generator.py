@@ -1,0 +1,116 @@
+"""Workload-stream generation over the PigMix schema.
+
+The paper motivates ReStore with production workloads where "many data
+analysis queries are executed" over shared datasets and prefixes repeat
+across queries (§1, the Facebook seven-day retention anecdote).  This
+module synthesizes such streams: a seeded sequence of queries drawn
+from parameterized templates whose early stages (load + filter +
+project) overlap across analysts while the drill-downs differ.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.pigmix.datagen import PigMixDataGenerator, PigMixDataset
+
+PV = PigMixDataGenerator.PAGE_VIEWS_SCHEMA
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One submitted query in the stream."""
+
+    name: str
+    source: str
+    template: str  # which template produced it (for hit-rate analysis)
+
+
+@dataclass
+class WorkloadConfig:
+    n_queries: int = 12
+    seed: int = 13
+    #: probability that a query repeats the previous parameter choice
+    #: (higher = more overlap = more reuse opportunities)
+    repeat_probability: float = 0.6
+    #: distinct parameter values per template (lower = more overlap)
+    parameter_space: int = 3
+
+
+class WorkloadGenerator:
+    """Generates a deterministic stream of analyst-style queries."""
+
+    def __init__(self, dataset: PigMixDataset, config: WorkloadConfig | None = None):
+        self.dataset = dataset
+        self.config = config or WorkloadConfig()
+
+    # -- templates -----------------------------------------------------------------
+
+    def _shared_prefix(self, action: int) -> str:
+        pv = self.dataset.paths["page_views"]
+        return f"""
+A = load '{pv}' as ({PV});
+B = filter A by action == {action};
+C = foreach B generate user, est_revenue, timestamp;
+"""
+
+    def _revenue_by_user(self, action: int, out: str) -> str:
+        return self._shared_prefix(action) + f"""
+D = group C by user;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into '{out}';
+"""
+
+    def _views_by_user(self, action: int, out: str) -> str:
+        return self._shared_prefix(action) + f"""
+D = group C by user;
+E = foreach D generate group, COUNT(C.timestamp);
+store E into '{out}';
+"""
+
+    def _total_revenue(self, action: int, out: str) -> str:
+        return self._shared_prefix(action) + f"""
+D = group C all;
+E = foreach D generate SUM(C.est_revenue), COUNT(C.user);
+store E into '{out}';
+"""
+
+    def _distinct_users(self, action: int, out: str) -> str:
+        return self._shared_prefix(action) + f"""
+D = foreach C generate user;
+E = distinct D;
+store E into '{out}';
+"""
+
+    TEMPLATES = (
+        "revenue_by_user",
+        "views_by_user",
+        "total_revenue",
+        "distinct_users",
+    )
+
+    # -- stream ---------------------------------------------------------------------
+
+    def generate(self) -> List[WorkloadQuery]:
+        rng = random.Random(self.config.seed)
+        builders = {
+            "revenue_by_user": self._revenue_by_user,
+            "views_by_user": self._views_by_user,
+            "total_revenue": self._total_revenue,
+            "distinct_users": self._distinct_users,
+        }
+        queries: List[WorkloadQuery] = []
+        last_action = 1
+        for index in range(self.config.n_queries):
+            template = rng.choice(self.TEMPLATES)
+            if rng.random() < self.config.repeat_probability:
+                action = last_action
+            else:
+                action = rng.randint(1, self.config.parameter_space)
+            last_action = action
+            name = f"q{index:03d}_{template}_a{action}"
+            source = builders[template](action, f"workload_out/{name}")
+            queries.append(WorkloadQuery(name, source, template))
+        return queries

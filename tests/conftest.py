@@ -1,0 +1,75 @@
+"""Shared fixtures: tiny deterministic sandboxes for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.pig.engine import PigServer
+from repro.pigmix.datagen import PigMixConfig, PigMixDataGenerator
+
+PAGE_VIEWS_SCHEMA = (
+    "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
+)
+USERS_SCHEMA = "name, phone, address, city"
+
+
+@pytest.fixture
+def dfs() -> DistributedFileSystem:
+    return DistributedFileSystem(n_datanodes=4, block_size=4 * 1024)
+
+
+@pytest.fixture
+def small_data(dfs: DistributedFileSystem) -> DistributedFileSystem:
+    """A hand-written micro page_views/users pair with known answers."""
+    page_views = [
+        # user, action, timestamp, est_revenue, page_info, page_links
+        "alice\t1\t100\t1.5\tinfoA\tlinksA",
+        "alice\t2\t101\t2.5\tinfoB\tlinksB",
+        "bob\t1\t102\t4.0\tinfoC\tlinksC",
+        "carol\t3\t103\t8.0\tinfoD\tlinksD",
+        "alice\t1\t104\t0.5\tinfoE\tlinksE",
+        "dave\t2\t105\t3.0\tinfoF\tlinksF",
+    ]
+    users = [
+        "alice\t555-0001\t1 main st\twaterloo",
+        "bob\t555-0002\t2 main st\ttoronto",
+        "carol\t555-0003\t3 main st\twaterloo",
+        "erin\t555-0005\t5 main st\tottawa",  # never views pages
+    ]
+    dfs.write_file("data/page_views", "\n".join(page_views) + "\n")
+    dfs.write_file("data/users", "\n".join(users) + "\n")
+    return dfs
+
+
+@pytest.fixture
+def server(small_data: DistributedFileSystem) -> PigServer:
+    return PigServer(small_data)
+
+
+@pytest.fixture
+def restore_server(small_data: DistributedFileSystem):
+    """(server, manager) pair wired together over the micro data."""
+    manager = ReStoreManager(small_data, config=ReStoreConfig())
+    return PigServer(small_data, restore=manager), manager
+
+
+@pytest.fixture
+def pigmix_dfs() -> DistributedFileSystem:
+    return DistributedFileSystem(n_datanodes=4)
+
+
+@pytest.fixture
+def tiny_pigmix(pigmix_dfs):
+    """A tiny generated PigMix instance (fast but non-trivial)."""
+    config = PigMixConfig(
+        n_page_views=120, n_users=20, n_power_users=5, n_widerow=40, seed=11
+    )
+    dataset = PigMixDataGenerator(config).generate(pigmix_dfs)
+    return pigmix_dfs, dataset
+
+
+TINY_PIGMIX_CONFIG = PigMixConfig(
+    n_page_views=120, n_users=20, n_power_users=5, n_widerow=40, seed=11
+)

@@ -1,0 +1,120 @@
+"""Cross-check the faithful Algorithm 1 port against the production
+matcher: both must agree on containment for a range of plan shapes."""
+
+import pytest
+
+from repro.core.algorithm1 import PairwisePlanTraversal, algorithm1_contains
+from repro.core.matcher import PlanMatcher
+from repro.pig.physical.operators import (
+    POFilter,
+    POForEach,
+    POGlobalRearrange,
+    POLoad,
+    POLocalRearrange,
+    POPackage,
+    POStore,
+)
+from repro.pig.physical.plan import PhysicalPlan, linear_plan
+from repro.relational.expressions import BinaryOp, Column, Const
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+SCHEMA = Schema.of(("u", DataType.CHARARRAY), ("r", DataType.DOUBLE))
+
+
+def pipeline(path, *stages, store="out"):
+    ops = [POLoad(path, SCHEMA)]
+    for stage in stages:
+        if stage == "filter":
+            ops.append(POFilter(BinaryOp(">", Column(1), Const(1.0)), schema=SCHEMA))
+        elif stage == "filter2":
+            ops.append(POFilter(BinaryOp("<", Column(1), Const(9.0)), schema=SCHEMA))
+        elif stage == "project":
+            ops.append(
+                POForEach([Column(0)], [False], ["u"], schema=SCHEMA.project([0]))
+            )
+    ops.append(POStore(store, SCHEMA))
+    return linear_plan(*ops)
+
+
+def join_job():
+    plan = PhysicalPlan()
+    la = plan.add(POLoad("a", SCHEMA))
+    pa = plan.add(POForEach([Column(0)], [False], ["u"], schema=SCHEMA.project([0])))
+    lb = plan.add(POLoad("b", SCHEMA))
+    pb = plan.add(POForEach([Column(0)], [False], ["n"], schema=SCHEMA.project([0])))
+    ra = plan.add(POLocalRearrange([Column(0)], branch=0))
+    rb = plan.add(POLocalRearrange([Column(0)], branch=1))
+    gr = plan.add(POGlobalRearrange(2))
+    pk = plan.add(POPackage("join", 2))
+    st = plan.add(POStore("out"))
+    for src, dst in [
+        (la, pa), (pa, ra), (lb, pb), (pb, rb),
+        (ra, gr), (rb, gr), (gr, pk), (pk, st),
+    ]:
+        plan.connect(src, dst)
+    return plan
+
+
+CASES = [
+    # (input plan builder, repo plan builder, expected containment)
+    (lambda: pipeline("p", "filter", "project"),
+     lambda: pipeline("p", "filter"), True),
+    (lambda: pipeline("p", "filter", "project"),
+     lambda: pipeline("p", "filter", "project"), True),
+    (lambda: pipeline("p", "filter"),
+     lambda: pipeline("p", "filter", "project"), False),
+    (lambda: pipeline("p", "filter"),
+     lambda: pipeline("q", "filter"), False),
+    (lambda: pipeline("p", "filter", "filter2"),
+     lambda: pipeline("p", "filter2"), False),  # wrong order
+    (lambda: join_job(), lambda: pipeline("a", "project"), True),
+    (lambda: join_job(), lambda: pipeline("b", "project"), True),
+    (lambda: join_job(), lambda: join_job(), True),
+    (lambda: join_job(), lambda: pipeline("c", "project"), False),
+]
+
+
+class TestAgainstProductionMatcher:
+    @pytest.mark.parametrize("case_index", range(len(CASES)))
+    def test_agreement(self, case_index):
+        make_input, make_repo, expected = CASES[case_index]
+        input_plan, repo_plan = make_input(), make_repo()
+        reference = algorithm1_contains(input_plan, repo_plan)
+        production = PlanMatcher().match(input_plan, repo_plan) is not None
+        assert reference == expected
+        assert production == expected
+        assert reference == production
+
+
+class TestTraversalDetails:
+    def test_returns_last_match(self):
+        traversal = PairwisePlanTraversal(
+            pipeline("p", "filter", "project"), pipeline("p", "filter")
+        )
+        result = traversal.run()
+        assert result is not None
+        assert isinstance(result, POFilter)
+
+    def test_no_match_returns_none(self):
+        traversal = PairwisePlanTraversal(
+            pipeline("p", "filter"), pipeline("x", "filter")
+        )
+        assert traversal.run() is None
+
+    def test_matched_repo_ids_cover_plan(self):
+        repo = pipeline("p", "filter")
+        traversal = PairwisePlanTraversal(
+            pipeline("p", "filter", "project"), repo
+        )
+        traversal.run()
+        repo_non_stores = {
+            op.op_id for op in repo.operators if not isinstance(op, POStore)
+        }
+        assert repo_non_stores <= traversal.matched_repo_ids
+
+    def test_empty_repo_sources(self):
+        plan = pipeline("p", "filter")
+        empty = PhysicalPlan()
+        traversal = PairwisePlanTraversal(plan, empty)
+        assert traversal.run() is None

@@ -1,0 +1,173 @@
+"""Unit tests for the analytical cost model (Equations 1 and 2)."""
+
+import pytest
+
+from repro.costmodel.calibration import GB, MB, CostParams
+from repro.costmodel.model import CostModel, estimate_standalone_time
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.stats import JobStats, StoreStat
+
+
+def stats_with(
+    input_bytes=0,
+    shuffle_bytes=0,
+    op_records=0,
+    stores=(),
+):
+    stats = JobStats(job_id="j1")
+    if input_bytes:
+        stats.load_bytes["in"] = input_bytes
+    stats.shuffle_bytes = shuffle_bytes
+    stats.shuffle_records = 1 if shuffle_bytes else 0
+    stats.op_records = op_records
+    stats.stores = list(stores)
+    return stats
+
+
+class TestClusterConfig:
+    def test_slot_totals(self):
+        cluster = ClusterConfig()
+        assert cluster.total_map_slots == 56
+        assert cluster.total_reduce_slots == 28
+
+    def test_map_tasks_per_block(self):
+        cluster = ClusterConfig()
+        assert cluster.n_map_tasks(0) == 1
+        assert cluster.n_map_tasks(cluster.sim_block_size) == 1
+        assert cluster.n_map_tasks(cluster.sim_block_size * 3.5) == 4
+
+    def test_reduce_tasks_capped(self):
+        cluster = ClusterConfig()
+        assert cluster.n_reduce_tasks(100) == 28
+        assert cluster.n_reduce_tasks(4) == 4
+        assert cluster.n_reduce_tasks(0) == 1
+
+
+class TestEquation2:
+    def test_startup_always_paid(self):
+        model = CostModel()
+        bd = model.job_time(stats_with())
+        assert bd.t_startup == model.params.job_startup_s
+        assert bd.total >= bd.t_startup
+
+    def test_load_scales_with_bytes(self):
+        model = CostModel(data_scale=1.0)
+        small = model.job_time(stats_with(input_bytes=int(1 * GB)))
+        large = model.job_time(stats_with(input_bytes=int(100 * GB)))
+        assert large.t_load > small.t_load * 10
+
+    def test_data_scale_multiplies(self):
+        base = CostModel(data_scale=1.0).job_time(
+            stats_with(input_bytes=int(10 * GB))
+        )
+        scaled = CostModel(data_scale=10.0).job_time(
+            stats_with(input_bytes=int(10 * GB))
+        )
+        assert scaled.t_load > base.t_load * 5
+
+    def test_shuffle_term(self):
+        model = CostModel()
+        bd = model.job_time(stats_with(shuffle_bytes=int(1 * GB)))
+        assert bd.t_sort > 0
+        assert bd.n_reduce_tasks > 0
+
+    def test_map_only_job_has_no_reducers(self):
+        model = CostModel()
+        bd = model.job_time(stats_with(input_bytes=1000))
+        assert bd.n_reduce_tasks == 0
+        assert bd.t_sort == 0
+
+    def test_side_store_fixed_cost(self):
+        model = CostModel()
+        side = StoreStat(path="s", bytes=10, records=1, phase="map", side=True)
+        bd = model.job_time(stats_with(stores=[side]))
+        assert bd.t_side_stores >= model.params.side_store_fixed_s
+
+    def test_primary_store_no_fixed_cost(self):
+        model = CostModel()
+        primary = StoreStat(path="o", bytes=10, records=1, phase="map")
+        bd = model.job_time(stats_with(stores=[primary]))
+        assert bd.t_store < model.params.side_store_fixed_s
+
+    def test_reduce_side_store_slower_than_map_side(self):
+        """The paper's L6 effect: few reducers writing a large blob."""
+        model = CostModel(data_scale=1e6)
+        blob = int(5 * MB)  # 5 TB scaled... large either way
+        map_side = model.job_time(
+            stats_with(
+                input_bytes=int(100 * MB),
+                stores=[StoreStat("s", blob, 1, "map", side=True)],
+            )
+        )
+        reduce_side = model.job_time(
+            stats_with(
+                input_bytes=int(100 * MB),
+                shuffle_bytes=1000,
+                stores=[StoreStat("s", blob, 1, "reduce", side=True)],
+            )
+        )
+        assert reduce_side.t_side_stores > map_side.t_side_stores
+
+    def test_total_without_side_stores(self):
+        model = CostModel()
+        side = StoreStat(path="s", bytes=10, records=1, phase="map", side=True)
+        bd = model.job_time(stats_with(input_bytes=1000, stores=[side]))
+        assert bd.total_without_side_stores == pytest.approx(
+            bd.total - bd.t_side_stores
+        )
+
+
+class TestEquation1:
+    def test_chain_adds(self):
+        model = CostModel()
+        times = {"a": 10.0, "b": 5.0}
+        deps = {"b": ["a"], "a": []}
+        assert model.workflow_time(times, deps) == 15.0
+
+    def test_parallel_takes_max(self):
+        """Independent jobs overlap: T = ET(c) + max(ET(a), ET(b))."""
+        model = CostModel()
+        times = {"a": 10.0, "b": 4.0, "c": 2.0}
+        deps = {"c": ["a", "b"], "a": [], "b": []}
+        assert model.workflow_time(times, deps) == 12.0
+
+    def test_eliminated_jobs_cost_nothing(self):
+        model = CostModel()
+        times = {"b": 5.0}
+        deps = {"b": ["a"], "a": []}
+        assert model.workflow_time(times, deps) == 5.0
+
+    def test_empty_workflow(self):
+        assert CostModel().workflow_time({}, {}) == 0.0
+
+    def test_diamond(self):
+        model = CostModel()
+        times = {"a": 1.0, "b": 10.0, "c": 2.0, "d": 1.0}
+        deps = {"d": ["b", "c"], "b": ["a"], "c": ["a"], "a": []}
+        assert model.workflow_time(times, deps) == 12.0
+
+
+class TestStandaloneEstimate:
+    def test_monotone_in_input(self):
+        model = CostModel()
+        small = estimate_standalone_time(model, int(1 * GB), 0)
+        large = estimate_standalone_time(model, int(100 * GB), 0)
+        assert large > small
+
+    def test_includes_startup(self):
+        model = CostModel()
+        assert (
+            estimate_standalone_time(model, 0, 0)
+            >= model.params.job_startup_s
+        )
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            CostParams(read_bw_per_task=0)
+
+    def test_defaults_positive(self):
+        params = CostParams()
+        assert params.job_startup_s > 0
+        assert params.side_store_fixed_s > 0

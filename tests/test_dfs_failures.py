@@ -1,0 +1,105 @@
+"""Failure-injection tests for the DFS: crashes, re-replication,
+data loss, and the effect on ReStore's stored results."""
+
+import pytest
+
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.exceptions import DFSError
+
+
+def make_dfs(n=4, replication=3):
+    return DistributedFileSystem(
+        n_datanodes=n, replication=replication, block_size=8
+    )
+
+
+class TestDatanodeCrash:
+    def test_reads_survive_single_crash(self):
+        dfs = make_dfs()
+        dfs.write_file("f", "hello world, this spans blocks")
+        dfs.kill_datanode(0)
+        assert dfs.read_text("f") == "hello world, this spans blocks"
+
+    def test_reads_survive_two_crashes_with_triple_replication(self):
+        dfs = make_dfs(n=5, replication=3)
+        dfs.write_file("f", "abcdefghijklmnop")
+        dfs.kill_datanode(0)
+        dfs.kill_datanode(1)
+        assert dfs.read_text("f") == "abcdefghijklmnop"
+
+    def test_kill_unknown_node(self):
+        dfs = make_dfs()
+        with pytest.raises(DFSError):
+            dfs.kill_datanode(99)
+
+    def test_cannot_kill_last_node(self):
+        dfs = make_dfs(n=1, replication=1)
+        with pytest.raises(DFSError):
+            dfs.kill_datanode(0)
+
+
+class TestRereplication:
+    def test_under_replicated_detected_after_crash(self):
+        dfs = make_dfs()
+        dfs.write_file("f", "0123456789abcdef")
+        assert dfs.under_replicated_blocks() == []
+        dfs.kill_datanode(0)
+        assert len(dfs.under_replicated_blocks()) > 0
+
+    def test_rereplicate_restores_factor(self):
+        dfs = make_dfs()
+        dfs.write_file("f", "0123456789abcdef")
+        dfs.kill_datanode(0)
+        created = dfs.rereplicate()
+        assert created > 0
+        assert dfs.under_replicated_blocks() == []
+        assert dfs.read_text("f") == "0123456789abcdef"
+
+    def test_rereplicate_noop_when_healthy(self):
+        dfs = make_dfs()
+        dfs.write_file("f", "data")
+        assert dfs.rereplicate() == 0
+
+    def test_data_loss_detected(self):
+        dfs = make_dfs(n=3, replication=1)  # single replica: fragile
+        dfs.write_file("f", "x" * 24)
+        # kill every node that holds some block: with replication 1 and
+        # 3 blocks round-robin placed, killing two nodes loses blocks
+        dfs.kill_datanode(0)
+        dfs.kill_datanode(1)
+        with pytest.raises(DFSError):
+            dfs.rereplicate()
+
+    def test_replication_capped_by_cluster_size(self):
+        dfs = make_dfs(n=2, replication=3)
+        dfs.write_file("f", "abc")
+        # only 2 nodes exist: 2 replicas is "fully" replicated
+        assert dfs.under_replicated_blocks() == []
+
+
+class TestReStoreUnderFailures:
+    def test_stored_results_survive_crash_and_repair(self, small_data):
+        """A repository output stays reusable across a datanode crash
+        followed by NameNode re-replication."""
+        from repro.core.manager import ReStoreManager
+        from repro.pig.engine import PigServer
+
+        manager = ReStoreManager(small_data)
+        server = PigServer(small_data, restore=manager)
+        query = """
+            A = load 'data/page_views' as (user, action:int, timestamp:int,
+                est_revenue:double, page_info, page_links);
+            B = foreach A generate user, est_revenue;
+            D = group B by user;
+            E = foreach D generate group, SUM(B.est_revenue);
+            store E into 'out/rev';
+        """
+        fresh = server.run(query).outputs["out/rev"]
+
+        small_data.kill_datanode(0)
+        small_data.rereplicate()
+
+        reused = server.run(
+            query.replace("out/rev", "out/rev2")
+        ).outputs["out/rev2"]
+        assert sorted(reused) == sorted(fresh)

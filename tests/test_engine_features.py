@@ -1,0 +1,145 @@
+"""Tests for engine-level features: EXPLAIN, SAMPLE, run results."""
+
+import pytest
+
+from repro.exceptions import PigParseError
+from repro.pig.engine import PigServer
+from repro.pig.parser import parse
+from repro.relational.expressions import RowSample, expression_from_dict
+
+PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
+USERS = "name, phone, address, city"
+
+
+class TestExplain:
+    def test_single_job(self, server):
+        text = server.explain(f"""
+            A = load 'data/page_views' as ({PV});
+            B = filter A by action == 1;
+            store B into 'out';
+        """)
+        assert "1 MapReduce job(s)" in text
+        assert "map-only" in text
+        assert "filter" in text
+
+    def test_multi_job_with_dependencies(self, server):
+        text = server.explain(f"""
+            A = load 'data/page_views' as ({PV});
+            B = foreach A generate user, est_revenue;
+            alpha = load 'data/users' as ({USERS});
+            beta = foreach alpha generate name;
+            C = join beta by name, B by user;
+            D = group C by $0;
+            E = foreach D generate group, SUM(C.est_revenue);
+            store E into 'out';
+        """)
+        assert "2 MapReduce job(s)" in text
+        assert "temporary output" in text
+        assert "depends on: job_" in text
+        assert "package join" in text
+        assert "package group" in text
+
+    def test_explain_does_not_execute(self, small_data):
+        server = PigServer(small_data)
+        server.explain(f"""
+            A = load 'data/page_views' as ({PV});
+            store A into 'never_written';
+        """)
+        assert not small_data.exists("never_written")
+
+
+class TestSample:
+    def test_parses(self):
+        script = parse("B = sample A 0.5;")
+        assert script.statements[0].fraction == 0.5
+
+    def test_fraction_validated(self):
+        with pytest.raises(PigParseError):
+            parse("B = sample A 1.5;")
+
+    def test_sampling_reduces_rows(self, server):
+        full = server.run(f"""
+            A = load 'data/page_views' as ({PV});
+            store A into 'out_full';
+        """)
+        sampled = server.run(f"""
+            A = load 'data/page_views' as ({PV});
+            B = sample A 0.5;
+            store B into 'out_half';
+        """)
+        assert len(sampled.outputs["out_half"]) <= len(full.outputs["out_full"])
+
+    def test_sampling_deterministic(self, server):
+        query = f"""
+            A = load 'data/page_views' as ({PV});
+            B = sample A 0.5;
+            store B into 'OUT';
+        """
+        first = server.run(query.replace("OUT", "s1")).outputs["s1"]
+        second = server.run(query.replace("OUT", "s2")).outputs["s2"]
+        assert first == second
+
+    def test_sample_zero_and_one(self, server):
+        none = server.run(f"""
+            A = load 'data/page_views' as ({PV});
+            B = sample A 0.0;
+            store B into 'none';
+        """)
+        assert none.outputs["none"] == []
+        everything = server.run(f"""
+            A = load 'data/page_views' as ({PV});
+            B = sample A 1.0;
+            store B into 'all';
+        """)
+        assert len(everything.outputs["all"]) == 6
+
+    def test_rowsample_expression_round_trip(self):
+        expr = RowSample(0.25)
+        restored = expression_from_dict(expr.to_dict())
+        assert restored.fingerprint() == expr.fingerprint()
+
+    def test_sampled_subjob_is_reusable(self, small_data):
+        """A sampled projection is deterministic, hence a valid
+        repository entry that future queries can reuse."""
+        from repro.core.manager import ReStoreManager
+
+        manager = ReStoreManager(small_data)
+        server = PigServer(small_data, restore=manager)
+        query = f"""
+            A = load 'data/page_views' as ({PV});
+            S = sample A 0.6;
+            B = foreach S generate user, est_revenue;
+            D = group B by user;
+            E = foreach D generate group, COUNT(B);
+            store E into 'OUT';
+        """
+        first = server.run(query.replace("OUT", "o1")).outputs["o1"]
+        second_run = server.run(query.replace("OUT", "o2"))
+        assert sorted(second_run.outputs["o2"]) == sorted(first)
+        assert second_run.stats.n_jobs_executed <= 1
+
+
+class TestRunResult:
+    def test_single_output_helper(self, server):
+        result = server.run(f"""
+            A = load 'data/page_views' as ({PV});
+            B = limit A 2;
+            store B into 'only';
+        """)
+        assert len(result.single_output()) == 2
+
+    def test_single_output_raises_on_multiple(self, server):
+        result = server.run(f"""
+            A = load 'data/page_views' as ({PV});
+            store A into 'o1';
+            store A into 'o2';
+        """)
+        with pytest.raises(ValueError):
+            result.single_output()
+
+    def test_sim_minutes_property(self, server):
+        result = server.run(f"""
+            A = load 'data/page_views' as ({PV});
+            store A into 'x';
+        """)
+        assert result.sim_minutes == pytest.approx(result.sim_seconds / 60.0)

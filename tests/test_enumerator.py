@@ -1,0 +1,134 @@
+"""Unit tests for sub-job enumeration and Store injection (paper §4)."""
+
+from repro.core.enumerator import SubJobEnumerator
+from repro.core.heuristics import (
+    AggressiveHeuristic,
+    ConservativeHeuristic,
+    NoHeuristic,
+)
+from repro.pig.engine import PigServer
+from repro.pig.physical.operators import POSplit, POStore
+
+PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
+USERS = "name, phone, address, city"
+
+L2ISH = f"""
+A = load 'data/page_views' as ({PV});
+B = foreach A generate user, est_revenue;
+alpha = load 'data/users' as ({USERS});
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+store C into 'out';
+"""
+
+
+def compile_job(server, source=L2ISH):
+    return server.compile(source).jobs[0]
+
+
+class TestInjection:
+    def test_conservative_injects_two_project_stores(self, server):
+        job = compile_job(server)
+        candidates = SubJobEnumerator(ConservativeHeuristic()).enumerate_and_inject(job)
+        assert len(candidates) == 2
+        assert all(c.anchor_kind == "project" for c in candidates)
+        assert len(job.plan.side_stores()) == 2
+
+    def test_aggressive_skips_store_fed_anchor(self, server):
+        """The join flatten feeds the primary Store directly: its output
+        is already stored, so HA must not double-store it."""
+        job = compile_job(server)
+        candidates = SubJobEnumerator(AggressiveHeuristic()).enumerate_and_inject(job)
+        assert all(c.anchor_kind != "join" for c in candidates)
+        assert len(candidates) == 2  # just the projections
+
+    def test_aggressive_stores_group_output(self, server):
+        job = compile_job(server, f"""
+            A = load 'data/page_views' as ({PV});
+            D = group A by user;
+            E = foreach D generate group, COUNT(A);
+            store E into 'out';
+        """)
+        candidates = SubJobEnumerator(AggressiveHeuristic()).enumerate_and_inject(job)
+        kinds = sorted(c.anchor_kind for c in candidates)
+        assert "group" in kinds
+
+    def test_tee_structure(self, server):
+        job = compile_job(server)
+        SubJobEnumerator(ConservativeHeuristic()).enumerate_and_inject(job)
+        job.validate()
+        splits = [op for op in job.plan if isinstance(op, POSplit)]
+        assert len(splits) == 2
+        for split in splits:
+            succs = job.plan.successors(split)
+            assert any(isinstance(s, POStore) and s.side for s in succs)
+            assert any(not isinstance(s, POStore) for s in succs)
+
+    def test_no_heuristic_reuses_tee(self, server):
+        """Multiple stores at the same operator share one Split."""
+        job = compile_job(server)
+        SubJobEnumerator(NoHeuristic()).enumerate_and_inject(job)
+        job.validate()
+
+    def test_unique_store_paths(self, server):
+        job = compile_job(server)
+        candidates = SubJobEnumerator(AggressiveHeuristic()).enumerate_and_inject(job)
+        paths = [c.store_path for c in candidates]
+        assert len(paths) == len(set(paths))
+
+
+class TestCandidatePlans:
+    def test_candidate_plan_is_standalone(self, server):
+        job = compile_job(server)
+        candidates = SubJobEnumerator(ConservativeHeuristic()).enumerate_and_inject(job)
+        for candidate in candidates:
+            candidate.plan.validate()
+            # a clean load -> project -> store job, no instrumentation
+            kinds = sorted(op.kind for op in candidate.plan)
+            assert kinds == ["foreach", "load", "store"]
+
+    def test_candidate_plan_free_of_splits(self, server):
+        job = compile_job(server)
+        candidates = SubJobEnumerator(NoHeuristic()).enumerate_and_inject(job)
+        for candidate in candidates:
+            assert not any(isinstance(op, POSplit) for op in candidate.plan)
+
+    def test_candidate_schema_matches_anchor(self, server):
+        job = compile_job(server)
+        candidates = SubJobEnumerator(ConservativeHeuristic()).enumerate_and_inject(job)
+        for candidate in candidates:
+            assert len(candidate.output_schema) >= 1
+
+    def test_candidate_matches_fresh_plan(self, server):
+        """The extracted sub-job must be matchable against a fresh
+        compilation of the same query — the §4 'indistinguishable from
+        other jobs in the repository' property."""
+        from repro.core.matcher import PlanMatcher
+
+        job = compile_job(server)
+        candidates = SubJobEnumerator(ConservativeHeuristic()).enumerate_and_inject(job)
+        fresh = compile_job(server)  # identical query, fresh plan
+        matcher = PlanMatcher()
+        for candidate in candidates:
+            assert matcher.match(fresh.plan, candidate.plan) is not None
+
+    def test_execution_unchanged_by_injection(self, server, small_data):
+        """Injection is semantically transparent: same final output."""
+        plain = PigServer(small_data).run(L2ISH.replace("'out'", "'out_plain'"))
+        job_server = PigServer(small_data)
+        workflow = job_server.compile(L2ISH.replace("'out'", "'out_inj'"))
+        for job in workflow.jobs:
+            SubJobEnumerator(AggressiveHeuristic()).enumerate_and_inject(job)
+        injected = job_server.run_workflow(workflow)
+        assert sorted(plain.outputs["out_plain"]) == sorted(
+            injected.outputs["out_inj"]
+        )
+
+    def test_side_store_written(self, server, small_data):
+        workflow = server.compile(L2ISH.replace("'out'", "'out2'"))
+        job = workflow.jobs[0]
+        candidates = SubJobEnumerator(ConservativeHeuristic()).enumerate_and_inject(job)
+        server.run_workflow(workflow)
+        for candidate in candidates:
+            assert small_data.exists(candidate.store_path)
+            assert small_data.file_size(candidate.store_path) > 0

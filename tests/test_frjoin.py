@@ -1,0 +1,120 @@
+"""Tests for the fragment-replicate (map-side) join extension."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.pig.engine import PigServer
+from repro.pig.physical.operators import POFRJoin
+
+PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
+USERS = "name, phone, address, city"
+
+FR_QUERY = f"""
+A = load 'data/page_views' as ({PV});
+B = foreach A generate user, est_revenue;
+alpha = load 'data/users' as ({USERS});
+beta = foreach alpha generate name;
+C = join B by user, beta by name using 'replicated';
+store C into 'out';
+"""
+
+SHUFFLE_QUERY = FR_QUERY.replace(" using 'replicated'", "")
+
+
+class TestCompilation:
+    def test_map_only_job(self, server):
+        workflow = server.compile(FR_QUERY)
+        assert len(workflow.jobs) == 1
+        job = workflow.jobs[0]
+        assert not job.has_shuffle
+        assert any(isinstance(op, POFRJoin) for op in job.plan)
+
+    def test_followed_by_group_is_still_one_job(self, server):
+        """The map-side join folds into the group job's map phase."""
+        query = FR_QUERY.replace(
+            "store C into 'out';",
+            "D = group C by $0;"
+            "E = foreach D generate group, SUM(C.est_revenue);"
+            "store E into 'out';",
+        )
+        workflow = server.compile(query)
+        assert len(workflow.jobs) == 1
+        assert workflow.jobs[0].has_shuffle
+
+    def test_outer_replicated_rejected(self, server):
+        bad = FR_QUERY.replace(
+            "join B by user, beta by name using 'replicated'",
+            "join B by user left outer, beta by name using 'replicated'",
+        )
+        with pytest.raises(SchemaError):
+            server.compile(bad)
+
+    def test_unknown_strategy_rejected(self, server):
+        from repro.exceptions import PigParseError
+
+        with pytest.raises(PigParseError):
+            server.compile(FR_QUERY.replace("'replicated'", "'skewed'"))
+
+
+class TestExecution:
+    def test_same_result_as_shuffle_join(self, server):
+        """FR join and shuffle join agree row-for-row."""
+        fr = server.run(FR_QUERY.replace("'out'", "'out_fr'"))
+        shuffle = server.run(SHUFFLE_QUERY.replace("'out'", "'out_sh'"))
+        assert sorted(fr.outputs["out_fr"]) == sorted(
+            shuffle.outputs["out_sh"]
+        )
+
+    def test_no_shuffle_bytes(self, server):
+        result = server.run(FR_QUERY.replace("'out'", "'o2'"))
+        stats = list(result.stats.job_stats.values())[0]
+        assert stats.shuffle_records == 0
+        assert stats.shuffle_bytes == 0
+
+    def test_inner_semantics(self, server):
+        result = server.run(FR_QUERY.replace("'out'", "'o3'"))
+        users_in_result = {r[0] for r in result.outputs["o3"]}
+        assert "dave" not in users_in_result  # viewer without user row
+        assert "erin" not in users_in_result  # user without views
+
+    def test_chained_fr_joins(self, server):
+        query = f"""
+            A = load 'data/page_views' as ({PV});
+            B = foreach A generate user, est_revenue;
+            alpha = load 'data/users' as ({USERS});
+            beta = foreach alpha generate name, city;
+            C = join B by user, beta by name using 'replicated';
+            gamma = foreach alpha generate city as c2;
+            D = join C by city, gamma by c2 using 'replicated';
+            store D into 'out4';
+        """
+        result = server.run(query)
+        assert len(result.outputs["out4"]) > 0
+
+
+class TestReStoreIntegration:
+    def test_frjoin_output_reusable(self, small_data):
+        from repro.core.manager import ReStoreManager
+
+        manager = ReStoreManager(small_data)
+        server = PigServer(small_data, restore=manager)
+        first = server.run(FR_QUERY.replace("'out'", "'r1'"))
+        rerun = server.run(FR_QUERY.replace("'out'", "'r2'"))
+        assert sorted(rerun.outputs["r2"]) == sorted(first.outputs["r1"])
+        assert rerun.stats.n_jobs_executed <= 1  # copy job at most
+
+    def test_aggressive_heuristic_materializes_frjoin(self, small_data):
+        """When the FR join is mid-plan, HA stores its output."""
+        from repro.core.manager import ReStoreManager
+
+        manager = ReStoreManager(small_data)
+        server = PigServer(small_data, restore=manager)
+        query = FR_QUERY.replace(
+            "store C into 'out';",
+            "D = group C by $0;"
+            "E = foreach D generate group, COUNT(C);"
+            "store E into 'agg_out';",
+        )
+        server.run(query)
+        kinds = {e.anchor_kind for e in manager.repository}
+        assert "join" in kinds

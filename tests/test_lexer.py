@@ -1,0 +1,93 @@
+"""Unit tests for the Pig Latin tokenizer."""
+
+import pytest
+
+from repro.exceptions import PigParseError
+from repro.pig.lexer import DOLLAR, EOF, IDENT, NUMBER, STRING, SYMBOL, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifiers(self):
+        assert kinds("abc _x a1")[:3] == [IDENT] * 3
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 3e2 4.5E-1")
+        assert [t.kind for t in tokens[:-1]] == [NUMBER] * 4
+
+    def test_string(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_escape(self):
+        assert tokenize(r"'a\'b'")[0].text == "a'b"
+
+    def test_dollar(self):
+        token = tokenize("$12")[0]
+        assert token.kind == DOLLAR
+        assert token.text == "$12"
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == EOF
+
+    def test_symbols(self):
+        assert texts("== != <= >= :: = ; , ( ) .") == [
+            "==", "!=", "<=", ">=", "::", "=", ";", ",", "(", ")", ".",
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a -- comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* skip */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PigParseError):
+            tokenize("a /* never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(PigParseError):
+            tokenize("'open")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_tracking(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_error_position(self):
+        with pytest.raises(PigParseError) as err:
+            tokenize("a\n  @")
+        assert err.value.line == 2
+
+
+class TestKeywordMatching:
+    def test_case_insensitive(self):
+        token = tokenize("LOAD")[0]
+        assert token.matches_keyword("load")
+        assert token.matches_keyword("LOAD")
+
+    def test_group_is_plain_ident(self):
+        """`group` must stay a normal identifier: it is both a keyword
+        and the implicit field name of grouped relations."""
+        token = tokenize("group")[0]
+        assert token.kind == IDENT
+
+    def test_dollar_without_digits(self):
+        with pytest.raises(PigParseError):
+            tokenize("$x")

@@ -1,0 +1,276 @@
+"""Unit tests for semantic analysis (AST -> logical plan)."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.pig.logical.builder import build_logical_plan, infer_type, resolve_field
+from repro.pig.logical.operators import (
+    LOCogroup,
+    LOFilter,
+    LOForEach,
+    LOJoin,
+    LOLoad,
+    LOStore,
+)
+from repro.pig.parser import parse
+from repro.relational.expressions import (
+    AggCall,
+    BagField,
+    BagStar,
+    Column,
+    Const,
+)
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+
+def build(source):
+    return build_logical_plan(parse(source))
+
+
+class TestLoadAndSchema:
+    def test_load_schema_types(self):
+        plan = build("A = load 'd' as (u, n:int, r:double); store A into 'o';")
+        load = plan.stores[0].inputs[0]
+        assert isinstance(load, LOLoad)
+        assert load.schema.types == (
+            DataType.CHARARRAY,
+            DataType.INT,
+            DataType.DOUBLE,
+        )
+
+    def test_unknown_alias(self):
+        with pytest.raises(SchemaError):
+            build("store B into 'o';")
+
+    def test_script_without_store(self):
+        with pytest.raises(SchemaError):
+            build("A = load 'd';")
+
+
+class TestForeach:
+    def test_projection_resolves_positions(self):
+        plan = build(
+            "A = load 'd' as (a, b, c); B = foreach A generate c, a;"
+            "store B into 'o';"
+        )
+        foreach = plan.stores[0].inputs[0]
+        assert isinstance(foreach, LOForEach)
+        assert foreach.items[0].expr == Column(2)
+        assert foreach.items[1].expr == Column(0)
+        assert foreach.schema.names == ("c", "a")
+
+    def test_generate_star(self):
+        plan = build(
+            "A = load 'd' as (a, b); B = foreach A generate *; store B into 'o';"
+        )
+        foreach = plan.stores[0].inputs[0]
+        assert foreach.schema.names == ("a", "b")
+
+    def test_alias_renames_output(self):
+        plan = build(
+            "A = load 'd' as (a); B = foreach A generate a as z; store B into 'o';"
+        )
+        assert plan.stores[0].inputs[0].schema.names == ("z",)
+
+    def test_computed_field_type(self):
+        plan = build(
+            "A = load 'd' as (a:int); B = foreach A generate a * 2; "
+            "store B into 'o';"
+        )
+        assert plan.stores[0].inputs[0].schema[0].dtype is DataType.LONG
+
+    def test_duplicate_output_names_deduped(self):
+        plan = build(
+            "A = load 'd' as (a); B = foreach A generate a, a; store B into 'o';"
+        )
+        names = plan.stores[0].inputs[0].schema.names
+        assert len(set(names)) == 2
+
+
+class TestGroup:
+    def test_group_schema(self):
+        plan = build(
+            "A = load 'd' as (u, r:double); D = group A by u; store D into 'o';"
+        )
+        group = plan.stores[0].inputs[0]
+        assert isinstance(group, LOCogroup)
+        assert group.schema.names == ("group", "A")
+        assert group.schema[1].dtype is DataType.BAG
+        assert group.schema[1].inner.names == ("u", "r")
+
+    def test_group_composite_key(self):
+        plan = build(
+            "A = load 'd' as (a, b, c); D = group A by (a, b); store D into 'o';"
+        )
+        group = plan.stores[0].inputs[0]
+        assert group.schema[0].dtype is DataType.TUPLE
+        assert len(group.key_exprs[0]) == 2
+
+    def test_group_all(self):
+        plan = build("A = load 'd' as (a); D = group A all; store D into 'o';")
+        group = plan.stores[0].inputs[0]
+        assert group.group_all
+        assert isinstance(group.key_exprs[0][0], Const)
+
+    def test_aggregate_over_bag_field(self):
+        plan = build(
+            "A = load 'd' as (u, r:double); D = group A by u;"
+            "E = foreach D generate group, SUM(A.r); store E into 'o';"
+        )
+        foreach = plan.stores[0].inputs[0]
+        agg = foreach.items[1].expr
+        assert isinstance(agg, AggCall)
+        assert agg.name == "SUM"
+        assert agg.arg == BagField(1, 1)
+
+    def test_count_of_bag(self):
+        plan = build(
+            "A = load 'd' as (u); D = group A by u;"
+            "E = foreach D generate group, COUNT(A); store E into 'o';"
+        )
+        agg = plan.stores[0].inputs[0].items[1].expr
+        assert agg.name == "COUNT_STAR"
+        assert isinstance(agg.arg, BagStar)
+
+    def test_count_dollar_bag(self):
+        plan = build(
+            "A = load 'd' as (u); C = group A by u;"
+            "D = foreach C generate COUNT($1); store D into 'o';"
+        )
+        agg = plan.stores[0].inputs[0].items[0].expr
+        assert agg.name == "COUNT_STAR"
+
+    def test_sum_over_bag_uses_first_field(self):
+        plan = build(
+            "A = load 'd' as (r:double); D = group A all;"
+            "E = foreach D generate SUM(A); store E into 'o';"
+        )
+        agg = plan.stores[0].inputs[0].items[0].expr
+        assert agg.arg == BagField(1, 0)
+
+    def test_aggregate_outside_group_rejected(self):
+        with pytest.raises(SchemaError):
+            build(
+                "A = load 'd' as (r:double); B = foreach A generate SUM(r);"
+                "store B into 'o';"
+            )
+
+
+class TestJoin:
+    def test_join_schema_qualified(self):
+        plan = build(
+            "A = load 'a' as (x, y); B = load 'b' as (x, z);"
+            "C = join A by x, B by x; store C into 'o';"
+        )
+        join = plan.stores[0].inputs[0]
+        assert isinstance(join, LOJoin)
+        assert join.schema.names == ("A::x", "A::y", "B::x", "B::z")
+
+    def test_join_key_resolution_per_input(self):
+        plan = build(
+            "A = load 'a' as (x, y); B = load 'b' as (z, x);"
+            "C = join A by x, B by x; store C into 'o';"
+        )
+        join = plan.stores[0].inputs[0]
+        assert join.key_exprs[0][0] == Column(0)
+        assert join.key_exprs[1][0] == Column(1)
+
+    def test_suffix_resolution_after_join(self):
+        plan = build(
+            "A = load 'a' as (x); B = load 'b' as (y);"
+            "C = join A by x, B by y;"
+            "D = foreach C generate y; store D into 'o';"
+        )
+        foreach = plan.stores[0].inputs[0]
+        assert foreach.items[0].expr == Column(1)
+
+    def test_dotted_disambiguation(self):
+        plan = build(
+            "A = load 'a' as (x); B = load 'b' as (x);"
+            "C = join A by x, B by x;"
+            "D = foreach C generate B.x; store D into 'o';"
+        )
+        assert plan.stores[0].inputs[0].items[0].expr == Column(1)
+
+    def test_ambiguous_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            build(
+                "A = load 'a' as (x); B = load 'b' as (x);"
+                "C = join A by x, B by x;"
+                "D = foreach C generate x; store D into 'o';"
+            )
+
+    def test_key_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            build(
+                "A = load 'a' as (x, y); B = load 'b' as (z);"
+                "C = join A by (x, y), B by z; store C into 'o';"
+            )
+
+    def test_outer_flags(self):
+        plan = build(
+            "A = load 'a' as (x); B = load 'b' as (y);"
+            "C = join A by x left outer, B by y; store C into 'o';"
+        )
+        assert plan.stores[0].inputs[0].outer_flags == (True, False)
+
+
+class TestOtherOperators:
+    def test_union_arity_check(self):
+        with pytest.raises(SchemaError):
+            build(
+                "A = load 'a' as (x); B = load 'b' as (y, z);"
+                "C = union A, B; store C into 'o';"
+            )
+
+    def test_split_desugars_to_filters(self):
+        plan = build(
+            "A = load 'a' as (x:int);"
+            "split A into B if x > 1, C if x <= 1;"
+            "store B into 'o1'; store C into 'o2';"
+        )
+        for store in plan.stores:
+            assert isinstance(store.inputs[0], LOFilter)
+
+    def test_filter_references_resolved(self):
+        plan = build(
+            "A = load 'a' as (x:int, y:int); B = filter A by y > 2;"
+            "store B into 'o';"
+        )
+        predicate = plan.stores[0].inputs[0].predicate
+        assert predicate.references() == frozenset((1,))
+
+    def test_cogroup_schema(self):
+        plan = build(
+            "A = load 'a' as (x); B = load 'b' as (y);"
+            "C = cogroup A by x, B by y; store C into 'o';"
+        )
+        cg = plan.stores[0].inputs[0]
+        assert cg.schema.names == ("group", "A", "B")
+        assert not cg.is_group
+
+
+class TestHelpers:
+    def test_resolve_field_exact(self):
+        schema = Schema.of("a", "b")
+        assert resolve_field(schema, "b") == 1
+
+    def test_resolve_field_suffix(self):
+        schema = Schema.of("A::x", "B::y")
+        assert resolve_field(schema, "y") == 1
+
+    def test_resolve_field_ambiguous(self):
+        schema = Schema.of("A::x", "B::x")
+        with pytest.raises(SchemaError):
+            resolve_field(schema, "x")
+
+    def test_infer_type_count_is_long(self):
+        schema = Schema.of(("g", DataType.CHARARRAY))
+        agg = AggCall("COUNT_STAR", BagStar(0))
+        assert infer_type(agg, schema).dtype is DataType.LONG
+
+    def test_infer_type_avg_is_double(self):
+        schema = Schema.of(("g", DataType.CHARARRAY))
+        agg = AggCall("AVG", BagField(0, 0))
+        assert infer_type(agg, schema).dtype is DataType.DOUBLE

@@ -1,0 +1,115 @@
+"""Cross-session repository durability.
+
+ReStore's value compounds across submissions that may be days apart
+(§1: Facebook keeps results for seven days), so the repository must
+survive engine restarts.  These tests serialize the repository to
+JSON — storable in the DFS itself — and verify a *fresh* manager
+reloaded from it still rewrites new queries against the stored files.
+"""
+
+import pytest
+
+from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.core.repository import Repository
+from repro.pig.engine import PigServer
+
+PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
+USERS = "name, phone, address, city"
+
+Q2 = f"""
+A = load 'data/page_views' as ({PV});
+B = foreach A generate user, est_revenue;
+alpha = load 'data/users' as ({USERS});
+beta = foreach alpha generate name;
+C = join beta by name, B by user;
+D = group C by $0;
+E = foreach D generate group, SUM(C.est_revenue);
+store E into 'OUT';
+"""
+
+REPO_PATH = "restore/repository.json"
+
+
+def first_session(dfs):
+    """Run a query, then persist the repository into the DFS."""
+    manager = ReStoreManager(dfs)
+    server = PigServer(dfs, restore=manager)
+    result = server.run(Q2.replace("OUT", "out/session1"))
+    dfs.write_file(REPO_PATH, manager.repository.to_json(), overwrite=True)
+    return result, manager
+
+
+def second_session(dfs):
+    """A brand-new manager bootstrapped from the persisted repository."""
+    repository = Repository.from_json(dfs.read_text(REPO_PATH))
+    manager = ReStoreManager(dfs, repository=repository)
+    manager.kept_paths.update(e.output_path for e in repository)
+    server = PigServer(dfs, restore=manager)
+    return server, manager
+
+
+class TestCrossSessionReuse:
+    def test_repository_round_trips_through_dfs(self, small_data):
+        _, manager = first_session(small_data)
+        restored = Repository.from_json(small_data.read_text(REPO_PATH))
+        assert len(restored) == len(manager.repository)
+        for entry in manager.repository:
+            twin = restored.get(entry.entry_id)
+            assert twin.plan.fingerprint() == entry.plan.fingerprint()
+            assert twin.output_path == entry.output_path
+
+    def test_new_session_reuses_old_results(self, small_data):
+        result1, _ = first_session(small_data)
+        server, manager = second_session(small_data)
+        result2 = server.run(Q2.replace("OUT", "out/session2"))
+        assert sorted(result2.outputs["out/session2"]) == sorted(
+            result1.outputs["out/session1"]
+        )
+        assert manager.rewrite_count + manager.elimination_count >= 1
+
+    def test_variant_reuses_restored_subjobs(self, small_data):
+        first_session(small_data)
+        server, manager = second_session(small_data)
+        variant = Q2.replace("SUM", "MAX").replace("OUT", "out/vmax")
+        result = server.run(variant)
+        fresh = PigServer(small_data).run(
+            Q2.replace("SUM", "MAX").replace("OUT", "out/vfresh")
+        )
+        assert sorted(result.outputs["out/vmax"]) == sorted(
+            fresh.outputs["out/vfresh"]
+        )
+        assert any("group" in e for e in result.rewrites)
+
+    def test_restored_statistics_preserve_ordering(self, small_data):
+        _, manager = first_session(small_data)
+        order_before = [
+            e.entry_id for e in manager.repository.ordered_entries()
+        ]
+        restored = Repository.from_json(small_data.read_text(REPO_PATH))
+        order_after = [e.entry_id for e in restored.ordered_entries()]
+        assert order_before == order_after
+
+    def test_eviction_applies_to_restored_entries(self, small_data):
+        from repro.core.eviction import InputModifiedEviction
+
+        first_session(small_data)
+        repository = Repository.from_json(small_data.read_text(REPO_PATH))
+        manager = ReStoreManager(
+            small_data,
+            repository=repository,
+            config=ReStoreConfig(
+                eviction_policies=[InputModifiedEviction()]
+            ),
+        )
+        # restored entries own their stored files, as in a live session
+        manager.kept_paths.update(e.output_path for e in repository)
+        small_data.write_file(
+            "data/page_views", "z\t1\t1\t1.0\ti\tl\n", overwrite=True
+        )
+        small_data.write_file("data/users", "z\tp\ta\tc\n", overwrite=True)
+        manager.clock = 1
+        evicted = manager.run_evictions()
+        assert evicted
+        # the cascade clears entries whose inputs were other (now
+        # evicted) stored results, transitively
+        assert len(manager.repository) == 0

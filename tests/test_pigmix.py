@@ -1,0 +1,154 @@
+"""Tests for the PigMix substrate: data generation and all queries."""
+
+import pytest
+
+from repro.pig.engine import PigServer
+from repro.pigmix.datagen import (
+    DECLARED_BYTES,
+    PigMixConfig,
+    PigMixDataGenerator,
+)
+from repro.pigmix.queries import (
+    PIGMIX_QUERY_NAMES,
+    VARIANT_NAMES,
+    build_query,
+)
+
+from tests.conftest import TINY_PIGMIX_CONFIG
+
+
+class TestDataGenerator:
+    def test_deterministic(self):
+        gen = PigMixDataGenerator(TINY_PIGMIX_CONFIG)
+        assert gen.page_views_rows() == gen.page_views_rows()
+        assert gen.users_rows() == gen.users_rows()
+
+    def test_row_counts(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        assert len(dfs.read_lines(dataset.paths["page_views"])) == 120
+        assert len(dfs.read_lines(dataset.paths["users"])) == 20
+        assert len(dfs.read_lines(dataset.paths["power_users"])) == 5
+        assert len(dfs.read_lines(dataset.paths["widerow"])) == 40
+
+    def test_page_views_dominates(self, tiny_pigmix):
+        _, dataset = tiny_pigmix
+        pv = dataset.actual_bytes["page_views"]
+        for table in ("users", "power_users", "widerow"):
+            assert dataset.actual_bytes[table] < pv
+
+    def test_power_users_subset_of_users(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        users = {l.split("\t")[0] for l in dfs.read_lines(dataset.paths["users"])}
+        power = {
+            l.split("\t")[0] for l in dfs.read_lines(dataset.paths["power_users"])
+        }
+        assert power <= users
+
+    def test_inactive_users_never_view(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        viewers = {
+            l.split("\t")[0]
+            for l in dfs.read_lines(dataset.paths["page_views"])
+        }
+        users = [
+            l.split("\t")[0] for l in dfs.read_lines(dataset.paths["users"])
+        ]
+        inactive = users[-TINY_PIGMIX_CONFIG.n_inactive_users :]
+        assert all(u not in viewers for u in inactive)
+
+    def test_user_skew(self, tiny_pigmix):
+        """Low-id users must be hotter than high-id users."""
+        dfs, dataset = tiny_pigmix
+        viewers = [
+            l.split("\t")[0]
+            for l in dfs.read_lines(dataset.paths["page_views"])
+        ]
+        ids = [int(v.rsplit("_", 1)[1]) for v in viewers]
+        low = sum(1 for i in ids if i < 10)
+        high = sum(1 for i in ids if i >= 10)
+        assert low > high
+
+    def test_data_scale(self, tiny_pigmix):
+        _, dataset = tiny_pigmix
+        scale = dataset.data_scale("150GB")
+        assert scale * dataset.actual_bytes["page_views"] == pytest.approx(
+            DECLARED_BYTES["150GB"]
+        )
+        assert dataset.data_scale("15GB") < scale
+
+
+class TestQueries:
+    @pytest.mark.parametrize("name", PIGMIX_QUERY_NAMES)
+    def test_query_compiles(self, tiny_pigmix, name):
+        dfs, dataset = tiny_pigmix
+        server = PigServer(dfs)
+        workflow = server.compile(build_query(name, dataset, f"out/{name}"))
+        assert len(workflow.jobs) >= 1
+
+    @pytest.mark.parametrize("name", PIGMIX_QUERY_NAMES)
+    def test_query_runs_and_produces_output(self, tiny_pigmix, name):
+        dfs, dataset = tiny_pigmix
+        server = PigServer(dfs)
+        result = server.run(build_query(name, dataset, f"out/{name}"))
+        assert f"out/{name}" in result.outputs
+        if name != "L5":  # the anti-join may legitimately be empty-ish
+            assert len(result.outputs[f"out/{name}"]) > 0
+
+    @pytest.mark.parametrize("name", [v for v in VARIANT_NAMES])
+    def test_variants_compile_and_run(self, tiny_pigmix, name):
+        dfs, dataset = tiny_pigmix
+        server = PigServer(dfs)
+        result = server.run(build_query(name, dataset, f"vout/{name}"))
+        assert f"vout/{name}" in result.outputs
+
+    def test_l3_is_two_jobs(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        workflow = PigServer(dfs).compile(build_query("L3", dataset, "o"))
+        assert len(workflow.jobs) == 2
+
+    def test_l11_is_three_jobs(self, tiny_pigmix):
+        """§7.1: L11's workflow has 3 jobs, one depending on the others."""
+        dfs, dataset = tiny_pigmix
+        workflow = PigServer(dfs).compile(build_query("L11", dataset, "o"))
+        assert len(workflow.jobs) == 3
+        final = [j for j in workflow.jobs if not j.temporary]
+        assert len(workflow.dependencies(final[0])) == 2
+
+    def test_l5_returns_inactive_users(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        server = PigServer(dfs)
+        result = server.run(build_query("L5", dataset, "o5"))
+        names = {r[0] for r in result.outputs["o5"]}
+        # inactive users are in the answer by construction
+        n_users = TINY_PIGMIX_CONFIG.n_users
+        inactive = {
+            f"user_{i:06d}"
+            for i in range(
+                n_users - TINY_PIGMIX_CONFIG.n_inactive_users, n_users
+            )
+        }
+        assert inactive <= names
+
+    def test_l8_single_row(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        result = PigServer(dfs).run(build_query("L8", dataset, "o8"))
+        assert len(result.outputs["o8"]) == 1
+
+    def test_l3_variants_same_groups_different_values(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        server = PigServer(dfs)
+        sums = dict(server.run(build_query("L3", dataset, "s")).outputs["s"])
+        maxes = dict(server.run(build_query("L3c", dataset, "m")).outputs["m"])
+        assert set(sums) == set(maxes)
+        assert all(sums[k] >= maxes[k] for k in sums)
+
+    def test_unknown_query_rejected(self, tiny_pigmix):
+        _, dataset = tiny_pigmix
+        with pytest.raises(KeyError):
+            build_query("L99", dataset, "o")
+
+    def test_l2_join_is_selective(self, tiny_pigmix):
+        dfs, dataset = tiny_pigmix
+        result = PigServer(dfs).run(build_query("L2", dataset, "o2"))
+        n_pv = TINY_PIGMIX_CONFIG.n_page_views
+        assert 0 < len(result.outputs["o2"]) < n_pv

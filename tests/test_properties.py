@@ -1,0 +1,283 @@
+"""Property-based tests (hypothesis) for core data structures and
+system invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.matcher import PlanMatcher
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.mapreduce.shuffle import ShuffleBuffer, sort_key, stable_hash
+from repro.pig.physical.operators import (
+    POFilter,
+    POForEach,
+    POLoad,
+    POStore,
+)
+from repro.pig.physical.plan import PhysicalPlan, linear_plan
+from repro.relational.expressions import BinaryOp, Column, Const
+from repro.relational.schema import FieldSchema, Schema
+from repro.relational.tuples import deserialize_rows, serialize_rows
+from repro.relational.types import DataType
+
+# -- strategies ----------------------------------------------------------------------
+
+field_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F
+    ),
+    max_size=12,
+)
+
+scalar_value = st.one_of(
+    st.none(),
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    field_text,
+)
+
+key_value = st.one_of(
+    st.none(),
+    st.integers(min_value=-1000, max_value=1000),
+    field_text,
+    st.tuples(st.integers(min_value=0, max_value=9), field_text),
+)
+
+
+def typed_rows_strategy():
+    """(schema, rows) pairs where rows conform to the schema."""
+    dtype_strategy = st.sampled_from(
+        [DataType.INT, DataType.DOUBLE, DataType.CHARARRAY]
+    )
+
+    def rows_for(dtypes):
+        generators = []
+        for dtype in dtypes:
+            if dtype is DataType.INT:
+                generators.append(
+                    st.one_of(st.none(), st.integers(-(10 ** 6), 10 ** 6))
+                )
+            elif dtype is DataType.DOUBLE:
+                generators.append(
+                    st.one_of(
+                        st.none(),
+                        st.floats(
+                            allow_nan=False, allow_infinity=False, width=32
+                        ),
+                    )
+                )
+            else:
+                # PigStorage text cannot hold tabs/newlines in a field
+                generators.append(
+                    st.one_of(
+                        st.none(),
+                        field_text.filter(lambda s: s != ""),
+                    )
+                )
+        schema = Schema(
+            tuple(
+                FieldSchema(f"f{i}", dtype) for i, dtype in enumerate(dtypes)
+            )
+        )
+        return st.tuples(
+            st.just(schema),
+            st.lists(st.tuples(*generators), max_size=30),
+        )
+
+    return st.lists(dtype_strategy, min_size=1, max_size=5).flatmap(rows_for)
+
+
+# -- serialization round trips ------------------------------------------------------------
+
+
+class TestSerializationProperties:
+    @given(typed_rows_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_pigstorage_round_trip(self, schema_rows):
+        """serialize . deserialize == identity for typed rows (the
+        invariant every stored repository output relies on)."""
+        schema, rows = schema_rows
+        text = serialize_rows(rows)
+        restored = deserialize_rows(text, schema)
+        assert restored == rows
+
+
+class TestShuffleProperties:
+    @given(st.lists(st.tuples(key_value, st.integers(0, 3)), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_grouping_partitions_records(self, records):
+        """Every record lands in exactly one group of its own key."""
+        buf = ShuffleBuffer(n_partitions=4)
+        for key, branch in records:
+            buf.add(key, branch, (key,))
+        total = sum(
+            len(rows)
+            for _, bags in buf.all_groups()
+            for rows in bags.values()
+        )
+        assert total == len(records)
+
+    @given(st.lists(key_value, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_group_keys_unique(self, keys):
+        buf = ShuffleBuffer(n_partitions=4)
+        for key in keys:
+            buf.add(key, 0, (key,))
+        seen = [sort_key(k) for k, _ in buf.all_groups()]
+        assert len(seen) == len(set(seen))
+
+    @given(key_value)
+    @settings(max_examples=100, deadline=None)
+    def test_stable_hash_total(self, key):
+        assert isinstance(stable_hash(key), int)
+        assert stable_hash(key) == stable_hash(key)
+
+    @given(st.lists(key_value, min_size=2, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_sort_key_is_total_order(self, keys):
+        ordered = sorted(keys, key=sort_key)
+        # sorting again is a no-op (transitivity sanity)
+        assert sorted(ordered, key=sort_key) == ordered
+
+
+class TestDFSProperties:
+    @given(st.binary(max_size=2000), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_write_read_identity(self, payload, block_size):
+        dfs = DistributedFileSystem(n_datanodes=3, block_size=block_size)
+        dfs.write_file("f", payload)
+        assert dfs.read_file("f") == payload
+        assert dfs.file_size("f") == len(payload)
+
+    @given(st.lists(st.binary(min_size=1, max_size=200), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_append_equals_concat(self, chunks):
+        dfs = DistributedFileSystem(n_datanodes=3, block_size=32)
+        dfs.write_file("f", b"")
+        for chunk in chunks:
+            dfs.append("f", chunk)
+        assert dfs.read_file("f") == b"".join(chunks)
+
+
+# -- matcher properties --------------------------------------------------------------------
+
+
+def random_linear_plan(draw_ops, path):
+    schema = Schema.of(("a", DataType.INT), ("b", DataType.INT))
+    ops = [POLoad(path, schema)]
+    for kind, param in draw_ops:
+        if kind == "filter":
+            ops.append(
+                POFilter(BinaryOp(">", Column(0), Const(param)), schema=schema)
+            )
+        else:
+            ops.append(
+                POForEach(
+                    [Column(param % 2), Column((param + 1) % 2)],
+                    [False, False],
+                    ["x", "y"],
+                    schema=schema,
+                )
+            )
+    ops.append(POStore("out", schema))
+    return linear_plan(*ops)
+
+
+op_spec = st.tuples(
+    st.sampled_from(["filter", "project"]), st.integers(0, 3)
+)
+
+
+class TestMatcherProperties:
+    @given(st.lists(op_spec, max_size=5), st.sampled_from(["p1", "p2"]))
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive_containment(self, specs, path):
+        """Every plan is contained in itself (Algorithm 1 sanity)."""
+        plan_a = random_linear_plan(specs, path)
+        plan_b = random_linear_plan(specs, path)
+        result = PlanMatcher().match(plan_a, plan_b)
+        assert result is not None
+        assert result.whole_job
+
+    @given(st.lists(op_spec, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_containment(self, specs):
+        """Any prefix of a pipeline is contained in the full pipeline."""
+        full = random_linear_plan(specs, "p")
+        for cut in range(len(specs)):
+            prefix = random_linear_plan(specs[: cut + 1], "p")
+            assert PlanMatcher().match(full, prefix) is not None
+
+    @given(st.lists(op_spec, max_size=4), st.lists(op_spec, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_containment_requires_signature_prefix(self, specs_a, specs_b):
+        """match(A, B) implies B's pipeline is a prefix of A's."""
+        plan_a = random_linear_plan(specs_a, "p")
+        plan_b = random_linear_plan(specs_b, "p")
+        result = PlanMatcher().match(plan_a, plan_b)
+        is_prefix = specs_b == specs_a[: len(specs_b)]
+        if is_prefix:
+            assert result is not None
+        if result is not None and not is_prefix:
+            # a match without prefix equality can only happen when the
+            # differing suffix produces identical signatures
+            assert len(specs_b) <= len(specs_a)
+
+    @given(st.lists(op_spec, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_fingerprint_deterministic(self, specs):
+        a = random_linear_plan(specs, "p")
+        b = random_linear_plan(specs, "p")
+        assert a.fingerprint() == b.fingerprint()
+
+    @given(st.lists(op_spec, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_preserves_fingerprint(self, specs):
+        plan = random_linear_plan(specs, "p")
+        assert (
+            PhysicalPlan.from_dict(plan.to_dict()).fingerprint()
+            == plan.fingerprint()
+        )
+
+
+# -- engine-level property: reuse never changes answers --------------------------------------
+
+
+class TestReuseCorrectnessProperty:
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from(["SUM", "COUNT", "AVG", "MAX", "MIN"]),
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rewritten_equals_fresh(self, threshold, agg):
+        """For a family of queries, running against a primed repository
+        returns exactly what a fresh run returns."""
+        from repro.core.manager import ReStoreManager
+        from repro.pig.engine import PigServer
+
+        def data():
+            dfs = DistributedFileSystem(n_datanodes=3)
+            rows = [
+                f"u{i % 4}\t{i}\t{float(i)}" for i in range(12)
+            ]
+            dfs.write_file("d", "\n".join(rows) + "\n")
+            return dfs
+
+        query = f"""
+            A = load 'd' as (u, n:int, v:double);
+            B = filter A by n > {threshold};
+            D = group B by u;
+            E = foreach D generate group, {agg}(B.v);
+            store E into 'out';
+        """
+        fresh = PigServer(data()).run(query).outputs["out"]
+
+        dfs = data()
+        manager = ReStoreManager(dfs)
+        server = PigServer(dfs, restore=manager)
+        server.run(query.replace("'out'", "'prime'"))
+        reused = server.run(query).outputs["out"]
+        assert sorted(reused, key=repr) == sorted(fresh, key=repr)

@@ -1,0 +1,111 @@
+"""Tests for the human-readable reporting helpers."""
+
+import pytest
+
+from repro.core.manager import ReStoreManager
+from repro.pig.engine import PigServer
+from repro.reporting import (
+    comparison_table,
+    format_bytes,
+    format_duration,
+    job_report,
+    manager_report,
+    repository_report,
+    run_report,
+    workflow_report,
+)
+
+PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
+
+QUERY = f"""
+A = load 'data/page_views' as ({PV});
+B = foreach A generate user, est_revenue;
+D = group B by user;
+E = foreach D generate group, SUM(B.est_revenue);
+store E into 'out/report';
+"""
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1536, "1.5 KB"),
+            (3 * 1024 * 1024, "3.0 MB"),
+            (5 * 1024 ** 3, "5.0 GB"),
+        ],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_format_duration_seconds(self):
+        assert format_duration(12.34) == "12.3s"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(90) == "1m30.0s"
+
+
+class TestReports:
+    def test_job_report(self, server):
+        result = server.run(QUERY)
+        stats = list(result.stats.job_stats.values())[0]
+        text = job_report(stats)
+        assert "input:" in text
+        assert "shuffle:" in text
+        assert "time:" in text
+        assert "maps" in text
+
+    def test_workflow_report(self, server):
+        result = server.run(QUERY.replace("out/report", "out/wf"))
+        text = workflow_report(result.workflow, result.stats)
+        assert "critical path" in text
+        assert "1 job(s)" in text
+
+    def test_run_report_with_outputs(self, server):
+        result = server.run(QUERY.replace("out/report", "out/rr"))
+        text = run_report(result)
+        assert "output out/rr" in text
+
+    def test_reports_with_restore(self, small_data):
+        manager = ReStoreManager(small_data)
+        server = PigServer(small_data, restore=manager)
+        server.run(QUERY)
+        rerun = server.run(QUERY.replace("out/report", "out/rerun"))
+        text = run_report(rerun)
+        assert "ReStore activity:" in text
+
+        repo_text = repository_report(manager.repository)
+        assert "entr" in repo_text
+        assert "ratio" in repo_text
+
+        mgr_text = manager_report(manager)
+        assert "whole-job elimination" in mgr_text
+
+    def test_eliminated_job_line(self, small_data):
+        manager = ReStoreManager(small_data)
+        server = PigServer(small_data, restore=manager)
+        server.run(QUERY)
+        rerun = server.run(QUERY)  # same output path: eliminated
+        text = workflow_report(rerun.workflow, rerun.stats)
+        assert "eliminated" in text
+
+    def test_empty_repository_report(self):
+        from repro.core.repository import Repository
+
+        text = repository_report(Repository())
+        assert "0 entries" in text
+
+
+class TestComparisonTable:
+    def test_speedups(self):
+        text = comparison_table(
+            ["no reuse", "reusing"], [600.0, 60.0]
+        )
+        assert "10.00x" in text
+        assert "1.00x" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            comparison_table(["a"], [1.0, 2.0])

@@ -1,0 +1,124 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import FieldSchema, Schema
+from repro.relational.types import DataType
+
+
+class TestConstruction:
+    def test_of_with_pairs(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.CHARARRAY))
+        assert schema.names == ("a", "b")
+        assert schema.types == (DataType.INT, DataType.CHARARRAY)
+
+    def test_of_with_bare_names(self):
+        schema = Schema.of("x", "y")
+        assert schema.names == ("x", "y")
+        assert all(t is DataType.BYTEARRAY for t in schema.types)
+
+    def test_of_with_string_types(self):
+        schema = Schema.of(("a", "int"))
+        assert schema[0].dtype is DataType.INT
+
+    def test_parse(self):
+        schema = Schema.parse("user:chararray, revenue:double, note")
+        assert schema.names == ("user", "revenue", "note")
+        assert schema[1].dtype is DataType.DOUBLE
+        assert schema[2].dtype is DataType.BYTEARRAY
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_empty_schema(self):
+        assert len(Schema()) == 0
+
+
+class TestLookup:
+    def setup_method(self):
+        self.schema = Schema.of(("a", DataType.INT), ("b", DataType.DOUBLE))
+
+    def test_index_of_name(self):
+        assert self.schema.index_of("b") == 1
+
+    def test_index_of_positional(self):
+        assert self.schema.index_of("$0") == 0
+
+    def test_positional_out_of_range(self):
+        with pytest.raises(SchemaError):
+            self.schema.index_of("$5")
+
+    def test_missing_name(self):
+        with pytest.raises(SchemaError):
+            self.schema.index_of("zz")
+
+    def test_has_field(self):
+        assert self.schema.has_field("a")
+        assert not self.schema.has_field("zz")
+
+    def test_field_named(self):
+        assert self.schema.field_named("a").dtype is DataType.INT
+
+
+class TestDerivation:
+    def test_project(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.project([2, 0]).names == ("c", "a")
+
+    def test_concat_disambiguates(self):
+        left = Schema.of("a", "b")
+        right = Schema.of("b", "c")
+        merged = left.concat(right)
+        assert merged.names == ("a", "b", "b_1", "c")
+
+    def test_concat_no_disambiguation_needed(self):
+        merged = Schema.of("a").concat(Schema.of("b"))
+        assert merged.names == ("a", "b")
+
+    def test_rename(self):
+        schema = Schema.of("a", "b").rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_fingerprint_stable(self):
+        s1 = Schema.of(("a", DataType.INT))
+        s2 = Schema.of(("a", DataType.INT))
+        assert s1.fingerprint() == s2.fingerprint()
+
+    def test_fingerprint_type_sensitive(self):
+        s1 = Schema.of(("a", DataType.INT))
+        s2 = Schema.of(("a", DataType.DOUBLE))
+        assert s1.fingerprint() != s2.fingerprint()
+
+
+class TestNestedAndSerialization:
+    def test_inner_schema(self):
+        inner = Schema.of(("x", DataType.INT))
+        schema = Schema((FieldSchema("bag", DataType.BAG, inner),))
+        assert schema[0].inner is inner
+
+    def test_round_trip(self):
+        inner = Schema.of(("x", DataType.INT))
+        schema = Schema(
+            (
+                FieldSchema("group", DataType.CHARARRAY),
+                FieldSchema("bag", DataType.BAG, inner),
+            )
+        )
+        restored = Schema.from_dict(schema.to_dict())
+        assert restored.fingerprint() == schema.fingerprint()
+        assert restored[1].inner.names == ("x",)
+
+    def test_str(self):
+        schema = Schema.of(("a", DataType.INT))
+        assert str(schema) == "(a:int)"
+
+    def test_iteration(self):
+        schema = Schema.of("a", "b")
+        assert [f.name for f in schema] == ["a", "b"]
+
+    def test_with_name(self):
+        field = FieldSchema("a", DataType.INT)
+        assert field.with_name("b").name == "b"
+        assert field.with_name("b").dtype is DataType.INT

@@ -1,0 +1,92 @@
+"""Unit tests for the sort/shuffle machinery."""
+
+from repro.mapreduce.shuffle import ShuffleBuffer, sort_key, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_tuple_keys(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_non_negative(self):
+        for key in ["x", 0, -5, ("a",), None]:
+            assert stable_hash(key) >= 0
+
+
+class TestSortKey:
+    def test_numbers_sort_together(self):
+        keys = [3, 1.5, 2]
+        assert sorted(keys, key=sort_key) == [1.5, 2, 3]
+
+    def test_none_sorts_first(self):
+        keys = ["b", None, "a"]
+        assert sorted(keys, key=sort_key)[0] is None
+
+    def test_mixed_types_total_order(self):
+        keys = ["z", 5, None, ("a", 1), 2.5]
+        ordered = sorted(keys, key=sort_key)
+        assert ordered[0] is None
+        # does not raise, and is stable
+        assert sorted(ordered, key=sort_key) == ordered
+
+    def test_tuples_elementwise(self):
+        keys = [("b", 1), ("a", 2), ("a", 1)]
+        assert sorted(keys, key=sort_key) == [("a", 1), ("a", 2), ("b", 1)]
+
+
+class TestShuffleBuffer:
+    def test_grouping_by_key(self):
+        buf = ShuffleBuffer(n_partitions=4)
+        buf.add("a", 0, ("a", 1))
+        buf.add("b", 0, ("b", 2))
+        buf.add("a", 0, ("a", 3))
+        groups = dict(
+            (key, bags) for key, bags in buf.all_groups()
+        )
+        assert set(groups) == {"a", "b"}
+        assert groups["a"][0] == [("a", 1), ("a", 3)]
+
+    def test_branch_separation(self):
+        buf = ShuffleBuffer(n_partitions=2)
+        buf.add("k", 0, ("left",))
+        buf.add("k", 1, ("right",))
+        ((key, bags),) = list(buf.all_groups())
+        assert key == "k"
+        assert bags[0] == [("left",)]
+        assert bags[1] == [("right",)]
+
+    def test_keys_sorted_within_partition(self):
+        buf = ShuffleBuffer(n_partitions=1)
+        for key in ["c", "a", "b"]:
+            buf.add(key, 0, (key,))
+        keys = [key for key, _ in buf.grouped(0)]
+        assert keys == ["a", "b", "c"]
+
+    def test_counters(self):
+        buf = ShuffleBuffer(n_partitions=2)
+        buf.add("a", 0, ("a", 1))
+        buf.add("b", 0, ("b", 2))
+        assert buf.records == 2
+        assert buf.bytes > 0
+
+    def test_same_key_same_partition(self):
+        buf = ShuffleBuffer(n_partitions=8)
+        buf.add("k", 0, ("x",))
+        buf.add("k", 1, ("y",))
+        assert len(buf.used_partitions()) == 1
+
+    def test_invalid_partition_count(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ShuffleBuffer(0)
+
+    def test_all_groups_covers_all_partitions(self):
+        buf = ShuffleBuffer(n_partitions=4)
+        keys = [f"key{i}" for i in range(20)]
+        for key in keys:
+            buf.add(key, 0, (key,))
+        seen = [key for key, _ in buf.all_groups()]
+        assert sorted(seen) == sorted(keys)

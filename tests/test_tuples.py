@@ -1,0 +1,116 @@
+"""Unit tests for repro.relational.tuples (rows, bags, PigStorage)."""
+
+from repro.relational.schema import FieldSchema, Schema
+from repro.relational.tuples import (
+    Bag,
+    deserialize_row,
+    deserialize_rows,
+    serialize_row,
+    serialize_rows,
+)
+from repro.relational.types import DataType
+
+
+class TestBag:
+    def test_append_and_len(self):
+        bag = Bag()
+        bag.append(("a", 1))
+        bag.append(("b", 2))
+        assert len(bag) == 2
+
+    def test_iteration_order_preserved(self):
+        bag = Bag([("b",), ("a",)])
+        assert list(bag) == [("b",), ("a",)]
+
+    def test_project(self):
+        bag = Bag([("a", 1), ("b", 2)])
+        assert bag.project(1) == [1, 2]
+
+    def test_equality_with_list(self):
+        assert Bag([("a",)]) == [("a",)]
+
+    def test_equality_with_bag(self):
+        assert Bag([("a",)]) == Bag([("a",)])
+
+    def test_repr_truncates(self):
+        bag = Bag([(i,) for i in range(10)])
+        assert "n=10" in repr(bag)
+
+
+class TestSerializeRow:
+    def test_simple(self):
+        assert serialize_row(("a", 1, 2.5)) == "a\t1\t2.5"
+
+    def test_none_fields(self):
+        assert serialize_row(("a", None, "b")) == "a\t\tb"
+
+    def test_bag_field(self):
+        row = ("k", Bag([("a", 1), ("b", 2)]))
+        assert serialize_row(row) == "k\t{(a,1),(b,2)}"
+
+    def test_empty_bag(self):
+        assert serialize_row(("k", Bag())) == "k\t{}"
+
+
+class TestDeserializeRow:
+    def test_typed_fields(self):
+        schema = Schema.of(
+            ("user", DataType.CHARARRAY),
+            ("n", DataType.INT),
+            ("rev", DataType.DOUBLE),
+        )
+        assert deserialize_row("bob\t3\t1.5", schema) == ("bob", 3, 1.5)
+
+    def test_missing_trailing_fields_are_null(self):
+        schema = Schema.of(("a", DataType.CHARARRAY), ("b", DataType.INT))
+        assert deserialize_row("x", schema) == ("x", None)
+
+    def test_empty_field_is_null(self):
+        schema = Schema.of(("a", DataType.CHARARRAY), ("b", DataType.INT))
+        assert deserialize_row("x\t", schema) == ("x", None)
+
+    def test_bag_field_with_inner_schema(self):
+        inner = Schema.of(("name", DataType.CHARARRAY), ("n", DataType.INT))
+        schema = Schema(
+            (
+                FieldSchema("group", DataType.CHARARRAY),
+                FieldSchema("items", DataType.BAG, inner),
+            )
+        )
+        row = deserialize_row("g\t{(a,1),(b,2)}", schema)
+        assert row[0] == "g"
+        assert isinstance(row[1], Bag)
+        assert list(row[1]) == [("a", 1), ("b", 2)]
+
+
+class TestRoundTrip:
+    def test_rows_round_trip(self):
+        schema = Schema.of(("a", DataType.CHARARRAY), ("n", DataType.INT))
+        rows = [("x", 1), ("y", 2), ("z", None)]
+        text = serialize_rows(rows)
+        assert deserialize_rows(text, schema) == rows
+
+    def test_empty_rows(self):
+        assert serialize_rows([]) == ""
+        assert deserialize_rows("", Schema.of("a")) == []
+
+    def test_grouped_round_trip(self):
+        """The repository stores grouped (bag-valued) outputs; they must
+        survive a store/load cycle — this is what lets ReStore reuse
+        Group outputs (paper Figure 4)."""
+        inner = Schema.of(("u", DataType.CHARARRAY), ("r", DataType.DOUBLE))
+        schema = Schema(
+            (
+                FieldSchema("group", DataType.CHARARRAY),
+                FieldSchema("vals", DataType.BAG, inner),
+            )
+        )
+        rows = [
+            ("a", Bag([("a", 1.5), ("a", 2.5)])),
+            ("b", Bag([("b", 4.0)])),
+        ]
+        text = serialize_rows(rows)
+        restored = deserialize_rows(text, schema)
+        assert restored[0][0] == "a"
+        assert list(restored[0][1]) == [("a", 1.5), ("a", 2.5)]
+        assert list(restored[1][1]) == [("b", 4.0)]

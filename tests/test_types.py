@@ -1,0 +1,141 @@
+"""Unit tests for repro.relational.types."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.types import (
+    DataType,
+    cast_value,
+    format_bag,
+    format_tuple,
+    format_value,
+    parse_bag,
+    parse_text,
+    parse_tuple,
+)
+
+
+class TestDataType:
+    def test_from_name(self):
+        assert DataType.from_name("int") is DataType.INT
+        assert DataType.from_name("CHARARRAY") is DataType.CHARARRAY
+
+    def test_from_name_unknown(self):
+        with pytest.raises(SchemaError):
+            DataType.from_name("varchar")
+
+    def test_is_numeric(self):
+        assert DataType.INT.is_numeric
+        assert DataType.DOUBLE.is_numeric
+        assert not DataType.CHARARRAY.is_numeric
+        assert not DataType.BAG.is_numeric
+
+    def test_is_nested(self):
+        assert DataType.BAG.is_nested
+        assert DataType.TUPLE.is_nested
+        assert not DataType.INT.is_nested
+
+
+class TestCastValue:
+    def test_none_passthrough(self):
+        assert cast_value(None, DataType.INT) is None
+
+    def test_int_from_string(self):
+        assert cast_value("42", DataType.INT) == 42
+
+    def test_int_from_float_string(self):
+        assert cast_value("42.7", DataType.INT) == 42
+
+    def test_double_from_string(self):
+        assert cast_value("1.5", DataType.DOUBLE) == 1.5
+
+    def test_chararray_from_int(self):
+        assert cast_value(7, DataType.CHARARRAY) == "7"
+
+    def test_boolean_from_string(self):
+        assert cast_value("true", DataType.BOOLEAN) is True
+        assert cast_value("FALSE", DataType.BOOLEAN) is False
+
+    def test_boolean_from_int(self):
+        assert cast_value(1, DataType.BOOLEAN) is True
+        assert cast_value(0, DataType.BOOLEAN) is False
+
+    def test_invalid_cast_raises(self):
+        with pytest.raises(SchemaError):
+            cast_value("not-a-number", DataType.INT)
+
+    def test_long_same_as_int(self):
+        assert cast_value("9", DataType.LONG) == 9
+
+
+class TestParseText:
+    def test_empty_is_null(self):
+        assert parse_text("", DataType.INT) is None
+        assert parse_text("", DataType.CHARARRAY) is None
+
+    def test_int(self):
+        assert parse_text("5", DataType.INT) == 5
+
+    def test_chararray(self):
+        assert parse_text("hello", DataType.CHARARRAY) == "hello"
+
+    def test_bag(self):
+        assert parse_text("{(a,1),(b,2)}", DataType.BAG) == [
+            ("a", "1"),
+            ("b", "2"),
+        ]
+
+    def test_tuple(self):
+        assert parse_text("(x,y)", DataType.TUPLE) == ("x", "y")
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == ""
+
+    def test_bool(self):
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+
+    def test_float_compact(self):
+        assert format_value(1.5) == "1.5"
+
+    def test_string(self):
+        assert format_value("abc") == "abc"
+
+    def test_tuple(self):
+        assert format_tuple(("a", 1)) == "(a,1)"
+
+    def test_bag(self):
+        assert format_bag([("a", 1), ("b", 2)]) == "{(a,1),(b,2)}"
+
+    def test_empty_bag(self):
+        assert format_bag([]) == "{}"
+
+
+class TestNestedRoundTrip:
+    def test_bag_round_trip(self):
+        bag = [("a", "1"), ("b", "2")]
+        assert parse_bag(format_bag(bag)) == bag
+
+    def test_empty_bag_round_trip(self):
+        assert parse_bag("{}") == []
+
+    def test_tuple_round_trip(self):
+        assert parse_tuple("(a,b,c)") == ("a", "b", "c")
+
+    def test_nested_bag_in_tuple(self):
+        parsed = parse_tuple("(key,{(1,2),(3,4)})")
+        assert parsed[0] == "key"
+        assert parsed[1] == [("1", "2"), ("3", "4")]
+
+    def test_malformed_bag(self):
+        with pytest.raises(SchemaError):
+            parse_bag("(a,b)")
+
+    def test_malformed_tuple(self):
+        with pytest.raises(SchemaError):
+            parse_tuple("{a,b}")
+
+    def test_tuple_with_empty_fields(self):
+        assert parse_tuple("(a,,c)") == ("a", "", "c")
