@@ -6,12 +6,13 @@ filter, then drill down").  Queries arrive over several days; ReStore
 shares work across them, and the §5 eviction rules (time-window and
 input-modified) keep the repository honest when logs rotate.
 
+Built with the fluent session builder (eviction policies by name) and
+a live subscription on the typed event bus.
+
 Run:  python examples/log_analysis.py
 """
 
-from repro import DistributedFileSystem, PigServer, ReStoreManager
-from repro.core.eviction import InputModifiedEviction, TimeWindowEviction
-from repro.core.manager import ReStoreConfig
+from repro import EntryEvicted, ReStoreSession, RewriteApplied
 
 LOG_SCHEMA = (
     "ip, user, timestamp:int, url, status:int, bytes:int, referrer, agent"
@@ -59,26 +60,26 @@ def analyst_queries(day: int):
 
 
 def main() -> None:
-    dfs = DistributedFileSystem(n_datanodes=4)
-    manager = ReStoreManager(
-        dfs,
-        config=ReStoreConfig(
-            heuristic="aggressive",
-            eviction_policies=[
-                TimeWindowEviction(window=6),
-                InputModifiedEviction(),
-            ],
-        ),
+    session = (
+        ReStoreSession.builder()
+        .datanodes(4)
+        .heuristic("aggressive")
+        .evict("time-window:6", "input-modified")
+        .build()
     )
-    server = PigServer(dfs, restore=manager)
+    # Live telemetry: evictions announce themselves as they happen.
+    session.events.subscribe(
+        lambda event: print(f"      ! {event}"), event_types=EntryEvicted
+    )
 
     for day in (1, 2, 3):
         print(f"=== day {day}: logs rotate, three analysts submit ===")
-        write_logs(dfs, day)
+        write_logs(session.dfs, day)
         for name, query in analyst_queries(day).items():
-            result = server.run(query, name=name)
+            result = session.run(query, name=name)
             reused_any = any(
-                "reused" in e or "whole job" in e for e in result.rewrites
+                isinstance(e, RewriteApplied) or "whole job" in str(e)
+                for e in result.events
             )
             reuse = "reused" if reused_any else "computed"
             print(
@@ -87,8 +88,8 @@ def main() -> None:
             for event in result.rewrites:
                 print(f"      {event}")
         print(
-            f"  repository: {len(manager.repository)} entries, "
-            f"{manager.repository.total_stored_bytes} stored bytes"
+            f"  repository: {len(session.repository)} entries, "
+            f"{session.repository.total_stored_bytes} stored bytes"
         )
 
     print("\nThe first analyst of each day computes the shared filter;")

@@ -8,7 +8,7 @@ earlier submission.  Prints a per-query speedup table like Figure 10.
 Run:  python examples/pigmix_workload.py
 """
 
-from repro.experiments.common import PigMixSandbox, run_script
+from repro.experiments.common import PigMixSandbox
 from repro.pigmix.datagen import PigMixConfig
 from repro.pigmix.queries import PIGMIX_QUERY_NAMES
 
@@ -22,17 +22,17 @@ def main() -> None:
     print("-" * 40)
     total_speedup = []
     for name in PIGMIX_QUERY_NAMES:
-        # stock engine, fresh sandbox
+        # stock engine, fresh sandbox (session without ReStore)
         plain = PigMixSandbox("150GB", CONFIG)
-        base = run_script(plain, plain.query(name, f"out/{name}"))
+        base = plain.session().run(plain.query(name, f"out/{name}"))
 
-        # ReStore-enabled sandbox: prime, then resubmit
+        # ReStore-enabled sandbox: one session, prime then resubmit
         sandbox = PigMixSandbox("150GB", CONFIG)
-        manager = sandbox.manager(
+        session = sandbox.session(sandbox.manager(
             heuristic="aggressive", register_whole_jobs="temporary-only"
-        )
-        run_script(sandbox, sandbox.query(name, f"out/{name}_p"), manager)
-        reused = run_script(sandbox, sandbox.query(name, f"out/{name}_r"), manager)
+        ))
+        session.run(sandbox.query(name, f"out/{name}_p"))
+        reused = session.run(sandbox.query(name, f"out/{name}_r"))
 
         speedup = base.sim_seconds / max(1e-9, reused.sim_seconds)
         total_speedup.append(speedup)

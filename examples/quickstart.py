@@ -1,19 +1,19 @@
 """Quickstart: the paper's Q1/Q2 example end to end.
 
-Builds a tiny simulated cluster, runs Q1 (join of page_views and
-users), then submits Q2 (same join + group/aggregate) and watches
-ReStore answer Q2's join job entirely from Q1's stored output — the
-flow of the paper's Figures 2-4.
+Opens a :class:`repro.ReStoreSession` (simulated cluster + ReStore in
+one object), runs Q1 (join of page_views and users), then submits Q2
+(same join + group/aggregate) and watches ReStore answer Q2's join job
+entirely from Q1's stored output — the flow of the paper's Figures 2-4.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DistributedFileSystem, PigServer, ReStoreManager
+from repro import ReStoreSession
 
-# 1. A simulated HDFS with some data ------------------------------------------------
+# 1. A session: simulated HDFS + cluster + ReStore, wired together -------------------
 
-dfs = DistributedFileSystem(n_datanodes=4)
-dfs.write_file(
+session = ReStoreSession(datanodes=4)
+session.write_file(
     "data/page_views",
     "\n".join(
         f"user_{i % 5}\t{i % 3}\t{1000 + i}\t{i * 0.5}\tinfo{i}\tlinks{i}"
@@ -21,18 +21,13 @@ dfs.write_file(
     )
     + "\n",
 )
-dfs.write_file(
+session.write_file(
     "data/users",
     "\n".join(
         f"user_{i}\t555-010{i}\t{i} king st\twaterloo" for i in range(4)
     )
     + "\n",
 )
-
-# 2. A Pig engine with ReStore attached ----------------------------------------------
-
-restore = ReStoreManager(dfs)
-server = PigServer(dfs, restore=restore)
 
 Q1 = """
 A = load 'data/page_views' as (user, action:int, timestamp:int,
@@ -56,23 +51,26 @@ E = foreach D generate group, SUM(C.est_revenue);
 store E into 'out/q2';
 """
 
-# 3. Run Q1; its job outputs and sub-jobs populate the repository ----------------------
+# 2. Run Q1; its job outputs and sub-jobs populate the repository ----------------------
 
-r1 = server.run(Q1, name="Q1")
+r1 = session.run(Q1, name="Q1")
 print(f"Q1 produced {len(r1.outputs['out/q1'])} join rows "
       f"in {r1.sim_minutes:.2f} simulated minutes")
-print(f"repository now holds {len(restore.repository)} entries:")
-for entry in restore.repository.ordered_entries():
+print(f"repository now holds {len(session.repository)} entries:")
+for entry in session.repository.ordered_entries():
     print(f"  {entry.entry_id}  {entry.anchor_kind:10s} -> {entry.output_path}")
 
-# 4. Run Q2: the matcher finds Q1's stored join and rewrites ---------------------------
+# 3. Run Q2: the matcher finds Q1's stored join and rewrites ---------------------------
 
-r2 = server.run(Q2, name="Q2")
+r2 = session.run(Q2, name="Q2")
 print(f"\nQ2 answered in {r2.sim_minutes:.2f} simulated minutes "
       f"(Q1 took {r1.sim_minutes:.2f})")
-print("rewrites applied:")
-for event in r2.rewrites:
-    print(f"  {event}")
+print("typed events for the run:")
+for event in r2.events:
+    print(f"  {type(event).__name__}: {event}")
 print("\nper-user revenue:")
 for user, revenue in sorted(r2.outputs["out/q2"]):
     print(f"  {user}: {revenue:.1f}")
+
+print("\nsession summary:")
+print(session.report())

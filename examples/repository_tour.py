@@ -8,15 +8,15 @@ persistence across engine restarts.
 Run:  python examples/repository_tour.py
 """
 
-from repro import DistributedFileSystem, PigServer, ReStoreManager
+from repro import ReStoreSession
 from repro.core.repository import Repository
 
 PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
 
 
 def main() -> None:
-    dfs = DistributedFileSystem(n_datanodes=4)
-    dfs.write_file(
+    session = ReStoreSession(datanodes=4)
+    session.write_file(
         "data/page_views",
         "\n".join(
             f"u{i % 6}\t{i % 4}\t{i}\t{i * 0.25}\tinfo\tlinks" for i in range(80)
@@ -24,9 +24,7 @@ def main() -> None:
         + "\n",
     )
 
-    manager = ReStoreManager(dfs)
-    server = PigServer(dfs, restore=manager)
-    server.run(f"""
+    session.run(f"""
         A = load 'data/page_views' as ({PV});
         B = filter A by est_revenue > 5.0;
         C = foreach B generate user, est_revenue;
@@ -36,7 +34,7 @@ def main() -> None:
     """)
 
     print("=== repository contents (scan order) ===")
-    for entry in manager.repository.ordered_entries():
+    for entry in session.repository.ordered_entries():
         stats = entry.stats
         print(
             f"{entry.entry_id}  kind={entry.anchor_kind:10s} "
@@ -46,22 +44,22 @@ def main() -> None:
         )
 
     print("\n=== one stored physical plan ===")
-    biggest = manager.repository.ordered_entries()[0]
+    biggest = session.repository.ordered_entries()[0]
     print(biggest.plan.describe())
 
     print("\n=== GraphViz rendering (paste into dot) ===")
     print(biggest.plan.to_dot("stored_plan"))
 
     print("\n=== subsumption (§3 ordering rule 1) ===")
-    entries = manager.repository.ordered_entries()
-    matcher = manager.matcher
+    entries = session.repository.ordered_entries()
+    matcher = session.manager.matcher
     for a in entries[:4]:
         for b in entries[:4]:
             if a is not b and matcher.contains(a.plan, b.plan):
                 print(f"{a.entry_id} subsumes {b.entry_id}")
 
     print("\n=== persistence round trip ===")
-    payload = manager.repository.to_json()
+    payload = session.repository.to_json()
     restored = Repository.from_json(payload)
     print(
         f"serialized {len(payload)} bytes; restored "
@@ -70,7 +68,7 @@ def main() -> None:
             all(
                 restored.get(e.entry_id).plan.fingerprint()
                 == e.plan.fingerprint()
-                for e in manager.repository
+                for e in session.repository
             )
         )
     )

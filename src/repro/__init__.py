@@ -5,18 +5,21 @@ Reusing Results of MapReduce Jobs*, PVLDB 5(6) / SIGMOD 2012.
 
 Quick start::
 
-    from repro import DistributedFileSystem, PigServer, ReStoreManager
+    from repro import ReStoreSession
 
-    dfs = DistributedFileSystem()
-    dfs.write_file("data/users", "alice\\t1\\nbob\\t2\\n")
-    restore = ReStoreManager(dfs)
-    server = PigServer(dfs, restore=restore)
-    result = server.run(\"\"\"
-        A = load 'data/users' as (name:chararray, uid:int);
-        B = filter A by uid > 1;
-        store B into 'out';
-    \"\"\")
-    print(result.outputs["out"])
+    with ReStoreSession() as session:
+        session.write_file("data/users", "alice\\t1\\nbob\\t2\\n")
+        result = session.run(
+            "A = load 'data/users' as (name, uid:int);"
+            "B = filter A by uid > 1; store B into 'out';"
+        )
+        print(result.outputs["out"])
+
+The session wires the whole stack (simulated DFS, cluster, one shared
+cost model, repository, ReStore manager, Pig server) and publishes
+every reuse decision as typed events on ``session.events``.  The
+pre-session entry points (``PigServer``, ``ReStoreManager``) remain
+available for piecewise wiring.
 
 See README.md for the architecture and EXPERIMENTS.md for the
 paper-vs-measured reproduction results.
@@ -26,22 +29,41 @@ from repro.core.manager import ReStoreConfig, ReStoreManager
 from repro.core.repository import Repository, RepositoryEntry
 from repro.costmodel.model import CostModel
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.events import (
+    EntryEvicted,
+    EventBus,
+    JobEliminated,
+    ReStoreEvent,
+    RewriteApplied,
+    SubJobDiscarded,
+    SubJobStored,
+)
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.runner import HadoopSimulator
 from repro.pig.engine import PigRunResult, PigServer
+from repro.session import ReStoreSession, SessionBuilder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",
     "CostModel",
     "DistributedFileSystem",
+    "EntryEvicted",
+    "EventBus",
     "HadoopSimulator",
+    "JobEliminated",
     "PigRunResult",
     "PigServer",
     "Repository",
     "RepositoryEntry",
     "ReStoreConfig",
+    "ReStoreEvent",
     "ReStoreManager",
+    "ReStoreSession",
+    "RewriteApplied",
+    "SessionBuilder",
+    "SubJobDiscarded",
+    "SubJobStored",
     "__version__",
 ]

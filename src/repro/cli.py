@@ -7,9 +7,10 @@ Usage::
     python -m repro experiment fig10 --rows 300
     python -m repro list-experiments
 
-``run``/``explain`` build a fresh simulated cluster, copy the given
-local files into the DFS, and execute the script with ReStore enabled
-(disable with ``--no-restore``).
+``run``/``explain`` build a fresh session (simulated cluster + ReStore;
+disable with ``--no-restore``), copy the given local files into the
+DFS, and execute the script.  ReStore policies are pluggable by name:
+``--heuristic conservative --selector rules --evict time-window:4``.
 """
 
 from __future__ import annotations
@@ -19,12 +20,10 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from repro.core.manager import ReStoreManager
-from repro.dfs.filesystem import DistributedFileSystem
-from repro.pig.engine import PigServer
+from repro.session import ReStoreSession
 
 
-def _load_data(dfs: DistributedFileSystem, mappings: List[str]) -> None:
+def _load_data(session: ReStoreSession, mappings: List[str]) -> None:
     for mapping in mappings:
         if "=" not in mapping:
             raise SystemExit(
@@ -32,21 +31,32 @@ def _load_data(dfs: DistributedFileSystem, mappings: List[str]) -> None:
             )
         local, dfs_path = mapping.split("=", 1)
         payload = pathlib.Path(local).read_bytes()
-        dfs.write_file(dfs_path, payload, overwrite=True)
+        session.write_file(dfs_path, payload)
 
 
-def _build_engine(args) -> tuple:
-    dfs = DistributedFileSystem(n_datanodes=args.datanodes)
-    _load_data(dfs, args.data or [])
-    restore = None if args.no_restore else ReStoreManager(dfs)
-    server = PigServer(dfs, restore=restore)
-    return dfs, server, restore
+def _build_session(args) -> ReStoreSession:
+    builder = ReStoreSession.builder().datanodes(args.datanodes)
+    if args.no_restore:
+        builder.without_restore()
+    else:
+        builder.heuristic(args.heuristic).selector(args.selector)
+        if args.evict:
+            builder.evict(*args.evict)
+    try:
+        session = builder.build()
+    except ValueError as exc:
+        # unknown plugin names / bad specs: the message lists the
+        # valid registry entries
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    _load_data(session, args.data or [])
+    return session
 
 
 def cmd_run(args) -> int:
     source = pathlib.Path(args.script).read_text()
-    dfs, server, restore = _build_engine(args)
-    result = server.run(source, name=pathlib.Path(args.script).stem)
+    session = _build_session(args)
+    result = session.run(source, name=pathlib.Path(args.script).stem)
 
     for path, rows in result.outputs.items():
         print(f"== {path} ({len(rows)} rows) ==")
@@ -60,15 +70,15 @@ def cmd_run(args) -> int:
         print("ReStore rewrites:")
         for event in result.rewrites:
             print(f"  {event}")
-    if restore is not None:
-        print(f"repository: {len(restore.repository)} entries")
+    if session.repository is not None:
+        print(f"repository: {len(session.repository)} entries")
     return 0
 
 
 def cmd_explain(args) -> int:
     source = pathlib.Path(args.script).read_text()
-    _, server, _ = _build_engine(args)
-    print(server.explain(source))
+    session = _build_session(args)
+    print(session.explain(source))
     return 0
 
 
@@ -140,6 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="run on a stock engine without ReStore",
         )
+        p.add_argument(
+            "--heuristic",
+            default="aggressive",
+            metavar="NAME",
+            help="sub-job heuristic plugin (e.g. conservative, "
+                 "aggressive, no-heuristic, never)",
+        )
+        p.add_argument(
+            "--selector",
+            default="keep-all",
+            metavar="NAME",
+            help="keep selector plugin (e.g. keep-all, rules)",
+        )
+        p.add_argument(
+            "--evict",
+            action="append",
+            metavar="NAME[:ARG]",
+            help="eviction policy plugin, repeatable (e.g. "
+                 "time-window:4, input-modified, capacity:1048576)",
+        )
 
     run_p = sub.add_parser("run", help="execute a Pig script")
     add_engine_args(run_p)
@@ -165,7 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SystemExit as exc:
+        if isinstance(exc.code, int):
+            return exc.code
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,12 +3,15 @@
 from repro.core.algorithm1 import PairwisePlanTraversal, algorithm1_contains
 from repro.core.enumerator import CandidateSubJob, SubJobEnumerator
 from repro.core.eviction import (
+    EVICTION_POLICIES,
     CapacityEviction,
     EvictionPolicy,
     InputModifiedEviction,
     TimeWindowEviction,
+    eviction_by_name,
 )
 from repro.core.heuristics import (
+    HEURISTICS,
     AggressiveHeuristic,
     ConservativeHeuristic,
     Heuristic,
@@ -19,17 +22,26 @@ from repro.core.heuristics import (
 )
 from repro.core.manager import ReStoreConfig, ReStoreManager
 from repro.core.matcher import MatchResult, PlanMatcher, operators_equivalent
+from repro.core.registry import PluginRegistry
 from repro.core.repository import EntryStats, Repository, RepositoryEntry
 from repro.core.rewriter import PlanRewriter
 from repro.core.selector import (
+    SELECTORS,
     KeepAllSelector,
     KeepDecision,
     RuleBasedSelector,
     Selector,
+    selector_by_name,
 )
 
 __all__ = [
     "AggressiveHeuristic",
+    "EVICTION_POLICIES",
+    "HEURISTICS",
+    "PluginRegistry",
+    "SELECTORS",
+    "eviction_by_name",
+    "selector_by_name",
     "PairwisePlanTraversal",
     "algorithm1_contains",
     "CandidateSubJob",

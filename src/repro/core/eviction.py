@@ -11,8 +11,14 @@ from __future__ import annotations
 
 from typing import List
 
+from typing import Optional
+
+from repro.core.registry import PluginRegistry
 from repro.core.repository import Repository, RepositoryEntry
 from repro.dfs.filesystem import DistributedFileSystem
+
+#: name -> policy class; extend with ``EVICTION_POLICIES.register``
+EVICTION_POLICIES = PluginRegistry("eviction policy")
 
 
 class EvictionPolicy:
@@ -25,7 +31,15 @@ class EvictionPolicy:
     ) -> List[RepositoryEntry]:
         raise NotImplementedError
 
+    @classmethod
+    def from_spec(cls, arg: Optional[str]) -> "EvictionPolicy":
+        """Build from the argument part of a ``name[:arg]`` CLI spec."""
+        if arg is not None:
+            raise ValueError(f"{cls.name} takes no argument, got {arg!r}")
+        return cls()
 
+
+@EVICTION_POLICIES.register("time-window", aliases=("window",))
 class TimeWindowEviction(EvictionPolicy):
     """Rule 3: not reused within ``window`` logical ticks.
 
@@ -36,10 +50,17 @@ class TimeWindowEviction(EvictionPolicy):
 
     name = "time-window"
 
+    #: default window when built from a bare ``time-window`` spec
+    DEFAULT_WINDOW = 7
+
     def __init__(self, window: int):
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window
+
+    @classmethod
+    def from_spec(cls, arg: Optional[str]) -> "TimeWindowEviction":
+        return cls(window=int(arg) if arg is not None else cls.DEFAULT_WINDOW)
 
     def select_victims(
         self, repository: Repository, dfs: DistributedFileSystem, now: int
@@ -52,6 +73,7 @@ class TimeWindowEviction(EvictionPolicy):
         return victims
 
 
+@EVICTION_POLICIES.register("input-modified", aliases=("stale",))
 class InputModifiedEviction(EvictionPolicy):
     """Rule 4: a source dataset was deleted or has a newer mtime."""
 
@@ -69,6 +91,7 @@ class InputModifiedEviction(EvictionPolicy):
         return victims
 
 
+@EVICTION_POLICIES.register("capacity", aliases=("lru",))
 class CapacityEviction(EvictionPolicy):
     """Extension: keep total stored bytes under a budget (LRU order)."""
 
@@ -78,6 +101,13 @@ class CapacityEviction(EvictionPolicy):
         if capacity_bytes < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity_bytes = capacity_bytes
+
+    @classmethod
+    def from_spec(cls, arg: Optional[str]) -> "CapacityEviction":
+        if arg is None:
+            raise ValueError("capacity eviction needs a byte budget, "
+                             "e.g. capacity:1048576")
+        return cls(capacity_bytes=int(arg))
 
     def select_victims(
         self, repository: Repository, dfs: DistributedFileSystem, now: int
@@ -97,3 +127,13 @@ class CapacityEviction(EvictionPolicy):
             victims.append(entry)
             freed += entry.stats.output_bytes
         return victims
+
+
+def eviction_by_name(spec: str) -> EvictionPolicy:
+    """Build a policy from a ``name`` or ``name:arg`` spec string.
+
+    Examples: ``time-window:4``, ``input-modified``, ``capacity:1048576``.
+    """
+    name, sep, arg = spec.partition(":")
+    policy_cls = EVICTION_POLICIES.get(name)
+    return policy_cls.from_spec(arg if sep else None)

@@ -16,6 +16,7 @@ after an expensive Group operator").
 
 from __future__ import annotations
 
+from repro.core.registry import PluginRegistry
 from repro.pig.physical.operators import (
     PhysicalOperator,
     POFilter,
@@ -96,6 +97,10 @@ def classify_operator(op: PhysicalOperator, plan: PhysicalPlan) -> str:
 _NEVER = {"structural", "join-package"}
 
 
+#: name -> heuristic class; extend with ``HEURISTICS.register``
+HEURISTICS = PluginRegistry("heuristic")
+
+
 class Heuristic:
     """Decides which operators' outputs to materialize as sub-jobs."""
 
@@ -108,6 +113,7 @@ class Heuristic:
         return f"<Heuristic {self.name}>"
 
 
+@HEURISTICS.register("conservative", aliases=("hc",))
 class ConservativeHeuristic(Heuristic):
     """HC: operators that reduce their input size (Project, Filter)."""
 
@@ -118,6 +124,7 @@ class ConservativeHeuristic(Heuristic):
         return classify_operator(op, plan) in self._CATEGORIES
 
 
+@HEURISTICS.register("aggressive", aliases=("ha",))
 class AggressiveHeuristic(Heuristic):
     """HA: size-reducing plus expensive operators (the paper default)."""
 
@@ -128,6 +135,7 @@ class AggressiveHeuristic(Heuristic):
         return classify_operator(op, plan) in self._CATEGORIES
 
 
+@HEURISTICS.register("no-heuristic", aliases=("nh",))
 class NoHeuristic(Heuristic):
     """NH: a Store after every (materializable) physical operator."""
 
@@ -137,6 +145,7 @@ class NoHeuristic(Heuristic):
         return classify_operator(op, plan) not in _NEVER
 
 
+@HEURISTICS.register("never")
 class NeverMaterialize(Heuristic):
     """Disables sub-job generation entirely (whole jobs only)."""
 
@@ -146,22 +155,6 @@ class NeverMaterialize(Heuristic):
         return False
 
 
-_BY_NAME = {
-    "conservative": ConservativeHeuristic,
-    "hc": ConservativeHeuristic,
-    "aggressive": AggressiveHeuristic,
-    "ha": AggressiveHeuristic,
-    "no-heuristic": NoHeuristic,
-    "nh": NoHeuristic,
-    "never": NeverMaterialize,
-}
-
-
 def heuristic_by_name(name: str) -> Heuristic:
     """Look up a heuristic by its paper name (HC / HA / NH / never)."""
-    try:
-        return _BY_NAME[name.lower()]()
-    except KeyError:
-        raise ValueError(
-            f"unknown heuristic {name!r}; expected one of {sorted(_BY_NAME)}"
-        ) from None
+    return HEURISTICS.create(name)

@@ -8,22 +8,38 @@ enumerator injects Split+Store instrumentation chosen by the active
 heuristic; after execution, (3) the enumerated sub-job selector
 decides which outputs stay in the repository, statistics are recorded,
 and eviction policies run between workflows.
+
+Every decision is published as a typed :class:`repro.events.ReStoreEvent`
+on ``manager.events`` (an :class:`repro.events.EventBus`); the engine
+collects them through the :class:`repro.mapreduce.runner.JobListener`
+protocol's ``drain()``.  The legacy string channel
+(:meth:`ReStoreManager.drain_events`) remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Union
 
 from repro.core.enumerator import CandidateSubJob, SubJobEnumerator
-from repro.core.eviction import EvictionPolicy
+from repro.core.eviction import EvictionPolicy, eviction_by_name
 from repro.core.heuristics import Heuristic, heuristic_by_name
 from repro.core.matcher import PlanMatcher
 from repro.core.repository import EntryStats, Repository, RepositoryEntry
 from repro.core.rewriter import PlanRewriter
-from repro.core.selector import KeepAllSelector, Selector
+from repro.core.selector import Selector, selector_by_name
 from repro.costmodel.model import CostModel, estimate_standalone_time
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.events import (
+    EntryEvicted,
+    EventBus,
+    JobEliminated,
+    ReStoreEvent,
+    RewriteApplied,
+    SubJobDiscarded,
+    SubJobStored,
+)
 from repro.mapreduce.job import MapReduceJob, Workflow
 from repro.mapreduce.runner import JobListener
 from repro.mapreduce.stats import JobStats
@@ -32,7 +48,14 @@ from repro.pig.physical.operators import POLoad
 
 @dataclass
 class ReStoreConfig:
-    """Behavioural switches for the manager."""
+    """Behavioural switches for the manager.
+
+    ``heuristic``, ``selector``, and ``eviction_policies`` accept
+    either plugin instances or registry names (``"aggressive"``,
+    ``"rules"``, ``"time-window:4"``, ...) — names are resolved when a
+    manager is built, so string-only configuration (CLI flags, JSON
+    files via :meth:`from_dict`) reaches every policy knob.
+    """
 
     heuristic: Union[str, Heuristic] = "aggressive"
     rewrite_enabled: bool = True
@@ -46,8 +69,10 @@ class ReStoreConfig:
     #: requires consumers to be redirected to the stored (canonical)
     #: copy of their producer's output.
     register_whole_jobs: str = "all"
-    selector: Selector = field(default_factory=KeepAllSelector)
-    eviction_policies: List[EvictionPolicy] = field(default_factory=list)
+    selector: Union[str, Selector] = "keep-all"
+    eviction_policies: List[Union[str, EvictionPolicy]] = field(
+        default_factory=list
+    )
     #: upper bound on rewrite rescans per job (paper: loop until no match)
     max_rewrite_passes: int = 20
 
@@ -55,6 +80,56 @@ class ReStoreConfig:
         if isinstance(self.heuristic, Heuristic):
             return self.heuristic
         return heuristic_by_name(self.heuristic)
+
+    def resolve_selector(
+        self, cost_model: Optional[CostModel] = None
+    ) -> Selector:
+        if isinstance(self.selector, Selector):
+            return self.selector
+        return selector_by_name(self.selector, cost_model=cost_model)
+
+    def resolve_eviction_policies(self) -> List[EvictionPolicy]:
+        return [
+            policy if isinstance(policy, EvictionPolicy)
+            else eviction_by_name(policy)
+            for policy in self.eviction_policies
+        ]
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ReStoreConfig":
+        """Build a config from plain JSON-shaped data.
+
+        Plugin fields stay as names and resolve lazily against the
+        registries; unknown keys raise immediately so typos in config
+        files surface at load time::
+
+            ReStoreConfig.from_dict({
+                "heuristic": "conservative",
+                "selector": "rules",
+                "eviction_policies": ["time-window:4", "input-modified"],
+                "register_whole_jobs": "temporary-only",
+            })
+        """
+        known = {
+            "heuristic", "rewrite_enabled", "inject_enabled",
+            "register_whole_jobs", "selector", "eviction_policies",
+            "max_rewrite_passes",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ReStoreConfig keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if "eviction_policies" in kwargs:
+            kwargs["eviction_policies"] = list(kwargs["eviction_policies"])
+        config = cls(**kwargs)
+        # fail fast on unknown plugin names (the point of from_dict)
+        config.resolve_heuristic()
+        config.resolve_selector()
+        config.resolve_eviction_policies()
+        return config
 
 
 class ReStoreManager(JobListener):
@@ -66,6 +141,7 @@ class ReStoreManager(JobListener):
         cost_model: Optional[CostModel] = None,
         repository: Optional[Repository] = None,
         config: Optional[ReStoreConfig] = None,
+        event_bus: Optional[EventBus] = None,
     ):
         self.dfs = dfs
         self.cost_model = cost_model or CostModel()
@@ -77,15 +153,23 @@ class ReStoreManager(JobListener):
             repository if repository is not None else Repository(self.matcher)
         )
         self.enumerator = SubJobEnumerator(self.config.resolve_heuristic())
+        self.selector = self.config.resolve_selector(self.cost_model)
+        self.eviction_policies = self.config.resolve_eviction_policies()
+        #: typed event fan-out; subscribe for live reuse telemetry
+        self.events = event_bus or EventBus()
         #: DFS paths the engine must not delete during temp cleanup
         self.kept_paths: Set[str] = set()
         #: logical clock: one tick per workflow (drives eviction Rule 3)
         self.clock = 0
         self._pending: Dict[str, List[CandidateSubJob]] = {}
-        self._events: List[str] = []
+        self._pending_events: List[ReStoreEvent] = []
         # counters for reporting / tests
         self.rewrite_count = 0
         self.elimination_count = 0
+
+    def _emit(self, event: ReStoreEvent) -> None:
+        self.events.emit(event)
+        self._pending_events.append(event)
 
     # -- JobListener hooks -----------------------------------------------------------
 
@@ -106,6 +190,13 @@ class ReStoreManager(JobListener):
         for candidate in self._pending.pop(job.job_id, []):
             self._register_sub_job(candidate, stats)
         self._register_whole_job(job, stats)
+
+    def protected_paths(self) -> Set[str]:
+        return set(self.kept_paths)
+
+    def drain(self) -> List[ReStoreEvent]:
+        events, self._pending_events = self._pending_events, []
+        return events
 
     # -- matching & rewriting (component 1) -----------------------------------------------
 
@@ -128,10 +219,12 @@ class ReStoreManager(JobListener):
                 )
                 entry.mark_used(self.clock)
                 self.rewrite_count += 1
-                self._events.append(
-                    f"{job.job_id}: reused sub-job {entry.entry_id} "
-                    f"({entry.anchor_kind}) from {entry.output_path}"
-                )
+                self._emit(RewriteApplied(
+                    job_id=job.job_id,
+                    entry_id=entry.entry_id,
+                    anchor_kind=entry.anchor_kind,
+                    output_path=entry.output_path,
+                ))
                 matched = True
                 break
             if not matched:
@@ -156,26 +249,34 @@ class ReStoreManager(JobListener):
             others = [j for j in workflow.jobs if j is not job]
             self.rewriter.redirect_loads(others, job.output_path, entry.output_path)
             self.elimination_count += 1
-            self._events.append(
-                f"{job.job_id}: whole job answered by {entry.entry_id}; "
-                f"consumers redirected to {entry.output_path}"
-            )
+            self._emit(JobEliminated(
+                job_id=job.job_id,
+                entry_id=entry.entry_id,
+                output_path=entry.output_path,
+                reason="redirected",
+            ))
             return
         if entry.output_path == job.output_path and self.dfs.exists(entry.output_path):
             # Resubmission of the very same query: result already there.
             job.eliminated_by = entry.entry_id
             self.elimination_count += 1
-            self._events.append(
-                f"{job.job_id}: result already stored at {entry.output_path}"
-            )
+            self._emit(JobEliminated(
+                job_id=job.job_id,
+                entry_id=entry.entry_id,
+                output_path=entry.output_path,
+                reason="already-stored",
+            ))
             return
         # Final job writing elsewhere: degrade to a copy job.
         self.rewriter.rewrite_as_copy_job(job, entry.output_path, entry.output_schema)
         self.rewrite_count += 1
-        self._events.append(
-            f"{job.job_id}: whole job matched {entry.entry_id}; "
-            f"rewritten to copy {entry.output_path}"
-        )
+        self._emit(RewriteApplied(
+            job_id=job.job_id,
+            entry_id=entry.entry_id,
+            anchor_kind=entry.anchor_kind,
+            output_path=entry.output_path,
+            whole_job=True,
+        ))
 
     # -- registration (components 2+3) ----------------------------------------------------
 
@@ -212,15 +313,22 @@ class ReStoreManager(JobListener):
             last_used_at=self.clock,
             input_mtimes=self._mtimes(load_paths),
         )
-        decision = self.config.selector.decide(entry)
+        decision = self.selector.decide(entry)
         if not decision.keep:
             self._discard_file(candidate.store_path)
-            self._events.append(
-                f"discarded sub-job output {candidate.store_path}: {decision.reason}"
-            )
+            self._emit(SubJobDiscarded(
+                output_path=candidate.store_path,
+                reason=decision.reason,
+                anchor_kind="sub-job",
+            ))
             return
         self.repository.add(entry)
         self.kept_paths.add(candidate.store_path)
+        self._emit(SubJobStored(
+            entry_id=entry.entry_id,
+            output_path=candidate.store_path,
+            anchor_kind=candidate.anchor_kind,
+        ))
 
     def _register_whole_job(self, job: MapReduceJob, stats: JobStats) -> None:
         policy = self.config.register_whole_jobs
@@ -255,15 +363,22 @@ class ReStoreManager(JobListener):
             last_used_at=self.clock,
             input_mtimes=self._mtimes(load_paths),
         )
-        decision = self.config.selector.decide(entry)
+        decision = self.selector.decide(entry)
         if not decision.keep:
-            self._events.append(
-                f"not keeping whole-job output {primary.path}: {decision.reason}"
-            )
+            self._emit(SubJobDiscarded(
+                output_path=primary.path,
+                reason=decision.reason,
+                anchor_kind="whole-job",
+            ))
             return
         self.repository.add(entry)
         if job.temporary:
             self.kept_paths.add(primary.path)
+        self._emit(SubJobStored(
+            entry_id=entry.entry_id,
+            output_path=primary.path,
+            anchor_kind="whole-job",
+        ))
 
     def _mtimes(self, paths) -> Dict[str, int]:
         return {
@@ -284,7 +399,7 @@ class ReStoreManager(JobListener):
         changed = True
         while changed:
             changed = False
-            for policy in self.config.eviction_policies:
+            for policy in self.eviction_policies:
                 victims = policy.select_victims(
                     self.repository, self.dfs, self.clock
                 )
@@ -304,18 +419,42 @@ class ReStoreManager(JobListener):
         if entry.output_path in self.kept_paths:
             self.kept_paths.discard(entry.output_path)
             self._discard_file(entry.output_path)
-        self._events.append(
-            f"evicted {entry.entry_id} ({reason}): {entry.output_path}"
-        )
+        self._emit(EntryEvicted(
+            entry_id=entry.entry_id,
+            policy=reason,
+            output_path=entry.output_path,
+        ))
 
     def _discard_file(self, path: str) -> None:
         self.dfs.delete_if_exists(path)
 
     # -- reporting ---------------------------------------------------------------------------------
 
+    #: event types whose rendered form the legacy string channel carried
+    _LEGACY_EVENT_TYPES = (
+        RewriteApplied, JobEliminated, SubJobDiscarded, EntryEvicted,
+    )
+
+    @classmethod
+    def legacy_strings(cls, events: Sequence[ReStoreEvent]) -> List[str]:
+        """Project typed events onto the pre-1.1 string log (which had
+        no 'stored' lines — only rewrites, eliminations, discards, and
+        evictions)."""
+        return [
+            event.render() for event in events
+            if isinstance(event, cls._LEGACY_EVENT_TYPES)
+        ]
+
     def drain_events(self) -> List[str]:
-        events, self._events = self._events, []
-        return events
+        """Deprecated: use ``drain()`` for typed events, or subscribe
+        to ``manager.events``."""
+        warnings.warn(
+            "ReStoreManager.drain_events() is deprecated; use drain() for "
+            "typed events or subscribe to manager.events",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.legacy_strings(self.drain())
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,76 @@
+"""Name-based plugin registries for heuristics, selectors, and
+eviction policies.
+
+Each pluggable family (sub-job heuristics, keep selectors, eviction
+policies) owns one :class:`PluginRegistry`.  Registering under a name
+makes the plugin reachable from string configuration — the CLI's
+``--heuristic/--selector/--evict`` flags, ``ReStoreConfig.from_dict``,
+and the session builder all resolve through these registries, so a
+third-party policy only needs one ``register`` call to become a
+first-class citizen everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class PluginRegistry:
+    """A case-insensitive name -> factory map with helpful errors."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+        self._canonical: Dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable] = None,
+        *,
+        aliases: tuple = (),
+    ):
+        """Register ``factory`` under ``name`` (plus ``aliases``).
+
+        Usable directly or as a class decorator::
+
+            @SELECTORS.register("keep-all")
+            class KeepAllSelector(Selector): ...
+        """
+        if factory is None:
+            def decorator(cls):
+                self.register(name, cls, aliases=aliases)
+                return cls
+            return decorator
+        key = name.lower()
+        self._factories[key] = factory
+        self._canonical[key] = key
+        for alias in aliases:
+            self._factories[alias.lower()] = factory
+            self._canonical[alias.lower()] = key
+        return factory
+
+    def names(self, include_aliases: bool = True) -> List[str]:
+        if include_aliases:
+            return sorted(self._factories)
+        return sorted(set(self._canonical.values()))
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._factories
+
+    def get(self, name: str) -> Callable:
+        """The registered factory itself (uninstantiated).
+
+        Raises ``ValueError`` naming every valid entry when ``name``
+        is unknown — the message is part of the CLI contract.
+        """
+        try:
+            return self._factories[name.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; expected one of {self.names()}"
+            ) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the plugin registered under ``name``."""
+        return self.get(name)(*args, **kwargs)

@@ -16,8 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.registry import PluginRegistry
 from repro.core.repository import RepositoryEntry
 from repro.costmodel.model import CostModel, estimate_standalone_time
+
+#: name -> selector class; extend with ``SELECTORS.register``.  Every
+#: registered factory must accept ``cost_model=`` (may ignore it) so
+#: selectors resolved by name share the session's cost model.
+SELECTORS = PluginRegistry("selector")
 
 
 @dataclass
@@ -35,15 +41,20 @@ class Selector:
         raise NotImplementedError
 
 
+@SELECTORS.register("keep-all", aliases=("all",))
 class KeepAllSelector(Selector):
     """The paper's experimental configuration: store everything."""
 
     name = "keep-all"
 
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model  # unused; accepted for registry symmetry
+
     def decide(self, entry: RepositoryEntry) -> KeepDecision:
         return KeepDecision(True, "keep-all policy")
 
 
+@SELECTORS.register("rules", aliases=("rule-based",))
 class RuleBasedSelector(Selector):
     """Rules 1 and 2 of §5."""
 
@@ -87,3 +98,11 @@ class RuleBasedSelector(Selector):
             f"keeps {stats.input_bytes - stats.output_bytes} B of input "
             f"off future loads; saves ~{recompute_time - reuse_time:.1f}s",
         )
+
+
+def selector_by_name(
+    name: str, cost_model: Optional[CostModel] = None
+) -> Selector:
+    """Resolve a selector by registry name, injecting ``cost_model``
+    so Rule-2 estimates agree with the rest of the session."""
+    return SELECTORS.create(name, cost_model=cost_model)

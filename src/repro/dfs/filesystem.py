@@ -10,6 +10,7 @@ the cost model.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, List, Optional
 
 from repro.dfs.blocks import Block, split_into_blocks
@@ -50,6 +51,19 @@ class DistributedFileSystem:
         self.bytes_written = 0
         # Physical counter including replication fan-out.
         self.replica_bytes_written = 0
+        self._script_ids = itertools.count(1)
+
+    def next_script_id(self) -> int:
+        """Allocate a script id unique within this filesystem.
+
+        Temp-output prefixes (``tmp/s<id>``) must never collide between
+        engines sharing one DFS — a second engine overwriting another's
+        kept temp file silently corrupts the ReStore repository — so
+        the filesystem, the shared resource, hands out the numbering.
+        A fresh DFS restarts at 1, keeping paths deterministic per
+        test/session.
+        """
+        return next(self._script_ids)
 
     # -- writes -------------------------------------------------------------------
 

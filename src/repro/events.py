@@ -1,0 +1,203 @@
+"""Typed ReStore events and the session event bus.
+
+The manager used to log its decisions as pre-rendered strings; tooling
+that wanted to react to a rewrite had to grep them.  This module gives
+every decision a dataclass — ``RewriteApplied``, ``JobEliminated``,
+``SubJobStored``, ``SubJobDiscarded``, ``EntryEvicted`` — delivered
+through an :class:`EventBus` that supports subscription with type and
+predicate filters.
+
+``render()`` on each event reproduces the legacy log line, so the
+deprecated string channels (``ReStoreManager.drain_events()``,
+``PigRunResult.rewrites``) keep emitting byte-identical text.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple, Type, Union
+
+
+@dataclass
+class ReStoreEvent:
+    """Base class for everything the manager announces.
+
+    ``seq`` is a bus-assigned monotonically increasing sequence number
+    (0 until the event passes through a bus); it makes global ordering
+    explicit for subscribers that buffer events.
+    """
+
+    seq: int = field(default=0, init=False, compare=False)
+
+    def render(self) -> str:
+        """The legacy human-readable log line for this event."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class RewriteApplied(ReStoreEvent):
+    """A job's plan was rewritten to load a stored result (§3)."""
+
+    job_id: str = ""
+    entry_id: str = ""
+    anchor_kind: str = ""
+    output_path: str = ""
+    #: True when the entire job matched and degraded to a copy job
+    whole_job: bool = False
+
+    def render(self) -> str:
+        if self.whole_job:
+            return (
+                f"{self.job_id}: whole job matched {self.entry_id}; "
+                f"rewritten to copy {self.output_path}"
+            )
+        return (
+            f"{self.job_id}: reused sub-job {self.entry_id} "
+            f"({self.anchor_kind}) from {self.output_path}"
+        )
+
+
+@dataclass
+class JobEliminated(ReStoreEvent):
+    """A whole job was answered from the repository without running."""
+
+    job_id: str = ""
+    entry_id: str = ""
+    output_path: str = ""
+    #: "redirected" (intermediate job; consumers re-pointed) or
+    #: "already-stored" (resubmission of the same query)
+    reason: str = "redirected"
+
+    def render(self) -> str:
+        if self.reason == "already-stored":
+            return f"{self.job_id}: result already stored at {self.output_path}"
+        return (
+            f"{self.job_id}: whole job answered by {self.entry_id}; "
+            f"consumers redirected to {self.output_path}"
+        )
+
+
+@dataclass
+class SubJobStored(ReStoreEvent):
+    """An output passed the selector and entered the repository."""
+
+    entry_id: str = ""
+    output_path: str = ""
+    anchor_kind: str = ""
+    reason: str = ""
+
+    def render(self) -> str:
+        text = (
+            f"stored {self.anchor_kind} output {self.output_path} "
+            f"as {self.entry_id}"
+        )
+        return f"{text}: {self.reason}" if self.reason else text
+
+
+@dataclass
+class SubJobDiscarded(ReStoreEvent):
+    """The selector rejected a freshly produced output (§5 rules)."""
+
+    output_path: str = ""
+    reason: str = ""
+    anchor_kind: str = "sub-job"
+
+    def render(self) -> str:
+        if self.anchor_kind == "whole-job":
+            return f"not keeping whole-job output {self.output_path}: {self.reason}"
+        return f"discarded sub-job output {self.output_path}: {self.reason}"
+
+
+@dataclass
+class EntryEvicted(ReStoreEvent):
+    """An eviction policy removed an entry (§5 rules 3-4, capacity)."""
+
+    entry_id: str = ""
+    policy: str = ""
+    output_path: str = ""
+
+    def render(self) -> str:
+        return f"evicted {self.entry_id} ({self.policy}): {self.output_path}"
+
+
+EventTypes = Union[Type[ReStoreEvent], Tuple[Type[ReStoreEvent], ...]]
+
+
+@dataclass
+class _Subscription:
+    callback: Callable[[ReStoreEvent], None]
+    event_types: Optional[Tuple[Type[ReStoreEvent], ...]]
+    predicate: Optional[Callable[[ReStoreEvent], bool]]
+    active: bool = True
+
+    def wants(self, event: ReStoreEvent) -> bool:
+        if not self.active:
+            return False
+        if self.event_types is not None and not isinstance(event, self.event_types):
+            return False
+        if self.predicate is not None and not self.predicate(event):
+            return False
+        return True
+
+
+class EventBus:
+    """Synchronous publish/subscribe fan-out for :class:`ReStoreEvent`.
+
+    Subscribers are invoked in subscription order, on the emitting
+    thread, in emission order; ``emit`` stamps each event with a
+    strictly increasing ``seq`` before dispatch.
+    """
+
+    def __init__(self):
+        self._subscriptions: List[_Subscription] = []
+        self._seq = itertools.count(1)
+
+    def subscribe(
+        self,
+        callback: Callable[[ReStoreEvent], None],
+        event_types: Optional[EventTypes] = None,
+        predicate: Optional[Callable[[ReStoreEvent], bool]] = None,
+    ) -> Callable[[], None]:
+        """Register ``callback``; returns an unsubscribe function.
+
+        ``event_types`` restricts delivery to instances of the given
+        event class(es); ``predicate`` adds an arbitrary filter.
+        """
+        if event_types is not None and not isinstance(event_types, tuple):
+            event_types = (event_types,)
+        subscription = _Subscription(callback, event_types, predicate)
+        self._subscriptions.append(subscription)
+
+        def unsubscribe() -> None:
+            subscription.active = False
+            if subscription in self._subscriptions:
+                self._subscriptions.remove(subscription)
+
+        return unsubscribe
+
+    def collect(
+        self,
+        event_types: Optional[EventTypes] = None,
+        predicate: Optional[Callable[[ReStoreEvent], bool]] = None,
+    ) -> List[ReStoreEvent]:
+        """Subscribe a growing list and return it (handy for tooling
+        and tests: ``seen = bus.collect(RewriteApplied)``)."""
+        seen: List[ReStoreEvent] = []
+        self.subscribe(seen.append, event_types=event_types, predicate=predicate)
+        return seen
+
+    def emit(self, event: ReStoreEvent) -> ReStoreEvent:
+        event.seq = next(self._seq)
+        for subscription in list(self._subscriptions):
+            if subscription.wants(event):
+                subscription.callback(event)
+        return event
+
+
+def render_events(events: Iterable[ReStoreEvent]) -> List[str]:
+    """Legacy string projection of an event stream."""
+    return [event.render() for event in events]

@@ -33,6 +33,7 @@ from repro.dfs.filesystem import DistributedFileSystem
 from repro.mapreduce.cluster import ClusterConfig
 from repro.pig.engine import PigRunResult, PigServer
 from repro.pigmix.datagen import PigMixConfig, PigMixDataGenerator, PigMixDataset
+from repro.session import ReStoreSession
 from repro.pigmix.queries import build_query
 from repro.pigmix.synthetic import (
     SyntheticConfig,
@@ -102,13 +103,21 @@ class PigMixSandbox:
             data_scale=self.dataset.data_scale(scale),
         )
 
-    def server(self, restore: Optional[ReStoreManager] = None) -> PigServer:
-        return PigServer(
-            self.dfs,
+    def session(
+        self, restore: Optional[ReStoreManager] = None
+    ) -> ReStoreSession:
+        """A session over this sandbox's DFS/cluster/cost model, with
+        ReStore attached when a manager is supplied."""
+        return ReStoreSession(
+            dfs=self.dfs,
             cluster=self.cluster,
             cost_model=self.cost_model,
-            restore=restore,
+            manager=restore,
+            restore_enabled=restore is not None,
         )
+
+    def server(self, restore: Optional[ReStoreManager] = None) -> PigServer:
+        return self.session(restore).server
 
     def manager(
         self,
@@ -150,13 +159,19 @@ class SyntheticSandbox:
             cluster=self.cluster, data_scale=self.dataset.data_scale
         )
 
-    def server(self, restore: Optional[ReStoreManager] = None) -> PigServer:
-        return PigServer(
-            self.dfs,
+    def session(
+        self, restore: Optional[ReStoreManager] = None
+    ) -> ReStoreSession:
+        return ReStoreSession(
+            dfs=self.dfs,
             cluster=self.cluster,
             cost_model=self.cost_model,
-            restore=restore,
+            manager=restore,
+            restore_enabled=restore is not None,
         )
+
+    def server(self, restore: Optional[ReStoreManager] = None) -> PigServer:
+        return self.session(restore).server
 
     def manager(self, heuristic: str = "conservative") -> ReStoreManager:
         config = ReStoreConfig(
@@ -199,8 +214,7 @@ class QueryMeasurement:
 def run_script(
     sandbox, source: str, restore: Optional[ReStoreManager] = None, name: str = ""
 ) -> PigRunResult:
-    server = sandbox.server(restore=restore)
-    return server.run(source, name=name)
+    return sandbox.session(restore).run(source, name=name)
 
 
 def measure_no_reuse(

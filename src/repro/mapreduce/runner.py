@@ -24,7 +24,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class JobListener:
-    """Hooks around job execution (ReStore implements these)."""
+    """Hooks around job execution (ReStore implements these).
+
+    This is the formal contract between the engine and any reuse
+    manager: besides the three execution hooks, the engine asks the
+    listener which paths to spare during temp cleanup
+    (:meth:`protected_paths`) and collects the structured events it
+    accumulated (:meth:`drain`) — no duck-typed ``getattr`` probing.
+    """
 
     def on_workflow_start(self, workflow: Workflow) -> None:
         """Called once before any job of the workflow runs."""
@@ -36,6 +43,15 @@ class JobListener:
 
     def after_job(self, job: MapReduceJob, stats: JobStats, workflow: Workflow) -> None:
         """Called after successful execution with fresh statistics."""
+
+    def protected_paths(self) -> set:
+        """DFS paths the engine must not delete during temp cleanup."""
+        return set()
+
+    def drain(self) -> list:
+        """Return (and clear) structured events accumulated since the
+        last drain — :class:`repro.events.ReStoreEvent` instances."""
+        return []
 
 
 class HadoopSimulator:

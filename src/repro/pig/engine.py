@@ -8,12 +8,12 @@ ones ReStore decided to keep.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.costmodel.model import CostModel
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.events import ReStoreEvent
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.job import Workflow
 from repro.mapreduce.runner import HadoopSimulator, JobListener
@@ -34,8 +34,16 @@ class PigRunResult:
     stats: WorkflowStats
     #: final output path -> parsed rows
     outputs: Dict[str, List[Row]] = field(default_factory=dict)
-    #: human-readable log of ReStore rewrites applied to this run
-    rewrites: List[str] = field(default_factory=list)
+    #: typed ReStore events drained from the manager for this run
+    events: List[ReStoreEvent] = field(default_factory=list)
+
+    @property
+    def rewrites(self) -> List[str]:
+        """Deprecated string view of :attr:`events` (the pre-1.1 log
+        lines: rewrites, eliminations, discards, evictions)."""
+        from repro.core.manager import ReStoreManager
+
+        return ReStoreManager.legacy_strings(self.events)
 
     @property
     def sim_seconds(self) -> float:
@@ -55,8 +63,6 @@ class PigRunResult:
 
 class PigServer:
     """Compiles and runs Pig Latin scripts on the simulated stack."""
-
-    _script_ids = itertools.count(1)
 
     def __init__(
         self,
@@ -78,8 +84,15 @@ class PigServer:
     # -- compilation ------------------------------------------------------------
 
     def compile(self, source: str, name: str = "") -> Workflow:
-        """Parse + analyze + optimize + cut into a MapReduce workflow."""
-        script_id = next(self._script_ids)
+        """Parse + analyze + optimize + cut into a MapReduce workflow.
+
+        Script ids (and thus ``tmp/s<id>`` temp prefixes) are allocated
+        by the DFS, not a process-global counter: numbering restarts
+        with every fresh filesystem (deterministic tests/sessions) but
+        can never collide between servers sharing one DFS, which would
+        overwrite temp outputs the ReStore repository kept alive.
+        """
+        script_id = self.dfs.next_script_id()
         script = parse(source)
         plan = build_logical_plan(script)
         if self.optimize:
@@ -136,10 +149,9 @@ class PigServer:
 
         # Stock Pig deletes intermediate outputs when the workflow ends;
         # ReStore keeps the ones registered in its repository (§1).
-        kept = getattr(self.restore, "kept_paths", set())
+        kept = self.restore.protected_paths() if self.restore else set()
         self.runner.cleanup_temporaries(workflow, keep=kept)
 
-        events = getattr(self.restore, "drain_events", None)
-        if callable(events):
-            result.rewrites = events()
+        if self.restore is not None:
+            result.events = list(self.restore.drain())
         return result

@@ -7,13 +7,17 @@ the library who wants Pig-style job summaries without digging through
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, Iterable, List
 
 from repro.core.manager import ReStoreManager
 from repro.core.repository import Repository
+from repro.events import ReStoreEvent
 from repro.mapreduce.job import Workflow
 from repro.mapreduce.stats import JobStats, WorkflowStats
 from repro.pig.engine import PigRunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session import ReStoreSession
 
 
 def format_bytes(n: float) -> str:
@@ -92,12 +96,22 @@ def workflow_report(workflow: Workflow, stats: WorkflowStats) -> str:
     return "\n".join(lines)
 
 
+def event_report(events: Iterable[ReStoreEvent]) -> str:
+    """Typed event stream rendered one line per event, with the event
+    class name as a prefix so streams are grep-able by type."""
+    lines = [
+        f"  [{event.seq:>3}] {type(event).__name__}: {event.render()}"
+        for event in events
+    ]
+    return "\n".join(lines) if lines else "  (no events)"
+
+
 def run_report(result: PigRunResult) -> str:
     """Full report for one script execution."""
     parts = [workflow_report(result.workflow, result.stats)]
-    if result.rewrites:
+    if result.events:
         parts.append("ReStore activity:")
-        parts.extend(f"  {event}" for event in result.rewrites)
+        parts.append(event_report(result.events))
     for path, rows in result.outputs.items():
         parts.append(f"output {path}: {len(rows)} row(s)")
     return "\n".join(parts)
@@ -130,6 +144,23 @@ def manager_report(manager: ReStoreManager) -> str:
         f"{manager.elimination_count} whole-job elimination(s), "
         f"clock={manager.clock}"
     )
+    return "\n".join(lines)
+
+
+def session_report(session: "ReStoreSession") -> str:
+    """Session summary: run totals, repository inventory, counters."""
+    executed = sum(r.stats.n_jobs_executed for r in session.results)
+    eliminated = sum(len(r.stats.eliminated_jobs) for r in session.results)
+    sim_total = sum(r.sim_seconds for r in session.results)
+    lines = [
+        f"session: {len(session.results)} run(s), {executed} job(s) "
+        f"executed, {eliminated} answered from the repository, "
+        f"{format_duration(sim_total)} simulated",
+    ]
+    if session.manager is not None:
+        lines.append(manager_report(session.manager))
+    else:
+        lines.append("ReStore: disabled")
     return "\n".join(lines)
 
 

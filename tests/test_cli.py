@@ -64,6 +64,58 @@ class TestExplain:
         assert "package group" in out
 
 
+class TestPluginFlags:
+    def test_heuristic_and_selector_flags(self, script_and_data, capsys):
+        script, data = script_and_data
+        code = main([
+            "run", str(script), "--data", f"{data}=pv",
+            "--heuristic", "conservative", "--selector", "rules",
+        ])
+        assert code == 0
+        assert "repository:" in capsys.readouterr().out
+
+    def test_evict_flag(self, script_and_data, capsys):
+        script, data = script_and_data
+        code = main([
+            "run", str(script), "--data", f"{data}=pv",
+            "--evict", "time-window:2", "--evict", "input-modified",
+        ])
+        assert code == 0
+
+    def test_unknown_heuristic_lists_valid_names(self, script_and_data, capsys):
+        script, data = script_and_data
+        code = main([
+            "run", str(script), "--data", f"{data}=pv",
+            "--heuristic", "bogus",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown heuristic 'bogus'" in err
+        assert "aggressive" in err and "conservative" in err
+
+    def test_unknown_selector_lists_valid_names(self, script_and_data, capsys):
+        script, data = script_and_data
+        code = main([
+            "run", str(script), "--data", f"{data}=pv",
+            "--selector", "bogus",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown selector 'bogus'" in err
+        assert "keep-all" in err and "rules" in err
+
+    def test_unknown_eviction_lists_valid_names(self, script_and_data, capsys):
+        script, data = script_and_data
+        code = main([
+            "explain", str(script), "--data", f"{data}=pv",
+            "--evict", "bogus:3",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown eviction policy 'bogus'" in err
+        assert "time-window" in err and "capacity" in err
+
+
 class TestExperiments:
     def test_list(self, capsys):
         assert main(["list-experiments"]) == 0
