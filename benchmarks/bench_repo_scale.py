@@ -1,0 +1,30 @@
+"""Repository-scale matching benchmark (implementation perf, not a
+paper figure): fingerprint-indexed candidate pruning vs the historical
+full scan, with identical rewrite decisions enforced.
+
+Run explicitly (benchmarks are not collected by the tier-1 suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_repo_scale.py -q
+"""
+
+import json
+
+from repro.bench.repo_scale import check_gates, run_repo_scale_benchmark
+
+from benchmarks.conftest import RESULTS_DIR
+
+
+def test_repo_scale_indexed_vs_full(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run_repo_scale_benchmark(n_probes=20),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "repo_scale.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert check_gates(payload) == []
+    top = payload["scales"][-1]
+    assert top["n_entries"] == 1000
+    assert top["decisions_identical"]
+    assert top["traversal_reduction"] >= 10.0

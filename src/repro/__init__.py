@@ -33,6 +33,7 @@ from repro.events import (
     EntryEvicted,
     EventBus,
     JobEliminated,
+    MatchScanned,
     ReStoreEvent,
     RewriteApplied,
     SubJobDiscarded,
@@ -53,6 +54,7 @@ __all__ = [
     "EventBus",
     "HadoopSimulator",
     "JobEliminated",
+    "MatchScanned",
     "PigRunResult",
     "PigServer",
     "Repository",

@@ -1,0 +1,7 @@
+"""Scale/performance benchmark harnesses (distinct from the paper-
+figure benchmarks under ``benchmarks/``, which reproduce results; these
+measure the implementation itself and feed the CI perf gates)."""
+
+from repro.bench.repo_scale import run_repo_scale_benchmark
+
+__all__ = ["run_repo_scale_benchmark"]

@@ -1,0 +1,380 @@
+"""Repository-scale matching benchmark: indexed vs full-scan.
+
+This is the repo's perf trajectory for the §3 hot path.  It grows a
+repository to N entries over a generated multi-tenant workload (many
+datasets, overlapping filter/project/group pipelines), then matches a
+stream of probe jobs against it twice with byte-identical inputs:
+
+* ``indexed`` — the fingerprint-inverted index prunes candidates
+  before Algorithm 1's pairwise traversal (production default);
+* ``full_scan`` — the historical behaviour: every ordered entry gets
+  a traversal (``ReStoreConfig(indexed_matching=False)``).
+
+Both modes must produce identical rewrite decisions (same entries
+matched in the same order, same final plan fingerprints); the payoff
+is counted in pairwise traversals and wall-clock per match.  Results
+are written to ``BENCH_repo_scale.json`` by ``scripts/run_benchmarks.py``
+and gated in CI (see the ``bench-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.core.repository import EntryStats, Repository, RepositoryEntry
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.events import JobEliminated, RewriteApplied
+from repro.mapreduce.job import MapReduceJob, Workflow
+from repro.pig.physical.operators import (
+    POFilter,
+    POForEach,
+    POGlobalRearrange,
+    POLoad,
+    POLocalRearrange,
+    POPackage,
+    POStore,
+)
+from repro.pig.physical.plan import PhysicalPlan, linear_plan
+from repro.relational.expressions import BinaryOp, Column, Const
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+ROW_SCHEMA = Schema.of(
+    ("u", DataType.CHARARRAY), ("a", DataType.INT), ("r", DataType.DOUBLE)
+)
+PAIR_SCHEMA = Schema.of(("u", DataType.CHARARRAY), ("r", DataType.DOUBLE))
+
+#: pipeline shapes, in prefix order: each later shape extends the
+#: previous one, so a probe built from the last shape can reuse any of
+#: the earlier ones stored over the same (dataset, threshold)
+SHAPES = ("filter", "project", "group", "aggregate")
+
+
+@dataclass(frozen=True)
+class EntrySpec:
+    """Deterministic description of one generated repository entry."""
+
+    index: int
+    dataset: str
+    threshold: int
+    shape: str
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """One submitted job in the probe stream.
+
+    ``kind`` shapes the reuse outcome: a ``hit`` is answered whole-job
+    from the repository, a ``variant`` shares only a pipeline prefix
+    (partial rewrite + rescan), and a ``miss`` reads a dataset the
+    repository never saw (the common case in production streams).
+    """
+
+    index: int
+    dataset: str
+    threshold: int
+    kind: str
+
+
+@dataclass
+class ModeResult:
+    """One matching mode's measurements over the probe stream."""
+
+    traversals: int = 0
+    candidates_examined: int = 0
+    candidates_pruned: int = 0
+    entries_seen: int = 0
+    rewrites: int = 0
+    eliminations: int = 0
+    build_s: float = 0.0
+    total_match_s: float = 0.0
+    match_ms: List[float] = field(default_factory=list)
+    #: per-probe decision log + final plan fingerprint (equivalence
+    #: is asserted across modes before any speedup is reported)
+    decisions: List[Tuple] = field(default_factory=list)
+
+    @property
+    def mean_match_ms(self) -> float:
+        if not self.match_ms:
+            return 0.0
+        return sum(self.match_ms) / len(self.match_ms)
+
+    @property
+    def max_match_ms(self) -> float:
+        return max(self.match_ms, default=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "traversals": self.traversals,
+            "candidates_examined": self.candidates_examined,
+            "candidates_pruned": self.candidates_pruned,
+            "entries_seen": self.entries_seen,
+            "rewrites": self.rewrites,
+            "eliminations": self.eliminations,
+            "build_s": round(self.build_s, 4),
+            "total_match_s": round(self.total_match_s, 4),
+            "mean_match_ms": round(self.mean_match_ms, 4),
+            "max_match_ms": round(self.max_match_ms, 4),
+        }
+
+
+# -- plan generation ----------------------------------------------------------
+
+
+def _pipeline_ops(spec: EntrySpec, upto: str) -> list:
+    """Operators for *spec*'s pipeline, truncated after shape *upto*."""
+    ops = [
+        POLoad(spec.dataset, ROW_SCHEMA),
+        POFilter(BinaryOp(">", Column(1), Const(spec.threshold)), schema=ROW_SCHEMA),
+    ]
+    if upto == "filter":
+        return ops
+    ops.append(
+        POForEach(
+            [Column(0), Column(2)], [False, False], ["u", "r"], schema=PAIR_SCHEMA
+        )
+    )
+    if upto == "project":
+        return ops
+    ops.extend(
+        [
+            POLocalRearrange([Column(0)], schema=PAIR_SCHEMA),
+            POGlobalRearrange(n_inputs=1, schema=PAIR_SCHEMA),
+            POPackage("group", n_inputs=1, schema=PAIR_SCHEMA),
+        ]
+    )
+    if upto == "group":
+        return ops
+    ops.append(
+        POForEach(
+            [Column(0), Column(1)], [False, False], ["g", "rows"], schema=PAIR_SCHEMA
+        )
+    )
+    return ops
+
+
+def _entry_plan(spec: EntrySpec) -> PhysicalPlan:
+    ops = _pipeline_ops(spec, spec.shape)
+    ops.append(POStore(f"bench/stored/e{spec.index:05d}", PAIR_SCHEMA))
+    return linear_plan(*ops)
+
+
+def generate_entry_specs(n_entries: int, seed: int) -> List[EntrySpec]:
+    """N unique (dataset, threshold, shape) pipelines, shuffled
+    deterministically — a multi-tenant workload's retained outputs."""
+    n_datasets = max(4, n_entries // 20)
+    n_thresholds = max(5, -(-n_entries // (n_datasets * len(SHAPES))))  # ceil
+    combos = [
+        (f"bench/ds{d:04d}", t, shape)
+        for d in range(n_datasets)
+        for t in range(1, n_thresholds + 1)
+        for shape in SHAPES
+    ]
+    rng = random.Random(seed)
+    rng.shuffle(combos)
+    return [
+        EntrySpec(index=i, dataset=ds, threshold=t, shape=shape)
+        for i, (ds, t, shape) in enumerate(combos[:n_entries])
+    ]
+
+
+def build_repository(specs: List[EntrySpec], seed: int, matcher=None) -> Repository:
+    """A repository holding one entry per spec, with varied stats so
+    the §3 ordering rules have real work to do."""
+    rng = random.Random(seed + 1)
+    repository = Repository(matcher=matcher)
+    for spec in specs:
+        input_bytes = rng.randrange(10_000, 1_000_000)
+        output_bytes = max(1, input_bytes // rng.randrange(2, 50))
+        repository.add(
+            RepositoryEntry(
+                plan=_entry_plan(spec),
+                output_path=f"bench/stored/e{spec.index:05d}",
+                output_schema=PAIR_SCHEMA,
+                stats=EntryStats(
+                    input_bytes=input_bytes,
+                    output_bytes=output_bytes,
+                    output_records=output_bytes // 16,
+                    exec_time_s=rng.uniform(5.0, 500.0),
+                ),
+                anchor_kind=spec.shape,
+                input_mtimes={spec.dataset: 1},
+            )
+        )
+    return repository
+
+
+def generate_probe_specs(
+    entry_specs: List[EntrySpec], n_probes: int, seed: int
+) -> List[ProbeSpec]:
+    """A mixed probe stream over the retained workload: whole-job
+    hits, prefix-sharing variants, and misses on unseen datasets."""
+    rng = random.Random(seed + 2)
+    probes = []
+    for i in range(n_probes):
+        kind = rng.choices(("hit", "variant", "miss"), weights=(4, 3, 3))[0]
+        template = rng.choice(entry_specs)
+        dataset = f"bench/miss{i:04d}" if kind == "miss" else template.dataset
+        probes.append(
+            ProbeSpec(
+                index=i,
+                dataset=dataset,
+                threshold=template.threshold,
+                kind=kind,
+            )
+        )
+    return probes
+
+
+def _probe_job(spec: ProbeSpec) -> Tuple[MapReduceJob, Workflow]:
+    base = EntrySpec(spec.index, spec.dataset, spec.threshold, "aggregate")
+    if spec.kind == "variant":
+        # shares load→filter→project→group with stored entries but
+        # drills down differently after the shuffle: only the prefix
+        # is reusable, forcing a partial rewrite plus a rescan pass
+        ops = _pipeline_ops(base, "group")
+        ops.append(POForEach([Column(0)], [False], ["g"], schema=PAIR_SCHEMA))
+    else:
+        ops = _pipeline_ops(base, "aggregate")
+    ops.append(POStore(f"bench/out/p{spec.index:05d}", PAIR_SCHEMA))
+    job = MapReduceJob(linear_plan(*ops), job_id=f"probe_{spec.index:05d}")
+    workflow = Workflow(jobs=[job], name=f"probe-wf-{spec.index:05d}")
+    return job, workflow
+
+
+# -- measurement --------------------------------------------------------------
+
+
+def run_mode(
+    entry_specs: List[EntrySpec],
+    probe_specs: List[ProbeSpec],
+    *,
+    indexed: bool,
+    seed: int,
+) -> ModeResult:
+    """Build the repository and match every probe once."""
+    result = ModeResult()
+    started = time.perf_counter()
+    repository = build_repository(entry_specs, seed)
+    repository.ordered_entries()  # pay ordering up front, like a session
+    result.build_s = time.perf_counter() - started
+
+    dfs = DistributedFileSystem(n_datanodes=2)
+    manager = ReStoreManager(
+        dfs,
+        repository=repository,
+        config=ReStoreConfig(
+            inject_enabled=False,
+            register_whole_jobs="none",
+            indexed_matching=indexed,
+        ),
+    )
+    decisions_log: List[tuple] = []
+    manager.events.subscribe(
+        lambda e: decisions_log.append((type(e).__name__, e.entry_id, e.output_path)),
+        event_types=(RewriteApplied, JobEliminated),
+    )
+    for spec in probe_specs:
+        job, workflow = _probe_job(spec)
+        decisions_log.clear()
+        tick = time.perf_counter()
+        manager.before_job(job, workflow)
+        elapsed = time.perf_counter() - tick
+        result.match_ms.append(elapsed * 1000.0)
+        result.total_match_s += elapsed
+        result.decisions.append(
+            (spec.index, tuple(decisions_log), job.plan.fingerprint())
+        )
+        manager.drain()  # keep the listener channel from growing
+
+    totals = manager.match_totals
+    result.traversals = totals.traversals
+    result.candidates_examined = totals.candidates_examined
+    result.candidates_pruned = totals.candidates_pruned
+    result.entries_seen = totals.entries_seen
+    result.rewrites = manager.rewrite_count
+    result.eliminations = manager.elimination_count
+    return result
+
+
+def run_scale(n_entries: int, n_probes: int, seed: int = 13) -> Dict:
+    """Measure one repository size in both modes and compare."""
+    entry_specs = generate_entry_specs(n_entries, seed)
+    probe_specs = generate_probe_specs(entry_specs, n_probes, seed)
+    indexed = run_mode(entry_specs, probe_specs, indexed=True, seed=seed)
+    full = run_mode(entry_specs, probe_specs, indexed=False, seed=seed)
+    identical = indexed.decisions == full.decisions
+    reduction = full.traversals / max(1, indexed.traversals)
+    return {
+        "n_entries": n_entries,
+        "n_probes": n_probes,
+        "modes": {
+            "indexed": indexed.to_dict(),
+            "full_scan": full.to_dict(),
+        },
+        "traversal_reduction": round(reduction, 2),
+        "decisions_identical": identical,
+    }
+
+
+DEFAULT_SCALES = (10, 100, 1000)
+QUICK_SCALES = (10, 100)
+
+
+def run_repo_scale_benchmark(
+    scales: Optional[Tuple[int, ...]] = None,
+    n_probes: int = 20,
+    seed: int = 13,
+    quick: bool = False,
+) -> Dict:
+    """The full benchmark: every scale, both modes, plus gate inputs.
+
+    ``quick`` trims the scales and probe stream for CI smoke runs.
+    """
+    if scales is None:
+        scales = QUICK_SCALES if quick else DEFAULT_SCALES
+    if quick:
+        n_probes = min(n_probes, 8)
+    return {
+        "benchmark": "repo_scale",
+        "version": 1,
+        "quick": quick,
+        "seed": seed,
+        "scales": [run_scale(n, n_probes, seed) for n in scales],
+    }
+
+
+def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
+    """CI regression gates over a benchmark payload.  Returns failure
+    messages (empty = green):
+
+    * decisions must be byte-identical between modes at every scale;
+    * indexed matching must never examine more candidates than the
+      unindexed entry count (the index would be worse than no index);
+    * at ``require_reduction_at`` entries (when measured), indexed
+      matching must run ≥10x fewer pairwise traversals.
+    """
+    failures = []
+    for scale in payload["scales"]:
+        n = scale["n_entries"]
+        indexed = scale["modes"]["indexed"]
+        full = scale["modes"]["full_scan"]
+        if not scale["decisions_identical"]:
+            failures.append(f"N={n}: indexed and full-scan rewrite decisions differ")
+        if indexed["candidates_examined"] > full["entries_seen"]:
+            failures.append(
+                f"N={n}: indexed matching examined "
+                f"{indexed['candidates_examined']} candidates, more than "
+                f"the unindexed entry count {full['entries_seen']}"
+            )
+        if n >= require_reduction_at and scale["traversal_reduction"] < 10.0:
+            failures.append(
+                f"N={n}: traversal reduction "
+                f"{scale['traversal_reduction']}x is below the 10x target "
+                f"({indexed['traversals']} vs {full['traversals']})"
+            )
+    return failures

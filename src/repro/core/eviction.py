@@ -75,20 +75,29 @@ class TimeWindowEviction(EvictionPolicy):
 
 @EVICTION_POLICIES.register("input-modified", aliases=("stale",))
 class InputModifiedEviction(EvictionPolicy):
-    """Rule 4: a source dataset was deleted or has a newer mtime."""
+    """Rule 4: a source dataset was deleted or has a newer mtime.
+
+    Walks the repository's input-path index instead of every entry:
+    each distinct source dataset is stat'ed exactly once, and only the
+    entries registered under it are checked against its current mtime.
+    """
 
     name = "input-modified"
 
     def select_victims(
         self, repository: Repository, dfs: DistributedFileSystem, now: int
     ) -> List[RepositoryEntry]:
-        victims = []
-        for entry in repository:
-            for path, recorded_mtime in entry.input_mtimes.items():
-                if not dfs.exists(path) or dfs.mtime(path) > recorded_mtime:
-                    victims.append(entry)
-                    break
-        return victims
+        victim_ids = set()
+        for path in repository.input_paths():
+            exists = dfs.exists(path)
+            current_mtime = dfs.mtime(path) if exists else None
+            for entry in repository.entries_with_input(path):
+                if entry.entry_id in victim_ids:
+                    continue
+                if not exists or current_mtime > entry.input_mtimes[path]:
+                    victim_ids.add(entry.entry_id)
+        # report in repository (insertion) order, like the full scan did
+        return [e for e in repository if e.entry_id in victim_ids]
 
 
 @EVICTION_POLICIES.register("capacity", aliases=("lru",))

@@ -31,7 +31,7 @@ from repro.pig.physical.operators import (
     POUnion,
 )
 from repro.pig.physical.plan import PhysicalPlan
-from repro.relational.expressions import AggCall, BagField, BagStar, Column
+from repro.relational.expressions import AggCall, BagField, BagStar
 
 
 def _is_group_all(op: POPackage, plan: PhysicalPlan) -> bool:

@@ -35,6 +35,7 @@ from repro.events import (
     EntryEvicted,
     EventBus,
     JobEliminated,
+    MatchScanned,
     ReStoreEvent,
     RewriteApplied,
     SubJobDiscarded,
@@ -60,6 +61,11 @@ class ReStoreConfig:
     heuristic: Union[str, Heuristic] = "aggressive"
     rewrite_enabled: bool = True
     inject_enabled: bool = True
+    #: when True (default) the repository's fingerprint index prunes
+    #: match candidates before the pairwise traversal; False restores
+    #: the historical full scan (ablation / benchmark baseline) —
+    #: decisions are identical either way, only the work differs
+    indexed_matching: bool = True
     #: whole-job registration policy (§2.1 type 1): "all", "none", or
     #: "temporary-only".  The last registers only intermediate
     #: (workflow-internal) job outputs — it isolates sub-job reuse for
@@ -112,8 +118,8 @@ class ReStoreConfig:
         """
         known = {
             "heuristic", "rewrite_enabled", "inject_enabled",
-            "register_whole_jobs", "selector", "eviction_policies",
-            "max_rewrite_passes",
+            "indexed_matching", "register_whole_jobs", "selector",
+            "eviction_policies", "max_rewrite_passes",
         }
         unknown = set(data) - known
         if unknown:
@@ -130,6 +136,29 @@ class ReStoreConfig:
         config.resolve_selector()
         config.resolve_eviction_policies()
         return config
+
+
+@dataclass
+class MatchPipelineTotals:
+    """Cumulative match-pipeline telemetry across every job scanned."""
+
+    jobs_scanned: int = 0
+    passes: int = 0
+    #: entries visible at scan time, summed over passes
+    entries_seen: int = 0
+    #: entries that survived fingerprint pruning (traversals attempted)
+    candidates_examined: int = 0
+    #: entries dismissed by the index without a pairwise traversal
+    candidates_pruned: int = 0
+    #: pairwise Algorithm-1 traversals actually run while matching
+    traversals: int = 0
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of the repository the index pruned away (0..1)."""
+        if not self.entries_seen:
+            return 0.0
+        return self.candidates_pruned / self.entries_seen
 
 
 class ReStoreManager(JobListener):
@@ -166,6 +195,8 @@ class ReStoreManager(JobListener):
         # counters for reporting / tests
         self.rewrite_count = 0
         self.elimination_count = 0
+        #: cumulative index/pruning telemetry (reporting, benchmarks)
+        self.match_totals = MatchPipelineTotals()
 
     def _emit(self, event: ReStoreEvent) -> None:
         self.events.emit(event)
@@ -201,34 +232,68 @@ class ReStoreManager(JobListener):
     # -- matching & rewriting (component 1) -----------------------------------------------
 
     def _match_and_rewrite(self, job: MapReduceJob, workflow: Workflow) -> None:
-        """Scan the ordered repository; rewrite on the first match;
-        rescan until no plan matches (paper §3)."""
-        for _ in range(self.config.max_rewrite_passes):
-            matched = False
-            for entry in self.repository.ordered_entries():
-                result = self.matcher.match(job.plan, entry.plan)
-                if result is None:
-                    continue
-                if self._is_noop_match(result, entry):
-                    continue
-                if result.whole_job:
-                    self._apply_whole_job(job, entry, workflow)
-                    return
-                self.rewriter.rewrite_partial(
-                    job.plan, result, entry.output_path, entry.output_schema
+        """Scan the repository; rewrite on the first match; rescan
+        until no plan matches (paper §3).
+
+        Each pass asks the repository for fingerprint-pruned
+        candidates (the full ordered scan when ``indexed_matching`` is
+        off); the expensive pairwise traversal only runs against those.
+        A :class:`~repro.events.MatchScanned` telemetry event goes out
+        on the bus when the scan completes.
+        """
+        scan = MatchScanned(job_id=job.job_id)
+        try:
+            for _ in range(self.config.max_rewrite_passes):
+                matched = False
+                candidates, pass_stats = self.repository.match_candidates(
+                    job.plan, indexed=self.config.indexed_matching
                 )
-                entry.mark_used(self.clock)
-                self.rewrite_count += 1
-                self._emit(RewriteApplied(
-                    job_id=job.job_id,
-                    entry_id=entry.entry_id,
-                    anchor_kind=entry.anchor_kind,
-                    output_path=entry.output_path,
-                ))
-                matched = True
-                break
-            if not matched:
-                return
+                scan.passes += 1
+                scan.entries_total = pass_stats.entries_total
+                scan.candidates += pass_stats.candidates
+                scan.pruned += pass_stats.pruned
+                for entry in candidates:
+                    scan.traversals += 1
+                    result = self.matcher.match(job.plan, entry.plan)
+                    if result is None:
+                        continue
+                    if self._is_noop_match(result, entry):
+                        continue
+                    if result.whole_job:
+                        scan.matches += 1
+                        self._apply_whole_job(job, entry, workflow)
+                        return
+                    self.rewriter.rewrite_partial(
+                        job.plan, result, entry.output_path, entry.output_schema
+                    )
+                    entry.mark_used(self.clock)
+                    self.rewrite_count += 1
+                    scan.matches += 1
+                    self._emit(RewriteApplied(
+                        job_id=job.job_id,
+                        entry_id=entry.entry_id,
+                        anchor_kind=entry.anchor_kind,
+                        output_path=entry.output_path,
+                    ))
+                    matched = True
+                    break
+                if not matched:
+                    return
+        finally:
+            self._record_scan(scan)
+
+    def _record_scan(self, scan: MatchScanned) -> None:
+        totals = self.match_totals
+        totals.jobs_scanned += 1
+        totals.passes += scan.passes
+        totals.entries_seen += scan.entries_total * scan.passes
+        totals.candidates_examined += scan.candidates
+        totals.candidates_pruned += scan.pruned
+        totals.traversals += scan.traversals
+        if scan.entries_total:
+            # Bus-only telemetry: the drain channel stays a pure
+            # decision log, so legacy consumers see no new lines.
+            self.events.emit(scan)
 
     @staticmethod
     def _is_noop_match(result, entry: RepositoryEntry) -> bool:

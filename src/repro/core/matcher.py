@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Set
 from repro.exceptions import PlanError
 from repro.pig.physical.operators import (
     PhysicalOperator,
-    POLoad,
     POSplit,
     POStore,
 )
@@ -55,7 +54,15 @@ def operators_equivalent(a: PhysicalOperator, b: PhysicalOperator) -> bool:
 
 
 class PlanMatcher:
-    """Tests repository-plan containment and produces rewrite info."""
+    """Tests repository-plan containment and produces rewrite info.
+
+    ``traversal_count`` tallies every pairwise plan traversal this
+    matcher has run — the §3 hot-path unit the fingerprint index
+    exists to minimize; benchmarks and the CI perf gate read it.
+    """
+
+    def __init__(self):
+        self.traversal_count = 0
 
     def effective_successors(
         self, plan: PhysicalPlan, op: PhysicalOperator
@@ -81,6 +88,7 @@ class PlanMatcher:
         (e.g. a self-join loading the same path twice) can make the
         greedy choice wrong even though a consistent mapping exists.
         """
+        self.traversal_count += 1
         frontier_repo = self._repo_frontier(repo_plan)
         if frontier_repo is None:
             return None

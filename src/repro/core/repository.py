@@ -12,21 +12,40 @@ match found during the sequential scan is the best one:
    equivalents in A);
 2. otherwise by the input/output size ratio, then by execution time
    (both: higher first).
+
+The repository is fingerprint-indexed.  Three structures are kept
+consistent on every add/remove/eviction:
+
+* whole-plan fingerprint → entry ids: O(1) exact-equivalence lookup
+  (``find_equivalent`` no longer runs a linear matcher scan);
+* load-signature → entry ids (inverted index): a submitted job's
+  Load set prunes the repository to the entries that can possibly be
+  contained in it, so Algorithm 1's pairwise traversal only runs
+  against real candidates (``match_candidates``);
+* input path → entry ids: eviction Rule 4 checks each source dataset
+  once instead of walking every entry's recorded mtimes.
+
+The §3 scan order is maintained *incrementally*: each inserted entry
+is compared (with fingerprint pruning) only against entries it could
+subsume or be subsumed by, and removals retire cached subsumption
+pairs without any matcher calls — there is no O(n²) re-sort on
+invalidation any more.
 """
 
 from __future__ import annotations
 
-import itertools
 import json
+import re
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.matcher import PlanMatcher
 from repro.exceptions import RepositoryError
 from repro.pig.physical.plan import PhysicalPlan
 from repro.relational.schema import Schema
 
-_ENTRY_COUNTER = itertools.count(1)
+_ENTRY_ID_PATTERN = re.compile(r"^entry_(\d+)$")
 
 
 @dataclass
@@ -47,7 +66,13 @@ class EntryStats:
 
 @dataclass
 class RepositoryEntry:
-    """One stored job (or sub-job) output."""
+    """One stored job (or sub-job) output.
+
+    ``entry_id`` is assigned by the owning :class:`Repository` when the
+    entry is added (scoped per repository, so two sessions in one
+    process produce identical, deterministic id sequences); entries
+    loaded from persisted JSON keep their recorded ids.
+    """
 
     plan: PhysicalPlan
     output_path: str
@@ -60,9 +85,7 @@ class RepositoryEntry:
     #: DFS logical mtimes of the entry's source datasets at creation
     #: (eviction Rule 4 compares against current mtimes)
     input_mtimes: Dict[str, int] = field(default_factory=dict)
-    entry_id: str = field(
-        default_factory=lambda: f"entry_{next(_ENTRY_COUNTER):06d}"
-    )
+    entry_id: str = ""
 
     def mark_used(self, now: int) -> None:
         self.use_count += 1
@@ -89,7 +112,7 @@ class RepositoryEntry:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RepositoryEntry":
-        entry = cls(
+        return cls(
             plan=PhysicalPlan.from_dict(data["plan"]),
             output_path=data["output_path"],
             output_schema=Schema.from_dict(data["output_schema"]),
@@ -99,13 +122,36 @@ class RepositoryEntry:
             last_used_at=data.get("last_used_at", 0),
             use_count=data.get("use_count", 0),
             input_mtimes=dict(data.get("input_mtimes", {})),
+            entry_id=data.get("entry_id", ""),
         )
-        entry.entry_id = data.get("entry_id", entry.entry_id)
-        return entry
+
+
+@dataclass
+class MatchScanStats:
+    """What one candidate-selection pass over the repository saw."""
+
+    entries_total: int = 0
+    candidates: int = 0
+    pruned: int = 0
+
+
+@dataclass
+class RepositoryIndexStats:
+    """Cumulative counters for the fingerprint index (reporting/CI)."""
+
+    exact_lookups: int = 0
+    exact_hits: int = 0
+    scans: int = 0
+    candidates_examined: int = 0
+    candidates_pruned: int = 0
+    #: matcher traversals spent maintaining the §3 subsumption order
+    subsume_checks: int = 0
+    #: ordering pairs dismissed by fingerprint pruning (no traversal)
+    subsume_pruned: int = 0
 
 
 class Repository:
-    """Ordered collection of :class:`RepositoryEntry` objects."""
+    """Fingerprint-indexed, scan-ordered collection of entries."""
 
     def __init__(
         self,
@@ -117,9 +163,28 @@ class Repository:
         #: an ablation knob showing why §3's ordering rules matter
         #: (the first match found is used for the rewrite)
         self.ordering_enabled = ordering_enabled
+        self.index_stats = RepositoryIndexStats()
         self._entries: Dict[str, RepositoryEntry] = {}
-        self._order_cache: Optional[List[RepositoryEntry]] = None
-        self._subsume_cache: Dict[tuple, bool] = {}
+        self._id_counter = 1
+        self._seq_counter = 0
+        #: entry id -> insertion sequence (stable-sort tie-break)
+        self._seq: Dict[str, int] = {}
+        # -- fingerprint indexes (kept in step with _entries) --------
+        self._by_fingerprint: Dict[str, List[str]] = {}
+        self._by_load_sig: Dict[str, Set[str]] = {}
+        self._by_input_path: Dict[str, Set[str]] = {}
+        self._sig_counts: Dict[str, Dict[str, int]] = {}
+        # -- incremental §3 ordering ---------------------------------
+        #: entry id -> how many other entries its plan subsumes
+        self._scores: Dict[str, int] = {}
+        #: a -> {b: a's plan contains b's plan} and the inverse
+        self._subsumes: Dict[str, Set[str]] = {}
+        self._subsumed_by: Dict[str, Set[str]] = {}
+        #: integrated entry ids, sorted by the §3 scan key
+        self._sorted: List[str] = []
+        #: added but not yet integrated into the order (lazy, so
+        #: ordering-free workloads never pay for matcher calls)
+        self._pending: List[str] = []
 
     # -- basic operations ---------------------------------------------------------
 
@@ -138,24 +203,103 @@ class Repository:
         except KeyError:
             raise RepositoryError(f"no such entry: {entry_id}") from None
 
+    def _assign_id(self, entry: RepositoryEntry) -> None:
+        if entry.entry_id:
+            # Persisted id: keep it, but advance the counter past it so
+            # later generated ids can never collide.
+            match = _ENTRY_ID_PATTERN.match(entry.entry_id)
+            if match:
+                self._id_counter = max(
+                    self._id_counter, int(match.group(1)) + 1
+                )
+            return
+        while True:
+            candidate = f"entry_{self._id_counter:06d}"
+            self._id_counter += 1
+            if candidate not in self._entries:
+                entry.entry_id = candidate
+                return
+
     def add(self, entry: RepositoryEntry) -> RepositoryEntry:
-        self._entries[entry.entry_id] = entry
-        self._invalidate()
+        self._assign_id(entry)
+        eid = entry.entry_id
+        if eid in self._entries:
+            # Same-id re-add replaces the old entry like the historical
+            # dict assignment did: deindex the old one but keep the
+            # entry's insertion position (dict slot and seq tie-break).
+            self._deindex_entry(self._entries[eid])
+            if eid in self._pending:
+                self._pending.remove(eid)
+            else:
+                self._retire_from_order(eid)
+        else:
+            self._seq[eid] = self._seq_counter
+            self._seq_counter += 1
+        self._entries[eid] = entry
+        self._index_entry(entry)
+        self._pending.append(eid)
         return entry
 
     def remove(self, entry_id: str) -> RepositoryEntry:
         entry = self.get(entry_id)
         del self._entries[entry_id]
-        self._invalidate()
+        del self._seq[entry_id]
+        self._deindex_entry(entry)
+        if entry_id in self._pending:
+            self._pending.remove(entry_id)
+        else:
+            self._retire_from_order(entry_id)
         return entry
 
+    # -- fingerprint indexes ------------------------------------------------------
+
+    def _index_entry(self, entry: RepositoryEntry) -> None:
+        eid = entry.entry_id
+        self._by_fingerprint.setdefault(entry.plan.fingerprint(), []).append(
+            eid
+        )
+        for sig in entry.plan.load_signature_set():
+            self._by_load_sig.setdefault(sig, set()).add(eid)
+        for path in entry.input_mtimes:
+            self._by_input_path.setdefault(path, set()).add(eid)
+        self._sig_counts[eid] = dict(entry.plan.signature_counts())
+
+    def _deindex_entry(self, entry: RepositoryEntry) -> None:
+        eid = entry.entry_id
+        fingerprint = entry.plan.fingerprint()
+        bucket = self._by_fingerprint.get(fingerprint, [])
+        if eid in bucket:
+            bucket.remove(eid)
+            if not bucket:
+                del self._by_fingerprint[fingerprint]
+        for sig in entry.plan.load_signature_set():
+            holders = self._by_load_sig.get(sig)
+            if holders is not None:
+                holders.discard(eid)
+                if not holders:
+                    del self._by_load_sig[sig]
+        for path in entry.input_mtimes:
+            holders = self._by_input_path.get(path)
+            if holders is not None:
+                holders.discard(eid)
+                if not holders:
+                    del self._by_input_path[path]
+        self._sig_counts.pop(eid, None)
+
     def find_equivalent(self, plan: PhysicalPlan) -> Optional[RepositoryEntry]:
-        """An existing entry whose plan computes exactly *plan*."""
-        fingerprint = plan.fingerprint()
-        for entry in self._entries.values():
-            if entry.plan.fingerprint() == fingerprint:
-                return entry
-        return None
+        """An existing entry whose plan computes exactly *plan*.
+
+        O(1): one cached fingerprint plus one dict probe (used to be a
+        linear scan re-fingerprinting every stored plan).
+        """
+        self.index_stats.exact_lookups += 1
+        bucket = self._by_fingerprint.get(plan.fingerprint())
+        if not bucket:
+            return None
+        self.index_stats.exact_hits += 1
+        # insertion order, matching the historical first-found scan
+        first = min(bucket, key=lambda eid: self._seq[eid])
+        return self._entries[first]
 
     def find_by_output_path(self, path: str) -> Optional[RepositoryEntry]:
         for entry in self._entries.values():
@@ -163,52 +307,165 @@ class Repository:
                 return entry
         return None
 
+    def input_paths(self) -> List[str]:
+        """Distinct source-dataset paths recorded by live entries."""
+        return list(self._by_input_path)
+
+    def entries_with_input(self, path: str) -> List[RepositoryEntry]:
+        """Entries whose plans read *path* (insertion order)."""
+        ids = self._by_input_path.get(path, set())
+        return [
+            self._entries[eid]
+            for eid in sorted(ids, key=lambda e: self._seq[e])
+        ]
+
     @property
     def total_stored_bytes(self) -> int:
         return sum(e.stats.output_bytes for e in self._entries.values())
 
-    # -- ordering (§3) --------------------------------------------------------------
+    # -- candidate pruning (the tentpole fast path) -------------------------------
 
-    def _subsumes(self, a: RepositoryEntry, b: RepositoryEntry) -> bool:
-        key = (a.entry_id, b.entry_id)
-        if key not in self._subsume_cache:
-            self._subsume_cache[key] = self.matcher.contains(a.plan, b.plan)
-        return self._subsume_cache[key]
+    @staticmethod
+    def _counts_contained(
+        inner: Dict[str, int], outer: Dict[str, int]
+    ) -> bool:
+        """True when *inner* is a sub-multiset of *outer* — necessary
+        for inner's plan to be contained in outer's (every repo
+        operator needs a distinct, signature-equal image)."""
+        return all(outer.get(sig, 0) >= n for sig, n in inner.items())
+
+    def match_candidates(
+        self, plan: PhysicalPlan, *, indexed: bool = True
+    ) -> Tuple[List[RepositoryEntry], MatchScanStats]:
+        """Scan-ordered entries that can possibly be contained in
+        *plan*, plus what the pruning saw.
+
+        With ``indexed=False`` this degrades to the historical full
+        scan (every entry is a candidate) — kept as the benchmark and
+        ablation baseline.  Pruning is sound: it only removes entries
+        whose Load set or operator-signature multiset proves Algorithm
+        1 would reject them, so the surviving first match is byte-for-
+        byte the one the full scan finds.
+        """
+        ordered = self.ordered_entries()
+        total = len(ordered)
+        stats = MatchScanStats(entries_total=total)
+        if not indexed:
+            stats.candidates = total
+            self.index_stats.scans += 1
+            self.index_stats.candidates_examined += total
+            return ordered, stats
+        pool: Set[str] = set()
+        for sig in plan.load_signature_set():
+            pool |= self._by_load_sig.get(sig, set())
+        if pool:
+            counts = dict(plan.signature_counts())
+            keep = {
+                eid
+                for eid in pool
+                if self._counts_contained(self._sig_counts[eid], counts)
+            }
+        else:
+            keep = set()
+        candidates = [e for e in ordered if e.entry_id in keep]
+        stats.candidates = len(candidates)
+        stats.pruned = total - len(candidates)
+        self.index_stats.scans += 1
+        self.index_stats.candidates_examined += stats.candidates
+        self.index_stats.candidates_pruned += stats.pruned
+        return candidates, stats
+
+    # -- ordering (§3, incrementally maintained) ----------------------------------
+
+    def _order_key(self, entry_id: str) -> tuple:
+        entry = self._entries[entry_id]
+        return (
+            -self._scores.get(entry_id, 0),
+            -entry.stats.io_ratio,
+            -entry.stats.exec_time_s,
+            self._seq[entry_id],
+        )
+
+    def _contains_traversal(self, a: RepositoryEntry, b: RepositoryEntry) -> bool:
+        self.index_stats.subsume_checks += 1
+        return self.matcher.contains(a.plan, b.plan)
+
+    def _record_subsumption(self, a_id: str, b_id: str) -> None:
+        self._subsumes.setdefault(a_id, set()).add(b_id)
+        self._subsumed_by.setdefault(b_id, set()).add(a_id)
+        self._scores[a_id] = self._scores.get(a_id, 0) + 1
+
+    def _reposition(self, entry_id: str) -> None:
+        self._sorted.remove(entry_id)
+        insort(self._sorted, entry_id, key=self._order_key)
+
+    def _integrate(self, entry_id: str) -> None:
+        """Fold one pending entry into the maintained order: compare
+        it (fingerprint-pruned) against entries it shares a Load with,
+        update subsumption scores on both sides, insert by key."""
+        entry = self._entries[entry_id]
+        counts = self._sig_counts[entry_id]
+        pool: Set[str] = set()
+        for sig in entry.plan.load_signature_set():
+            pool |= self._by_load_sig.get(sig, set())
+        pool.discard(entry_id)
+        self._scores.setdefault(entry_id, 0)
+        for other_id in sorted(pool, key=lambda e: self._seq[e]):
+            if other_id not in self._scores:
+                continue  # still pending; handled when it integrates
+            other = self._entries[other_id]
+            other_counts = self._sig_counts[other_id]
+            moved = False
+            if self._counts_contained(other_counts, counts):
+                if self._contains_traversal(entry, other):
+                    self._record_subsumption(entry_id, other_id)
+            else:
+                self.index_stats.subsume_pruned += 1
+            if self._counts_contained(counts, other_counts):
+                if self._contains_traversal(other, entry):
+                    self._record_subsumption(other_id, entry_id)
+                    moved = True
+            else:
+                self.index_stats.subsume_pruned += 1
+            if moved:
+                self._reposition(other_id)
+        insort(self._sorted, entry_id, key=self._order_key)
+
+    def _retire_from_order(self, entry_id: str) -> None:
+        """Remove an integrated entry: retire its cached subsumption
+        pairs (no matcher calls) and fix the scores they carried."""
+        # drop the victim first — repositioning probes _sorted keys
+        if entry_id in self._sorted:
+            self._sorted.remove(entry_id)
+        for a_id in self._subsumed_by.pop(entry_id, set()):
+            subsumed = self._subsumes.get(a_id)
+            if subsumed is not None:
+                subsumed.discard(entry_id)
+            if a_id in self._scores:
+                self._scores[a_id] -= 1
+                if a_id in self._sorted:
+                    self._reposition(a_id)
+        for b_id in self._subsumes.pop(entry_id, set()):
+            holders = self._subsumed_by.get(b_id)
+            if holders is not None:
+                holders.discard(entry_id)
+        self._scores.pop(entry_id, None)
 
     def ordered_entries(self) -> List[RepositoryEntry]:
-        """Entries in match-scan order (best candidates first)."""
+        """Entries in match-scan order (best candidates first).
+
+        Single stable sort by (subsumption score desc, io ratio desc,
+        exec time desc, insertion order) — provably the same order as
+        the historical two-pass stable sort, but maintained entry by
+        entry instead of recomputed O(n²) per mutation.
+        """
         if not self.ordering_enabled:
             return list(self._entries.values())
-        if self._order_cache is not None:
-            return self._order_cache
+        while self._pending:
+            self._integrate(self._pending.pop(0))
+        return [self._entries[eid] for eid in self._sorted]
 
-        entries = list(self._entries.values())
-        # Metric order first (rule 2): io ratio desc, exec time desc.
-        entries.sort(
-            key=lambda e: (e.stats.io_ratio, e.stats.exec_time_s),
-            reverse=True,
-        )
-        # Stable topological pass for rule 1: count how many other
-        # entries each entry subsumes; more-subsuming entries first.
-        # (Subsumption is a partial order; counting dominated entries
-        # linearizes it while respecting every subsumption pair.)
-        scores = {
-            e.entry_id: sum(
-                1
-                for other in entries
-                if other is not e and self._subsumes(e, other)
-            )
-            for e in entries
-        }
-        entries.sort(key=lambda e: scores[e.entry_id], reverse=True)
-        self._order_cache = entries
-        return entries
-
-    def _invalidate(self) -> None:
-        self._order_cache = None
-        self._subsume_cache.clear()
-
-    # -- persistence -------------------------------------------------------------------
+    # -- persistence --------------------------------------------------------------
 
     def to_json(self) -> str:
         return json.dumps(
@@ -217,7 +474,9 @@ class Repository:
         )
 
     @classmethod
-    def from_json(cls, text: str, matcher: Optional[PlanMatcher] = None) -> "Repository":
+    def from_json(
+        cls, text: str, matcher: Optional[PlanMatcher] = None
+    ) -> "Repository":
         repo = cls(matcher=matcher)
         data = json.loads(text)
         for entry_data in data.get("entries", []):

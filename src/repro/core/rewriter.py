@@ -13,7 +13,6 @@ from repro.core.matcher import MatchResult
 from repro.exceptions import PlanError
 from repro.mapreduce.job import MapReduceJob
 from repro.pig.physical.operators import (
-    PhysicalOperator,
     POLoad,
     POSplit,
     POStore,
@@ -89,6 +88,9 @@ class PlanRewriter:
             for load in job.plan.loads():
                 if load.path == old_path:
                     load.path = new_path
+                    # in-place mutation: cached signature digests and
+                    # any plan fingerprint built on them are now stale
+                    load.invalidate_fingerprint()
                     redirected += 1
         return redirected
 

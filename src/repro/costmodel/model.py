@@ -16,9 +16,8 @@ declares (15 GB / 150 GB / 40 GB), so timing behaves as at paper scale.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, Mapping
 
 from repro.costmodel.calibration import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.cluster import ClusterConfig

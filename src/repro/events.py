@@ -113,6 +113,39 @@ class SubJobDiscarded(ReStoreEvent):
 
 
 @dataclass
+class MatchScanned(ReStoreEvent):
+    """The matcher finished scanning the repository for one job.
+
+    Emitted on the bus only (not the legacy drain channel): it is
+    telemetry about *how* the match pipeline ran — how far the
+    fingerprint index pruned the candidate list and how many pairwise
+    Algorithm-1 traversals were actually spent — not a reuse decision.
+    """
+
+    job_id: str = ""
+    #: repository size when the job was matched
+    entries_total: int = 0
+    #: entries that survived fingerprint pruning (summed over passes)
+    candidates: int = 0
+    #: entries dismissed without a pairwise traversal
+    pruned: int = 0
+    #: pairwise plan traversals actually run
+    traversals: int = 0
+    #: rewrite passes (rescans) the job needed
+    passes: int = 0
+    #: rewrites + eliminations this scan produced
+    matches: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{self.job_id}: scanned {self.entries_total} entries in "
+            f"{self.passes} pass(es): {self.candidates} candidate(s), "
+            f"{self.pruned} pruned, {self.traversals} traversal(s), "
+            f"{self.matches} match(es)"
+        )
+
+
+@dataclass
 class EntryEvicted(ReStoreEvent):
     """An eviction policy removed an entry (§5 rules 3-4, capacity)."""
 

@@ -23,7 +23,7 @@ cost model's simulated cluster seconds at the declared scale
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.heuristics import heuristic_by_name
 from repro.core.manager import ReStoreConfig, ReStoreManager

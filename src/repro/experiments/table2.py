@@ -13,7 +13,6 @@ from typing import Optional
 from repro.experiments.common import ExperimentResult, SyntheticSandbox
 from repro.pigmix.synthetic import (
     FIELD_NAMES,
-    SCHEMA_TEXT,
     TABLE2_FIELDS,
     SyntheticConfig,
 )

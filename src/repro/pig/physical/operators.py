@@ -11,10 +11,19 @@ Every operator exposes :meth:`signature` — a hashable description of
 (operator ids, output paths) so that equal computations in different
 queries compare equal.  ReStore's operator-equivalence test (paper §3)
 is: same signature and pairwise-equivalent inputs.
+
+:meth:`signature_hash` digests the signature into a short hex string;
+plans combine these Merkle-style (operator hash + ordered input
+hashes) into structural fingerprints that the repository indexes.  The
+digest is cached per operator and invalidated when the operator
+mutates (``schema`` assignment, or an explicit
+:meth:`invalidate_fingerprint` after in-place parameter edits such as
+:meth:`~repro.core.rewriter.PlanRewriter.redirect_loads`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Optional, Sequence, Tuple
 
@@ -38,13 +47,42 @@ class PhysicalOperator:
 
     def __init__(self, schema: Optional[Schema] = None):
         self.op_id: int = next(_OP_COUNTER)
-        self.schema = schema
+        #: bumped on every mutation; plans use it to validate cached
+        #: fingerprints that were derived from this operator
+        self.version: int = 0
+        self._sig_hash: Optional[str] = None
+        self._schema: Optional[Schema] = schema
 
     # -- equivalence ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Optional[Schema]:
+        return self._schema
+
+    @schema.setter
+    def schema(self, value: Optional[Schema]) -> None:
+        self._schema = value
+        self.invalidate_fingerprint()
 
     def signature(self) -> tuple:
         """Hashable description of the computation (no identity)."""
         raise NotImplementedError
+
+    def signature_hash(self) -> str:
+        """Short stable digest of :meth:`signature`, cached until the
+        operator mutates."""
+        if self._sig_hash is None:
+            payload = repr(self.signature()).encode("utf-8")
+            self._sig_hash = hashlib.blake2b(
+                payload, digest_size=12
+            ).hexdigest()
+        return self._sig_hash
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the cached signature digest after an in-place mutation
+        (callers that edit parameters directly must invoke this)."""
+        self.version += 1
+        self._sig_hash = None
 
     # -- serialization -----------------------------------------------------------
 

@@ -4,11 +4,20 @@ A :class:`PhysicalPlan` is the unit ReStore stores, matches and
 rewrites: a DAG of :class:`PhysicalOperator` nodes from ``POLoad``
 sources to ``POStore`` sinks, with ordered edges (input order matters
 for join/cogroup branch numbering).
+
+Plans carry Merkle-style structural fingerprints: each operator's
+fingerprint is a digest of its own :meth:`signature` hash plus the
+ordered fingerprints of its inputs, and the plan fingerprint combines
+the sink fingerprints.  All of it is cached and invalidated whenever
+the DAG mutates (or an operator's version changes), so repeated
+repository lookups cost a dict probe instead of a recursive hash.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import hashlib
+from collections import Counter
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import PlanError
 from repro.pig.physical.operators import (
@@ -27,8 +36,23 @@ class PhysicalPlan:
         self._ops: Dict[int, PhysicalOperator] = {}
         self._succs: Dict[int, List[int]] = {}
         self._preds: Dict[int, List[int]] = {}
+        # fingerprint caches, dropped on any structural mutation and
+        # revalidated against per-operator versions (see _fp_token)
+        self._fp_token: Optional[tuple] = None
+        self._fp_by_op: Dict[int, str] = {}
+        self._fp_plan: Optional[str] = None
+        self._fp_load_sigs: Optional[frozenset] = None
+        self._fp_sig_counts: Optional[Dict[str, int]] = None
 
     # -- construction ---------------------------------------------------------------
+
+    def _mutated(self) -> None:
+        """Invalidate every cached fingerprint (structure changed)."""
+        self._fp_token = None
+        self._fp_by_op = {}
+        self._fp_plan = None
+        self._fp_load_sigs = None
+        self._fp_sig_counts = None
 
     def add(self, op: PhysicalOperator) -> PhysicalOperator:
         if op.op_id in self._ops:
@@ -36,6 +60,7 @@ class PhysicalPlan:
         self._ops[op.op_id] = op
         self._succs[op.op_id] = []
         self._preds[op.op_id] = []
+        self._mutated()
         return op
 
     def connect(self, src: PhysicalOperator, dst: PhysicalOperator) -> None:
@@ -43,6 +68,7 @@ class PhysicalPlan:
             raise PlanError("connect: both operators must be added to the plan")
         self._succs[src.op_id].append(dst.op_id)
         self._preds[dst.op_id].append(src.op_id)
+        self._mutated()
 
     def disconnect(self, src: PhysicalOperator, dst: PhysicalOperator) -> None:
         try:
@@ -52,6 +78,7 @@ class PhysicalPlan:
             raise PlanError(
                 f"disconnect: no edge {src.op_id} -> {dst.op_id}"
             ) from None
+        self._mutated()
 
     def remove(self, op: PhysicalOperator) -> None:
         """Remove *op* and all its edges."""
@@ -64,6 +91,7 @@ class PhysicalPlan:
         del self._ops[op.op_id]
         del self._succs[op.op_id]
         del self._preds[op.op_id]
+        self._mutated()
 
     def insert_between(
         self,
@@ -79,6 +107,7 @@ class PhysicalPlan:
         position = self._preds[dst.op_id].index(src.op_id)
         self._preds[dst.op_id][position] = op.op_id
         self._succs[op.op_id].append(dst.op_id)
+        self._mutated()
         return op
 
     # -- inspection --------------------------------------------------------------------
@@ -253,23 +282,71 @@ class PhysicalPlan:
 
     # -- fingerprints / serialization ----------------------------------------------------------
 
-    def op_fingerprint(self, op: PhysicalOperator, _memo=None) -> tuple:
-        """Recursive fingerprint: signature plus ordered input fingerprints."""
-        if _memo is None:
-            _memo = {}
-        if op.op_id in _memo:
-            return _memo[op.op_id]
-        preds = tuple(
-            self.op_fingerprint(p, _memo) for p in self.predecessors(op)
+    def _current_token(self) -> tuple:
+        """Cheap validity token: (op_id, version) for every operator.
+        Catches in-place operator mutations (schema assignment,
+        redirected load paths) that the structural mutators can't see."""
+        return tuple(
+            (op_id, op.version) for op_id, op in self._ops.items()
         )
-        fp = (op.signature(), preds)
-        _memo[op.op_id] = fp
-        return fp
 
-    def fingerprint(self) -> tuple:
-        """Canonical fingerprint of the whole DAG (sink-anchored)."""
-        memo: dict = {}
-        return tuple(sorted(self.op_fingerprint(s, memo) for s in self.sinks()))
+    def _ensure_fingerprints(self) -> None:
+        token = self._current_token()
+        if self._fp_token == token:
+            return
+        by_op: Dict[int, str] = {}
+        for op in self.topo_order():
+            payload = op.signature_hash() + "".join(
+                by_op[p.op_id] for p in self.predecessors(op)
+            )
+            by_op[op.op_id] = hashlib.blake2b(
+                payload.encode("ascii"), digest_size=12
+            ).hexdigest()
+        self._fp_by_op = by_op
+        self._fp_plan = "|".join(
+            sorted(by_op[s.op_id] for s in self.sinks())
+        )
+        self._fp_load_sigs = frozenset(
+            op.signature_hash() for op in self.loads()
+        )
+        counts: Counter = Counter(
+            op.signature_hash()
+            for op in self._ops.values()
+            if not isinstance(op, (POStore, POSplit))
+        )
+        self._fp_sig_counts = dict(counts)
+        self._fp_token = token
+
+    def op_fingerprint(self, op: PhysicalOperator) -> str:
+        """Merkle fingerprint of *op*: digest of its signature hash
+        plus the ordered fingerprints of its inputs."""
+        self._ensure_fingerprints()
+        return self._fp_by_op[op.op_id]
+
+    def fingerprint(self) -> str:
+        """Canonical fingerprint of the whole DAG (sink-anchored).
+
+        Equal fingerprints ⇔ structurally equivalent computations:
+        the same operator signatures wired the same way (store paths
+        and operator ids excluded).  Cached; invalidated on mutation.
+        """
+        self._ensure_fingerprints()
+        return self._fp_plan  # type: ignore[return-value]
+
+    def load_signature_set(self) -> frozenset:
+        """Signature hashes of this plan's Load operators — the keys
+        the repository's inverted index prunes candidates with."""
+        self._ensure_fingerprints()
+        return self._fp_load_sigs  # type: ignore[return-value]
+
+    def signature_counts(self) -> Mapping[str, int]:
+        """Multiset of operator signature hashes (Stores and Splits
+        excluded — the matcher looks through the former's paths and
+        the latter's tees).  A repository plan can only be contained
+        in an input plan when its multiset is a sub-multiset of the
+        input's, which makes this the index's pruning predicate."""
+        self._ensure_fingerprints()
+        return self._fp_sig_counts  # type: ignore[return-value]
 
     def to_dict(self) -> dict:
         ids = {op.op_id: idx for idx, op in enumerate(self._ops.values())}

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.costmodel.calibration import GB
 from repro.dfs.filesystem import DistributedFileSystem

@@ -136,9 +136,31 @@ def repository_report(repository: Repository) -> str:
     return "\n".join(lines)
 
 
+def match_pipeline_report(manager: ReStoreManager) -> str:
+    """The fingerprint-index telemetry: how much of each repository
+    scan the index pruned before the pairwise traversal ran."""
+    totals = manager.match_totals
+    index = manager.repository.index_stats
+    lines = [
+        f"match pipeline: {totals.jobs_scanned} job(s) scanned in "
+        f"{totals.passes} pass(es), {totals.traversals} pairwise "
+        f"traversal(s)",
+        f"  index: {totals.candidates_examined} candidate(s) examined, "
+        f"{totals.candidates_pruned} pruned "
+        f"({100.0 * totals.prune_ratio:.1f}% of {totals.entries_seen} "
+        f"entries seen)",
+        f"  exact-fingerprint lookups: {index.exact_hits}/"
+        f"{index.exact_lookups} hit(s); ordering upkeep: "
+        f"{index.subsume_checks} traversal(s), "
+        f"{index.subsume_pruned} pair(s) pruned",
+    ]
+    return "\n".join(lines)
+
+
 def manager_report(manager: ReStoreManager) -> str:
     """Repository inventory plus manager counters."""
     lines = [repository_report(manager.repository)]
+    lines.append(match_pipeline_report(manager))
     lines.append(
         f"manager: {manager.rewrite_count} partial rewrite(s), "
         f"{manager.elimination_count} whole-job elimination(s), "

@@ -30,7 +30,11 @@ from typing import List, Mapping, Optional, Union
 
 from repro.core.eviction import EvictionPolicy
 from repro.core.heuristics import Heuristic
-from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.core.manager import (
+    MatchPipelineTotals,
+    ReStoreConfig,
+    ReStoreManager,
+)
 from repro.core.repository import Repository
 from repro.core.selector import Selector
 from repro.costmodel.model import CostModel
@@ -166,6 +170,14 @@ class ReStoreSession:
     @property
     def repository(self) -> Optional[Repository]:
         return self.manager.repository if self.manager else None
+
+    @property
+    def match_stats(self) -> Optional["MatchPipelineTotals"]:
+        """Cumulative match-pipeline telemetry (candidates pruned,
+        traversals run); None when ReStore is disabled.  Per-job
+        figures stream live as :class:`repro.events.MatchScanned`
+        events on :attr:`events`."""
+        return self.manager.match_totals if self.manager else None
 
     @property
     def restore_enabled(self) -> bool:
@@ -311,6 +323,10 @@ class SessionBuilder:
 
     def rewrite(self, enabled: bool) -> "SessionBuilder":
         self._config_kwargs["rewrite_enabled"] = enabled
+        return self
+
+    def indexed_matching(self, enabled: bool) -> "SessionBuilder":
+        self._config_kwargs["indexed_matching"] = enabled
         return self
 
     def inject(self, enabled: bool) -> "SessionBuilder":

@@ -11,7 +11,7 @@ project) overlap across analysts while the drill-downs differ.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.pigmix.datagen import PigMixDataGenerator, PigMixDataset

@@ -5,7 +5,6 @@ import pytest
 
 from repro.costmodel.model import CostModel
 from repro.dfs.filesystem import DistributedFileSystem
-from repro.exceptions import ExecutionError
 from repro.experiments.common import ExperimentResult
 from repro.mapreduce.job import JobConf, MapReduceJob, Workflow
 from repro.mapreduce.stats import JobStats, StoreStat, TimeBreakdown

@@ -1,6 +1,5 @@
 """Edge-case integration tests for the engine and reuse machinery."""
 
-import pytest
 
 from repro.core.manager import ReStoreManager
 from repro.dfs.filesystem import DistributedFileSystem

@@ -10,7 +10,6 @@ from repro.core.heuristics import (
     classify_operator,
     heuristic_by_name,
 )
-from repro.pig.engine import PigServer
 
 PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
 USERS = "name, phone, address, city"
@@ -39,7 +38,7 @@ class TestClassification:
         assert "project" in kinds
 
     def test_join_foreach_classified(self, l3ish_plan):
-        from repro.pig.physical.operators import POForEach, POPackage
+        from repro.pig.physical.operators import POPackage
 
         package = [op for op in l3ish_plan if isinstance(op, POPackage)][0]
         flatten = l3ish_plan.successors(package)[0]

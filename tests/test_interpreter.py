@@ -4,7 +4,6 @@ Each test runs a Pig script over the micro fixture data and checks the
 result rows against independently computed expectations.
 """
 
-import pytest
 
 from repro.pig.engine import PigServer
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import PigParseError
-from repro.pig.lexer import DOLLAR, EOF, IDENT, NUMBER, STRING, SYMBOL, tokenize
+from repro.pig.lexer import DOLLAR, EOF, IDENT, NUMBER, STRING, tokenize
 
 
 def kinds(source):

@@ -10,7 +10,6 @@ from repro.pig.logical.operators import (
     LOForEach,
     LOJoin,
     LOLoad,
-    LOStore,
 )
 from repro.pig.parser import parse
 from repro.relational.expressions import (

@@ -5,7 +5,6 @@ queries (Q1 -> Q2), sub-job reuse, repository chaining across multi-job
 workflows, resubmission, and eviction effects.
 """
 
-import pytest
 
 from repro.core.eviction import InputModifiedEviction, TimeWindowEviction
 from repro.core.manager import ReStoreConfig, ReStoreManager

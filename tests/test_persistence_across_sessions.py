@@ -7,7 +7,6 @@ JSON — storable in the DFS itself — and verify a *fresh* manager
 reloaded from it still rewrites new queries against the stored files.
 """
 
-import pytest
 
 from repro.core.manager import ReStoreConfig, ReStoreManager
 from repro.core.repository import Repository

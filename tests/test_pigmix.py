@@ -5,7 +5,6 @@ import pytest
 from repro.pig.engine import PigServer
 from repro.pigmix.datagen import (
     DECLARED_BYTES,
-    PigMixConfig,
     PigMixDataGenerator,
 )
 from repro.pigmix.queries import (
@@ -38,20 +37,20 @@ class TestDataGenerator:
 
     def test_power_users_subset_of_users(self, tiny_pigmix):
         dfs, dataset = tiny_pigmix
-        users = {l.split("\t")[0] for l in dfs.read_lines(dataset.paths["users"])}
+        users = {line.split("\t")[0] for line in dfs.read_lines(dataset.paths["users"])}
         power = {
-            l.split("\t")[0] for l in dfs.read_lines(dataset.paths["power_users"])
+            line.split("\t")[0] for line in dfs.read_lines(dataset.paths["power_users"])
         }
         assert power <= users
 
     def test_inactive_users_never_view(self, tiny_pigmix):
         dfs, dataset = tiny_pigmix
         viewers = {
-            l.split("\t")[0]
-            for l in dfs.read_lines(dataset.paths["page_views"])
+            line.split("\t")[0]
+            for line in dfs.read_lines(dataset.paths["page_views"])
         }
         users = [
-            l.split("\t")[0] for l in dfs.read_lines(dataset.paths["users"])
+            line.split("\t")[0] for line in dfs.read_lines(dataset.paths["users"])
         ]
         inactive = users[-TINY_PIGMIX_CONFIG.n_inactive_users :]
         assert all(u not in viewers for u in inactive)
@@ -60,8 +59,8 @@ class TestDataGenerator:
         """Low-id users must be hotter than high-id users."""
         dfs, dataset = tiny_pigmix
         viewers = [
-            l.split("\t")[0]
-            for l in dfs.read_lines(dataset.paths["page_views"])
+            line.split("\t")[0]
+            for line in dfs.read_lines(dataset.paths["page_views"])
         ]
         ids = [int(v.rsplit("_", 1)[1]) for v in viewers]
         low = sum(1 for i in ids if i < 10)
