@@ -5,100 +5,50 @@ Usage::
 
     PYTHONPATH=src python scripts/run_benchmarks.py [--quick]
         [--out BENCH_repo_scale.json] [--probes 20] [--seed 13]
-        [--scales 10,100,1000] [--no-gate]
+        [--scales 10,100,1000] [--service-scales 1000,10000]
+        [--service-workers 1,4,8] [--service-jobs 60] [--no-gate]
 
 This is the repo's perf trajectory: ``BENCH_repo_scale.json`` records
 match latency, candidates examined, and rewrites found for repository
-sizes N ∈ {10, 100, 1000} in both indexed and full-scan modes.  The
-process exits non-zero when a regression gate trips (CI's
-``bench-smoke`` job relies on this):
+sizes N ∈ {10, 100, 1000} in both indexed and full-scan modes, plus
+the shared-service throughput (jobs/sec at 1/4/8 workers over one
+sharded repository).  The process exits non-zero when a regression
+gate trips (CI's ``bench-smoke`` job relies on this):
 
 * indexed and full-scan rewrite decisions must be byte-identical;
 * indexed matching must never examine more candidates than the
   unindexed entry count;
 * at N≥1000 (full runs), indexed matching must run ≥10x fewer
-  pairwise traversals than the full scan.
+  pairwise traversals than the full scan;
+* the 1-worker service run must reproduce the serial decision log
+  byte for byte, and every pool size must clear 1 job/sec per worker.
+
+``python -m repro bench`` accepts the same flags.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench.repo_scale import (
-    DEFAULT_SCALES,
-    QUICK_SCALES,
-    check_gates,
-    run_repo_scale_benchmark,
-)
+from repro.bench.harness import add_benchmark_arguments, run_from_args
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="ReStore implementation benchmarks")
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help=f"CI smoke mode: scales {QUICK_SCALES}, fewer probes",
-    )
-    parser.add_argument(
-        "--scales",
-        type=lambda s: tuple(int(x) for x in s.split(",")),
-        default=None,
-        help=f"comma-separated repository sizes (default {DEFAULT_SCALES})",
-    )
-    parser.add_argument("--probes", type=int, default=20)
-    parser.add_argument("--seed", type=int, default=13)
+    add_benchmark_arguments(parser)
     parser.add_argument(
         "--out",
         type=pathlib.Path,
         default=REPO_ROOT / "BENCH_repo_scale.json",
         help="where to write the JSON trajectory",
     )
-    parser.add_argument(
-        "--no-gate",
-        action="store_true",
-        help="record results without failing on gate regressions",
-    )
     args = parser.parse_args(argv)
-
-    payload = run_repo_scale_benchmark(
-        scales=args.scales,
-        n_probes=args.probes,
-        seed=args.seed,
-        quick=args.quick,
-    )
-    failures = check_gates(payload)
-    payload["gates"] = {
-        "passed": not failures,
-        "failures": failures,
-    }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.out}")
-
-    for scale in payload["scales"]:
-        indexed = scale["modes"]["indexed"]
-        full = scale["modes"]["full_scan"]
-        print(
-            f"  N={scale['n_entries']:>5}: "
-            f"{indexed['traversals']:>6} vs {full['traversals']:>6} "
-            f"traversals ({scale['traversal_reduction']}x), "
-            f"{indexed['mean_match_ms']:.3f}ms vs "
-            f"{full['mean_match_ms']:.3f}ms per match, "
-            f"decisions identical={scale['decisions_identical']}"
-        )
-    if failures:
-        for failure in failures:
-            print(f"GATE FAILED: {failure}", file=sys.stderr)
-        if not args.no_gate:
-            return 1
-    else:
-        print("all gates passed")
-    return 0
+    return run_from_args(args, args.out)
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ from repro.events import (
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.runner import HadoopSimulator
 from repro.pig.engine import PigRunResult, PigServer
+from repro.service import JobService, ServiceSession, WorkloadDriver
 from repro.session import ReStoreSession, SessionBuilder
 
 __version__ = "1.1.0"
@@ -54,6 +55,7 @@ __all__ = [
     "EventBus",
     "HadoopSimulator",
     "JobEliminated",
+    "JobService",
     "MatchScanned",
     "PigRunResult",
     "PigServer",
@@ -64,8 +66,10 @@ __all__ = [
     "ReStoreManager",
     "ReStoreSession",
     "RewriteApplied",
+    "ServiceSession",
     "SessionBuilder",
     "SubJobDiscarded",
+    "WorkloadDriver",
     "SubJobStored",
     "__version__",
 ]

@@ -2,6 +2,14 @@
 figure benchmarks under ``benchmarks/``, which reproduce results; these
 measure the implementation itself and feed the CI perf gates)."""
 
-from repro.bench.repo_scale import run_repo_scale_benchmark
+from repro.bench.repo_scale import (
+    run_repo_scale_benchmark,
+    run_service_benchmark,
+    run_service_throughput,
+)
 
-__all__ = ["run_repo_scale_benchmark"]
+__all__ = [
+    "run_repo_scale_benchmark",
+    "run_service_benchmark",
+    "run_service_throughput",
+]

@@ -1,0 +1,151 @@
+"""Benchmark orchestration shared by the CLI and scripts/run_benchmarks.py.
+
+Assembles the full ``BENCH_repo_scale.json`` payload — the indexed vs
+full-scan matching trajectory plus the ``service_throughput`` section —
+runs the regression gates, writes the file, and prints the summary.
+Both entry points (``python -m repro bench`` and
+``python scripts/run_benchmarks.py``) are thin argument parsers over
+:func:`run_benchmark_suite`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Optional, Tuple
+
+from repro.bench.repo_scale import (
+    check_gates,
+    run_repo_scale_benchmark,
+    run_service_benchmark,
+)
+
+
+def run_benchmark_suite(
+    out: pathlib.Path,
+    *,
+    quick: bool = False,
+    scales: Optional[Tuple[int, ...]] = None,
+    n_probes: int = 20,
+    seed: int = 13,
+    service_scales: Optional[Tuple[int, ...]] = None,
+    service_workers: Optional[Tuple[int, ...]] = None,
+    service_jobs: Optional[int] = None,
+    gate: bool = True,
+) -> int:
+    """Run everything, write *out*, print a summary; returns the
+    process exit code (non-zero when a gate trips and *gate* is on)."""
+    payload = run_repo_scale_benchmark(
+        scales=scales,
+        n_probes=n_probes,
+        seed=seed,
+        quick=quick,
+    )
+    payload["version"] = 2
+    payload["service_throughput"] = run_service_benchmark(
+        scales=service_scales,
+        n_jobs=service_jobs,
+        workers=service_workers,
+        seed=seed,
+        quick=quick,
+    )
+    failures = check_gates(payload)
+    payload["gates"] = {
+        "passed": not failures,
+        "failures": failures,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    for scale in payload["scales"]:
+        indexed = scale["modes"]["indexed"]
+        full = scale["modes"]["full_scan"]
+        print(
+            f"  N={scale['n_entries']:>5}: "
+            f"{indexed['traversals']:>6} vs {full['traversals']:>6} "
+            f"traversals ({scale['traversal_reduction']}x), "
+            f"{indexed['mean_match_ms']:.3f}ms vs "
+            f"{full['mean_match_ms']:.3f}ms per match, "
+            f"decisions identical={scale['decisions_identical']}"
+        )
+    for scale in payload["service_throughput"]["scales"]:
+        runs = ", ".join(
+            f"{run['workers']}w={run['jobs_per_sec']:.0f}/s"
+            for run in scale["workers"]
+        )
+        print(
+            f"  service N={scale['n_entries']:>5}: "
+            f"serial={scale['serial']['jobs_per_sec']:.0f}/s, {runs}, "
+            f"1-worker identical={scale['one_worker_decisions_identical']}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        if gate:
+            return 1
+    else:
+        print("all gates passed")
+    return 0
+
+
+def add_benchmark_arguments(parser) -> None:
+    """Install the shared benchmark flags on an argparse parser."""
+    from repro.bench.repo_scale import DEFAULT_SCALES, QUICK_SCALES
+
+    def int_tuple(text: str) -> Tuple[int, ...]:
+        return tuple(int(x) for x in text.split(","))
+
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: scales {QUICK_SCALES}, fewer probes/jobs",
+    )
+    parser.add_argument(
+        "--scales",
+        type=int_tuple,
+        default=None,
+        help=f"comma-separated repository sizes (default {DEFAULT_SCALES})",
+    )
+    parser.add_argument("--probes", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--service-scales",
+        type=int_tuple,
+        default=None,
+        help="repository sizes for the service-throughput benchmark",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int_tuple,
+        default=None,
+        help="worker-pool sizes to measure (default 1,4,8)",
+    )
+    parser.add_argument(
+        "--service-jobs",
+        type=int,
+        default=None,
+        help="probe jobs per service-throughput run "
+        "(default 60, or 24 with --quick)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="record results without failing on gate regressions",
+    )
+
+
+def run_from_args(args, out: pathlib.Path) -> int:
+    """Bridge argparse namespaces onto :func:`run_benchmark_suite`."""
+    return run_benchmark_suite(
+        out,
+        quick=args.quick,
+        scales=args.scales,
+        n_probes=args.probes,
+        seed=args.seed,
+        service_scales=args.service_scales,
+        service_workers=args.service_workers,
+        service_jobs=args.service_jobs,
+        gate=not args.no_gate,
+    )

@@ -15,6 +15,14 @@ matched in the same order, same final plan fingerprints); the payoff
 is counted in pairwise traversals and wall-clock per match.  Results
 are written to ``BENCH_repo_scale.json`` by ``scripts/run_benchmarks.py``
 and gated in CI (see the ``bench-smoke`` job).
+
+``run_service_throughput`` extends the trajectory to the *shared
+service* deployment: the same probe stream is executed — not just
+matched — through a :class:`~repro.service.JobService` at several
+worker-pool sizes, from eight round-robin tenant sessions against one
+sharded repository.  Gates: the 1-worker run must reproduce the serial
+decision log byte for byte, and every pool size must clear 1 job/sec
+per worker.
 """
 
 from __future__ import annotations
@@ -47,6 +55,12 @@ ROW_SCHEMA = Schema.of(
     ("u", DataType.CHARARRAY), ("a", DataType.INT), ("r", DataType.DOUBLE)
 )
 PAIR_SCHEMA = Schema.of(("u", DataType.CHARARRAY), ("r", DataType.DOUBLE))
+#: probe store schemas loose enough to survive *execution*: the
+#: aggregate tail emits (group, bag-rendered-as-text) rows and the
+#: variant tail emits bare group keys, so typed columns would reject
+#: what the simulator actually writes
+AGG_OUT_SCHEMA = Schema.of(("g", DataType.CHARARRAY), ("rows", DataType.CHARARRAY))
+VARIANT_OUT_SCHEMA = Schema.of(("g", DataType.CHARARRAY))
 
 #: pipeline shapes, in prefix order: each later shape extends the
 #: previous one, so a probe built from the last shape can reuse any of
@@ -230,7 +244,9 @@ def generate_probe_specs(
     return probes
 
 
-def _probe_job(spec: ProbeSpec) -> Tuple[MapReduceJob, Workflow]:
+def _probe_job(
+    spec: ProbeSpec, out_prefix: str = "bench/out"
+) -> Tuple[MapReduceJob, Workflow]:
     base = EntrySpec(spec.index, spec.dataset, spec.threshold, "aggregate")
     if spec.kind == "variant":
         # shares load→filter→project→group with stored entries but
@@ -238,9 +254,11 @@ def _probe_job(spec: ProbeSpec) -> Tuple[MapReduceJob, Workflow]:
         # is reusable, forcing a partial rewrite plus a rescan pass
         ops = _pipeline_ops(base, "group")
         ops.append(POForEach([Column(0)], [False], ["g"], schema=PAIR_SCHEMA))
+        out_schema = VARIANT_OUT_SCHEMA
     else:
         ops = _pipeline_ops(base, "aggregate")
-    ops.append(POStore(f"bench/out/p{spec.index:05d}", PAIR_SCHEMA))
+        out_schema = AGG_OUT_SCHEMA
+    ops.append(POStore(f"{out_prefix}/p{spec.index:05d}", out_schema))
     job = MapReduceJob(linear_plan(*ops), job_id=f"probe_{spec.index:05d}")
     workflow = Workflow(jobs=[job], name=f"probe-wf-{spec.index:05d}")
     return job, workflow
@@ -290,6 +308,11 @@ def run_mode(
             (spec.index, tuple(decisions_log), job.plan.fingerprint())
         )
         manager.drain()  # keep the listener channel from growing
+        # release this probe's pins/pending, as a real driver's
+        # workflow-end hook would — id(workflow) values recycle once
+        # the object is collected, so skipping this merges dead
+        # workflows' pins into an ever-growing set
+        manager.on_workflow_end(workflow)
 
     totals = manager.match_totals
     result.traversals = totals.traversals
@@ -321,8 +344,145 @@ def run_scale(n_entries: int, n_probes: int, seed: int = 13) -> Dict:
     }
 
 
+# -- service throughput (the shared, concurrent deployment) -------------------
+
+
+def prepare_service_dfs(
+    dfs: DistributedFileSystem,
+    entry_specs: List[EntrySpec],
+    probe_specs: List[ProbeSpec],
+) -> None:
+    """Write every dataset and stored output the probe stream can
+    touch, so the service *executes* the (possibly rewritten) jobs
+    instead of just matching them: probe inputs, miss datasets, and
+    the stored outputs that copy jobs and partial rewrites read."""
+    row_payload = "alice\t1\t0.5\nbob\t2\t4.5\ncarol\t3\t8.0\n"
+    datasets = {spec.dataset for spec in entry_specs}
+    datasets |= {spec.dataset for spec in probe_specs}
+    for dataset in datasets:
+        dfs.write_file(dataset, row_payload, overwrite=True)
+    pair_payload = "alice\t0.5\nbob\t4.5\n"
+    for spec in entry_specs:
+        dfs.write_file(f"bench/stored/e{spec.index:05d}", pair_payload, overwrite=True)
+
+
+def _service_workload(probe_specs: List[ProbeSpec], out_prefix: str) -> List:
+    """Zero-arg workflow builders (fresh plans per run — rewrites
+    mutate them), one per probe, writing under *out_prefix*."""
+    return [(lambda spec=spec: _probe_job(spec, out_prefix)[1]) for spec in probe_specs]
+
+
+def run_service_throughput(
+    n_entries: int,
+    n_jobs: int,
+    workers: Tuple[int, ...] = (1, 4, 8),
+    n_sessions: int = 8,
+    seed: int = 13,
+) -> Dict:
+    """Measure the shared JobService at one repository size.
+
+    One repository and one prepared DFS are shared by every mode (the
+    probe stream never changes the entry set: whole-job registration
+    is off).  A serial single-session run records the oracle decision
+    log; each worker count then drives the same stream through a
+    ``JobService`` from ``n_sessions`` round-robin tenants.  The
+    1-worker run must reproduce the serial log byte for byte — that is
+    the service's determinism guarantee and a CI gate.
+    """
+    from repro.service import JobService, WorkloadDriver
+    from repro.session import ReStoreSession
+
+    entry_specs = generate_entry_specs(n_entries, seed)
+    probe_specs = generate_probe_specs(entry_specs, n_jobs, seed)
+
+    started = time.perf_counter()
+    repository = build_repository(entry_specs, seed)
+    repository.ordered_entries()  # pay ordering up front, like a session
+    build_s = time.perf_counter() - started
+
+    dfs = DistributedFileSystem(n_datanodes=2)
+    prepare_service_dfs(dfs, entry_specs, probe_specs)
+
+    def service_config() -> ReStoreConfig:
+        return ReStoreConfig(inject_enabled=False, register_whole_jobs="none")
+
+    serial_manager = ReStoreManager(
+        dfs, repository=repository, config=service_config()
+    )
+    serial_session = ReStoreSession(manager=serial_manager, session_id="serial")
+    serial = WorkloadDriver.run_serial(
+        serial_session, _service_workload(probe_specs, "bench/out/serial")
+    )
+
+    worker_runs = []
+    # None (not True) when no 1-worker run was measured: the gate must
+    # not report a determinism check that never ran as having passed
+    one_worker_identical: Optional[bool] = None
+    for worker_count in workers:
+        service = JobService(
+            dfs=dfs,
+            repository=repository,
+            config=service_config(),
+            max_workers=worker_count,
+        )
+        driver = WorkloadDriver(service, n_sessions=n_sessions)
+        driven = driver.run(
+            _service_workload(probe_specs, f"bench/out/w{worker_count}")
+        )
+        service.shutdown()
+        run = driven.to_dict()
+        run["decisions_match_serial"] = driven.decisions == serial.decisions
+        if worker_count == 1:
+            one_worker_identical = run["decisions_match_serial"]
+        worker_runs.append(run)
+
+    return {
+        "n_entries": n_entries,
+        "n_jobs": n_jobs,
+        "n_sessions": n_sessions,
+        "build_s": round(build_s, 4),
+        "serial": serial.to_dict(),
+        "workers": worker_runs,
+        "one_worker_decisions_identical": one_worker_identical,
+    }
+
+
 DEFAULT_SCALES = (10, 100, 1000)
 QUICK_SCALES = (10, 100)
+DEFAULT_SERVICE_SCALES = (1000, 10000)
+QUICK_SERVICE_SCALES = (300,)
+DEFAULT_SERVICE_WORKERS = (1, 4, 8)
+QUICK_SERVICE_WORKERS = (1, 4)
+
+
+def run_service_benchmark(
+    scales: Optional[Tuple[int, ...]] = None,
+    n_jobs: Optional[int] = None,
+    workers: Optional[Tuple[int, ...]] = None,
+    seed: int = 13,
+    quick: bool = False,
+) -> Dict:
+    """The service-throughput benchmark across repository sizes.
+
+    ``n_jobs`` defaults to 60 (24 in ``quick`` mode); an explicit
+    value is honoured verbatim — quick mode never silently trims a
+    job count the caller asked for.
+    """
+    if scales is None:
+        scales = QUICK_SERVICE_SCALES if quick else DEFAULT_SERVICE_SCALES
+    if workers is None:
+        workers = QUICK_SERVICE_WORKERS if quick else DEFAULT_SERVICE_WORKERS
+    if n_jobs is None:
+        n_jobs = 24 if quick else 60
+    return {
+        "n_jobs": n_jobs,
+        "worker_counts": list(workers),
+        "seed": seed,
+        "scales": [
+            run_service_throughput(n, n_jobs, workers=workers, seed=seed)
+            for n in scales
+        ],
+    }
 
 
 def run_repo_scale_benchmark(
@@ -356,9 +516,15 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
     * indexed matching must never examine more candidates than the
       unindexed entry count (the index would be worse than no index);
     * at ``require_reduction_at`` entries (when measured), indexed
-      matching must run ≥10x fewer pairwise traversals.
+      matching must run ≥10x fewer pairwise traversals;
+    * when a ``service_throughput`` section is present: the 1-worker
+      service run must reproduce the serial decision log byte for
+      byte, and every worker count must sustain more than 1 job/sec
+      per worker (a deliberately loose floor — a stalled pool or a
+      lock serializing whole runs misses it, machine noise does not).
     """
     failures = []
+    failures.extend(_service_gate_failures(payload.get("service_throughput")))
     for scale in payload["scales"]:
         n = scale["n_entries"]
         indexed = scale["modes"]["indexed"]
@@ -377,4 +543,27 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
                 f"{scale['traversal_reduction']}x is below the 10x target "
                 f"({indexed['traversals']} vs {full['traversals']})"
             )
+    return failures
+
+
+def _service_gate_failures(service: Optional[Dict]) -> List[str]:
+    if not service:
+        return []
+    failures = []
+    for scale in service["scales"]:
+        n = scale["n_entries"]
+        # None means no 1-worker run was measured (custom --service-
+        # workers without 1): nothing to gate, nothing to claim
+        if scale["one_worker_decisions_identical"] is False:
+            failures.append(
+                f"service N={n}: 1-worker decisions diverge from the serial run"
+            )
+        for run in scale["workers"]:
+            per_worker = run["jobs_per_sec_per_worker"]
+            if per_worker <= 1.0:
+                failures.append(
+                    f"service N={n}, workers={run['workers']}: "
+                    f"{per_worker} jobs/sec/worker is at or below the "
+                    f"1.0 floor ({run['jobs_per_sec']} jobs/sec total)"
+                )
     return failures

@@ -6,6 +6,7 @@ Usage::
     python -m repro explain script.pig
     python -m repro experiment fig10 --rows 300
     python -m repro list-experiments
+    python -m repro bench --quick
 
 ``run``/``explain`` build a fresh session (simulated cluster + ReStore;
 disable with ``--no-restore``), copy the given local files into the
@@ -129,6 +130,12 @@ def cmd_list_experiments(_args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.harness import run_from_args
+
+    return run_from_args(args, args.out)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +196,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_p = sub.add_parser("list-experiments", help="list experiment names")
     list_p.set_defaults(func=cmd_list_experiments)
+
+    from repro.bench.harness import add_benchmark_arguments
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the repository-scale + service-throughput benchmarks",
+    )
+    add_benchmark_arguments(bench_p)
+    bench_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_repo_scale.json"),
+        help="where to write the JSON trajectory",
+    )
+    bench_p.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -92,34 +92,34 @@ class PairwisePlanTraversal:
         seen: Set[int],
         last_match: Optional[PhysicalOperator],
     ) -> Optional[PhysicalOperator]:
-        if not succs_plan2:                      # line 1
-            return last_match                    # line 2
-        if not succs_plan1:                      # line 3
-            return None                          # line 4
+        if not succs_plan2:  # line 1
+            return last_match  # line 2
+        if not succs_plan1:  # line 3
+            return None  # line 4
 
         succs_plan2 = list(succs_plan2)
         ret_val: Optional[PhysicalOperator] = last_match
-        for succ in succs_plan1:                 # line 6
-            if succ.op_id in seen:               # line 7
+        for succ in succs_plan1:  # line 6
+            if succ.op_id in seen:  # line 7
                 continue
-            seen.add(succ.op_id)                 # line 8
+            seen.add(succ.op_id)  # line 8
             equiv_op = self._find_equivalent(succ, succs_plan2)  # line 9
-            if equiv_op is None:                 # line 10
-                continue                         # line 11
+            if equiv_op is None:  # line 10
+                continue  # line 11
             self.matched_repo_ids.add(equiv_op.op_id)
-            ret_val = self.traverse(             # line 15
+            ret_val = self.traverse(  # line 15
                 self._successors_input(succ),
                 self._successors_repo(equiv_op),
                 seen,
                 succ,
             )
-            if ret_val is None:                  # line 16
-                return None                      # line 17
-            succs_plan2.remove(equiv_op)         # line 19
-            if not succs_plan2:                  # line 20
-                break                            # line 21
+            if ret_val is None:  # line 16
+                return None  # line 17
+            succs_plan2.remove(equiv_op)  # line 19
+            if not succs_plan2:  # line 20
+                break  # line 21
         self.last_match = ret_val
-        return ret_val                           # line 27
+        return ret_val  # line 27
 
     def run(self) -> Optional[PhysicalOperator]:
         """Initial call: both plans' Load operators (paper §3)."""
@@ -142,9 +142,7 @@ class PairwisePlanTraversal:
         return result
 
 
-def algorithm1_contains(
-    input_plan: PhysicalPlan, repo_plan: PhysicalPlan
-) -> bool:
+def algorithm1_contains(input_plan: PhysicalPlan, repo_plan: PhysicalPlan) -> bool:
     """True when *repo_plan* is contained in *input_plan* per the
     paper's Algorithm 1 (the reference semantics)."""
     return PairwisePlanTraversal(input_plan, repo_plan).run() is not None

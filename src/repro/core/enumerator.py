@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.heuristics import Heuristic, classify_operator
 from repro.mapreduce.job import MapReduceJob
@@ -45,12 +45,24 @@ class CandidateSubJob:
 class SubJobEnumerator:
     """Enumerates candidates and injects their Stores into a job."""
 
-    def __init__(self, heuristic: Heuristic, path_prefix: str = "restore/subjob"):
+    def __init__(
+        self,
+        heuristic: Heuristic,
+        path_prefix: str = "restore/subjob",
+        id_allocator: Optional[Callable[[], int]] = None,
+    ):
         self.heuristic = heuristic
         self.path_prefix = path_prefix.rstrip("/")
+        #: hands out sub-job numbers.  The manager passes the DFS's
+        #: allocator so paths are scoped to the shared filesystem —
+        #: deterministic per fresh DFS (serial and service runs of the
+        #: same stream produce identical store paths) yet collision-
+        #: free between managers sharing one DFS.  The default keeps
+        #: the legacy process-global numbering for standalone use.
+        self._next_id = id_allocator or (lambda: next(_CANDIDATE_COUNTER))
 
     def _new_path(self) -> str:
-        return f"{self.path_prefix}/sj{next(_CANDIDATE_COUNTER):06d}"
+        return f"{self.path_prefix}/sj{self._next_id():06d}"
 
     def enumerate_and_inject(self, job: MapReduceJob) -> List[CandidateSubJob]:
         """Instrument *job* in place; returns the injected candidates."""
@@ -103,9 +115,7 @@ class SubJobEnumerator:
             injected_store_id=side_store.op_id,
         )
 
-    def _tee_after(
-        self, plan: PhysicalPlan, anchor: PhysicalOperator
-    ) -> POSplit:
+    def _tee_after(self, plan: PhysicalPlan, anchor: PhysicalOperator) -> POSplit:
         """Reuse an existing tee after *anchor* or splice in a new one."""
         successors = plan.successors(anchor)
         for succ in successors:
@@ -121,9 +131,7 @@ class SubJobEnumerator:
         return tee
 
     @staticmethod
-    def _twin_of(
-        sub_plan: PhysicalPlan, anchor: PhysicalOperator
-    ) -> PhysicalOperator:
+    def _twin_of(sub_plan: PhysicalPlan, anchor: PhysicalOperator) -> PhysicalOperator:
         """Find the clone of *anchor* inside its extracted sub-plan.
 
         ``subplan_upto`` clones operators; the twin is the unique sink

@@ -9,9 +9,7 @@ extension).
 
 from __future__ import annotations
 
-from typing import List
-
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.registry import PluginRegistry
 from repro.core.repository import Repository, RepositoryEntry
@@ -114,8 +112,9 @@ class CapacityEviction(EvictionPolicy):
     @classmethod
     def from_spec(cls, arg: Optional[str]) -> "CapacityEviction":
         if arg is None:
-            raise ValueError("capacity eviction needs a byte budget, "
-                             "e.g. capacity:1048576")
+            raise ValueError(
+                "capacity eviction needs a byte budget, e.g. capacity:1048576"
+            )
         return cls(capacity_bytes=int(arg))
 
     def select_victims(

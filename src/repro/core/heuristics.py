@@ -78,9 +78,7 @@ def classify_operator(op: PhysicalOperator, plan: PhysicalPlan) -> str:
             and preds[0].mode == "join"
         ):
             return "join"
-        if any(
-            isinstance(e, (AggCall, BagField, BagStar)) for e in op.exprs
-        ):
+        if any(isinstance(e, (AggCall, BagField, BagStar)) for e in op.exprs):
             return "aggregate"
         return "project"
     if isinstance(op, POUnion):

@@ -14,11 +14,24 @@ on ``manager.events`` (an :class:`repro.events.EventBus`); the engine
 collects them through the :class:`repro.mapreduce.runner.JobListener`
 protocol's ``drain()``.  The legacy string channel
 (:meth:`ReStoreManager.drain_events`) remains as a deprecated shim.
+
+The manager is **multi-tenant and concurrency-safe**: many sessions
+(threads) may drive jobs through one manager against one shared
+repository.  A reentrant manager lock guards the mutable aggregates
+(counters, pending sub-jobs, kept paths, the logical clock, event
+buffers); the repository carries its own sharded locking; and the
+expensive pairwise plan traversals run outside any manager-level lock
+against candidate snapshots.  Each worker thread activates a *session
+scope* (:meth:`ReStoreManager.session_scope`) so every emitted event
+is stamped with its session id and lands in a per-session drain buffer
+— sessions sharing the manager never see each other's events.
 """
 
 from __future__ import annotations
 
+import threading
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Union
 
@@ -76,9 +89,7 @@ class ReStoreConfig:
     #: copy of their producer's output.
     register_whole_jobs: str = "all"
     selector: Union[str, Selector] = "keep-all"
-    eviction_policies: List[Union[str, EvictionPolicy]] = field(
-        default_factory=list
-    )
+    eviction_policies: List[Union[str, EvictionPolicy]] = field(default_factory=list)
     #: upper bound on rewrite rescans per job (paper: loop until no match)
     max_rewrite_passes: int = 20
 
@@ -87,17 +98,14 @@ class ReStoreConfig:
             return self.heuristic
         return heuristic_by_name(self.heuristic)
 
-    def resolve_selector(
-        self, cost_model: Optional[CostModel] = None
-    ) -> Selector:
+    def resolve_selector(self, cost_model: Optional[CostModel] = None) -> Selector:
         if isinstance(self.selector, Selector):
             return self.selector
         return selector_by_name(self.selector, cost_model=cost_model)
 
     def resolve_eviction_policies(self) -> List[EvictionPolicy]:
         return [
-            policy if isinstance(policy, EvictionPolicy)
-            else eviction_by_name(policy)
+            policy if isinstance(policy, EvictionPolicy) else eviction_by_name(policy)
             for policy in self.eviction_policies
         ]
 
@@ -117,9 +125,14 @@ class ReStoreConfig:
             })
         """
         known = {
-            "heuristic", "rewrite_enabled", "inject_enabled",
-            "indexed_matching", "register_whole_jobs", "selector",
-            "eviction_policies", "max_rewrite_passes",
+            "heuristic",
+            "rewrite_enabled",
+            "inject_enabled",
+            "indexed_matching",
+            "register_whole_jobs",
+            "selector",
+            "eviction_policies",
+            "max_rewrite_passes",
         }
         unknown = set(data) - known
         if unknown:
@@ -181,7 +194,9 @@ class ReStoreManager(JobListener):
         self.repository = (
             repository if repository is not None else Repository(self.matcher)
         )
-        self.enumerator = SubJobEnumerator(self.config.resolve_heuristic())
+        self.enumerator = SubJobEnumerator(
+            self.config.resolve_heuristic(), id_allocator=dfs.next_subjob_id
+        )
         self.selector = self.config.resolve_selector(self.cost_model)
         self.eviction_policies = self.config.resolve_eviction_policies()
         #: typed event fan-out; subscribe for live reuse telemetry
@@ -190,23 +205,122 @@ class ReStoreManager(JobListener):
         self.kept_paths: Set[str] = set()
         #: logical clock: one tick per workflow (drives eviction Rule 3)
         self.clock = 0
-        self._pending: Dict[str, List[CandidateSubJob]] = {}
-        self._pending_events: List[ReStoreEvent] = []
+        #: guards counters, pending sub-jobs, kept paths, the clock,
+        #: and the per-session event buffers.  Lock ordering is
+        #: manager -> repository -> shard; never the reverse.
+        self._lock = threading.RLock()
+        #: active session scope, tracked per worker thread
+        self._session_local = threading.local()
+        #: live job object -> its enumerated sub-job candidates.  Keyed
+        #: by id(job), not job_id: tenants may submit pre-built
+        #: workflows with colliding job ids, and bare-string keys would
+        #: let one tenant's bookkeeping clobber another's
+        self._pending: Dict[int, List[CandidateSubJob]] = {}
+        #: session id -> events awaiting that session's drain()
+        self._pending_events: Dict[str, List[ReStoreEvent]] = {}
+        #: workflow -> repository output paths its rewritten plans
+        #: read.  Eviction still *condemns* pinned victims immediately
+        #: (the entry leaves the repository, so no later job can match
+        #: stale data), but their file deletion is deferred until the
+        #: reading workflow ends: a concurrent tenant's eviction pass
+        #: must never delete a file another tenant's in-flight job was
+        #: rewritten to load (serial ReStore never had this window —
+        #: evictions only ran between whole workflows).
+        self._pinned: Dict[int, Set[str]] = {}
+        #: owned output files of already-condemned entries, awaiting
+        #: deletion until no in-flight workflow reads them
+        self._deferred_deletes: Set[str] = set()
         # counters for reporting / tests
         self.rewrite_count = 0
         self.elimination_count = 0
         #: cumulative index/pruning telemetry (reporting, benchmarks)
         self.match_totals = MatchPipelineTotals()
 
+    # -- session scoping ---------------------------------------------------------------
+
+    @property
+    def current_session_id(self) -> str:
+        """The session id active on this thread ("" outside scopes)."""
+        stack = getattr(self._session_local, "stack", None)
+        return stack[-1] if stack else ""
+
+    @contextmanager
+    def session_scope(self, session_id: str):
+        """Stamp every event emitted by this thread with *session_id*.
+
+        Scopes nest (the innermost wins) and are per-thread, so
+        concurrent service workers each route their events — and their
+        ``drain()`` calls — to their own session buffer.
+        """
+        stack = getattr(self._session_local, "stack", None)
+        if stack is None:
+            stack = []
+            self._session_local.stack = stack
+        stack.append(session_id)
+        try:
+            yield self
+        finally:
+            stack.pop()
+
     def _emit(self, event: ReStoreEvent) -> None:
+        event.session_id = self.current_session_id
         self.events.emit(event)
-        self._pending_events.append(event)
+        with self._lock:
+            self._pending_events.setdefault(event.session_id, []).append(event)
 
     # -- JobListener hooks -----------------------------------------------------------
 
     def on_workflow_start(self, workflow: Workflow) -> None:
-        self.clock += 1
+        with self._lock:
+            self.clock += 1
         self.run_evictions()
+
+    def on_workflow_end(self, workflow: Workflow) -> None:
+        with self._lock:
+            self._pinned.pop(id(workflow), None)
+            # jobs that failed mid-workflow never reached after_job;
+            # drop their enumerated candidates or a long-lived shared
+            # manager leaks them on every failure
+            for job in workflow.jobs:
+                self._pending.pop(id(job), None)
+            # condemned entries whose files were kept alive for this
+            # workflow: delete once no other workflow reads them (and
+            # the path was not re-registered by a fresh entry, which
+            # would have re-claimed it into kept_paths)
+            still_pinned = self._pinned_paths()
+            ready = {
+                path
+                for path in self._deferred_deletes
+                if path not in still_pinned and path not in self.kept_paths
+            }
+            self._deferred_deletes -= ready
+        for path in ready:
+            self._discard_file(path)
+
+    def _pin(self, workflow: Workflow, output_path: str) -> None:
+        """Protect *output_path* from eviction until *workflow* ends."""
+        with self._lock:
+            self._pinned.setdefault(id(workflow), set()).add(output_path)
+
+    def _pin_live_entry(self, workflow: Workflow, entry: RepositoryEntry) -> bool:
+        """Atomically validate-and-pin a matched entry.
+
+        The match loop traverses a candidate *snapshot*, so an entry
+        can be evicted (and its file deleted) between the scan and the
+        rewrite.  Eviction runs under the manager lock, so checking
+        liveness and pinning under the same lock closes that window:
+        either the eviction already removed the entry (we return False
+        and the match is skipped) or it runs later and sees the pin.
+        """
+        with self._lock:
+            if not self.repository.has_entry(entry.entry_id):
+                return False
+            self._pin(workflow, entry.output_path)
+            return True
+
+    def _pinned_paths(self) -> Set[str]:
+        with self._lock:
+            return set().union(*self._pinned.values()) if self._pinned else set()
 
     def before_job(self, job: MapReduceJob, workflow: Workflow) -> bool:
         if self.config.rewrite_enabled:
@@ -214,20 +328,30 @@ class ReStoreManager(JobListener):
         if job.eliminated_by is not None:
             return False
         if self.config.inject_enabled:
-            self._pending[job.job_id] = self.enumerator.enumerate_and_inject(job)
+            candidates = self.enumerator.enumerate_and_inject(job)
+            with self._lock:
+                self._pending[id(job)] = candidates
         return True
 
     def after_job(self, job: MapReduceJob, stats: JobStats, workflow: Workflow) -> None:
-        for candidate in self._pending.pop(job.job_id, []):
-            self._register_sub_job(candidate, stats)
-        self._register_whole_job(job, stats)
+        with self._lock:
+            candidates = self._pending.pop(id(job), [])
+        for candidate in candidates:
+            self._register_sub_job(candidate, stats, workflow)
+        self._register_whole_job(job, stats, workflow)
 
     def protected_paths(self) -> Set[str]:
-        return set(self.kept_paths)
+        with self._lock:
+            return set(self.kept_paths)
 
     def drain(self) -> List[ReStoreEvent]:
-        events, self._pending_events = self._pending_events, []
-        return events
+        """Events for the session scope active on this thread."""
+        return self.drain_session(self.current_session_id)
+
+    def drain_session(self, session_id: str) -> List[ReStoreEvent]:
+        """Return (and clear) the named session's buffered events."""
+        with self._lock:
+            return self._pending_events.pop(session_id, [])
 
     # -- matching & rewriting (component 1) -----------------------------------------------
 
@@ -237,7 +361,9 @@ class ReStoreManager(JobListener):
 
         Each pass asks the repository for fingerprint-pruned
         candidates (the full ordered scan when ``indexed_matching`` is
-        off); the expensive pairwise traversal only runs against those.
+        off); the expensive pairwise traversal only runs against those,
+        outside any manager-level lock — the candidate list is a
+        snapshot, and the job plan being rewritten is submission-local.
         A :class:`~repro.events.MatchScanned` telemetry event goes out
         on the bus when the scan completes.
         """
@@ -259,6 +385,8 @@ class ReStoreManager(JobListener):
                         continue
                     if self._is_noop_match(result, entry):
                         continue
+                    if not self._pin_live_entry(workflow, entry):
+                        continue  # evicted since the candidate snapshot
                     if result.whole_job:
                         scan.matches += 1
                         self._apply_whole_job(job, entry, workflow)
@@ -266,15 +394,21 @@ class ReStoreManager(JobListener):
                     self.rewriter.rewrite_partial(
                         job.plan, result, entry.output_path, entry.output_schema
                     )
-                    entry.mark_used(self.clock)
-                    self.rewrite_count += 1
                     scan.matches += 1
-                    self._emit(RewriteApplied(
-                        job_id=job.job_id,
-                        entry_id=entry.entry_id,
-                        anchor_kind=entry.anchor_kind,
-                        output_path=entry.output_path,
-                    ))
+                    with self._lock:
+                        # under the manager lock: use_count/last_used_at
+                        # are read-modify-write state the LRU eviction
+                        # policy reads during its (locked) passes
+                        entry.mark_used(self.clock)
+                        self.rewrite_count += 1
+                    self._emit(
+                        RewriteApplied(
+                            job_id=job.job_id,
+                            entry_id=entry.entry_id,
+                            anchor_kind=entry.anchor_kind,
+                            output_path=entry.output_path,
+                        )
+                    )
                     matched = True
                     break
                 if not matched:
@@ -283,16 +417,18 @@ class ReStoreManager(JobListener):
             self._record_scan(scan)
 
     def _record_scan(self, scan: MatchScanned) -> None:
-        totals = self.match_totals
-        totals.jobs_scanned += 1
-        totals.passes += scan.passes
-        totals.entries_seen += scan.entries_total * scan.passes
-        totals.candidates_examined += scan.candidates
-        totals.candidates_pruned += scan.pruned
-        totals.traversals += scan.traversals
+        with self._lock:
+            totals = self.match_totals
+            totals.jobs_scanned += 1
+            totals.passes += scan.passes
+            totals.entries_seen += scan.entries_total * scan.passes
+            totals.candidates_examined += scan.candidates
+            totals.candidates_pruned += scan.pruned
+            totals.traversals += scan.traversals
         if scan.entries_total:
             # Bus-only telemetry: the drain channel stays a pure
             # decision log, so legacy consumers see no new lines.
+            scan.session_id = self.current_session_id
             self.events.emit(scan)
 
     @staticmethod
@@ -307,45 +443,60 @@ class ReStoreManager(JobListener):
     def _apply_whole_job(
         self, job: MapReduceJob, entry: RepositoryEntry, workflow: Workflow
     ) -> None:
-        entry.mark_used(self.clock)
+        # the caller pinned the (validated-live) entry: every branch
+        # below leaves some job of this workflow reading its output
+        # (redirect targets, copy-job sources)
+        with self._lock:
+            entry.mark_used(self.clock)
         if job.temporary:
             # Intermediate job: drop it, point consumers at the stored copy.
             job.eliminated_by = entry.entry_id
             others = [j for j in workflow.jobs if j is not job]
             self.rewriter.redirect_loads(others, job.output_path, entry.output_path)
-            self.elimination_count += 1
-            self._emit(JobEliminated(
-                job_id=job.job_id,
-                entry_id=entry.entry_id,
-                output_path=entry.output_path,
-                reason="redirected",
-            ))
+            with self._lock:
+                self.elimination_count += 1
+            self._emit(
+                JobEliminated(
+                    job_id=job.job_id,
+                    entry_id=entry.entry_id,
+                    output_path=entry.output_path,
+                    reason="redirected",
+                )
+            )
             return
         if entry.output_path == job.output_path and self.dfs.exists(entry.output_path):
             # Resubmission of the very same query: result already there.
             job.eliminated_by = entry.entry_id
-            self.elimination_count += 1
-            self._emit(JobEliminated(
-                job_id=job.job_id,
-                entry_id=entry.entry_id,
-                output_path=entry.output_path,
-                reason="already-stored",
-            ))
+            with self._lock:
+                self.elimination_count += 1
+            self._emit(
+                JobEliminated(
+                    job_id=job.job_id,
+                    entry_id=entry.entry_id,
+                    output_path=entry.output_path,
+                    reason="already-stored",
+                )
+            )
             return
         # Final job writing elsewhere: degrade to a copy job.
         self.rewriter.rewrite_as_copy_job(job, entry.output_path, entry.output_schema)
-        self.rewrite_count += 1
-        self._emit(RewriteApplied(
-            job_id=job.job_id,
-            entry_id=entry.entry_id,
-            anchor_kind=entry.anchor_kind,
-            output_path=entry.output_path,
-            whole_job=True,
-        ))
+        with self._lock:
+            self.rewrite_count += 1
+        self._emit(
+            RewriteApplied(
+                job_id=job.job_id,
+                entry_id=entry.entry_id,
+                anchor_kind=entry.anchor_kind,
+                output_path=entry.output_path,
+                whole_job=True,
+            )
+        )
 
     # -- registration (components 2+3) ----------------------------------------------------
 
-    def _register_sub_job(self, candidate: CandidateSubJob, stats: JobStats) -> None:
+    def _register_sub_job(
+        self, candidate: CandidateSubJob, stats: JobStats, workflow: Workflow
+    ) -> None:
         store_stat = stats.store_for_path(candidate.store_path)
         if store_stat is None:
             return
@@ -381,21 +532,49 @@ class ReStoreManager(JobListener):
         decision = self.selector.decide(entry)
         if not decision.keep:
             self._discard_file(candidate.store_path)
-            self._emit(SubJobDiscarded(
-                output_path=candidate.store_path,
-                reason=decision.reason,
-                anchor_kind="sub-job",
-            ))
+            self._emit(
+                SubJobDiscarded(
+                    output_path=candidate.store_path,
+                    reason=decision.reason,
+                    anchor_kind="sub-job",
+                )
+            )
             return
-        self.repository.add(entry)
-        self.kept_paths.add(candidate.store_path)
-        self._emit(SubJobStored(
-            entry_id=entry.entry_id,
-            output_path=candidate.store_path,
-            anchor_kind=candidate.anchor_kind,
-        ))
+        # Atomic: a concurrent worker registering the same computation
+        # loses the race here instead of storing a duplicate entry.
+        # Entry insert and path ownership commit under one manager
+        # lock, so an eviction pass can never observe the entry
+        # without its kept path (which would orphan the stored file).
+        with self._lock:
+            entry, added = self.repository.add_if_absent(entry)
+            if added:
+                self.kept_paths.add(candidate.store_path)
+                # protect the fresh output from a concurrent tenant's
+                # eviction until this workflow (whose rescan passes may
+                # re-match it) is over
+                self._pin(workflow, candidate.store_path)
+        if not added:
+            self._discard_file(candidate.store_path)
+            self._emit(
+                SubJobDiscarded(
+                    output_path=candidate.store_path,
+                    reason=f"duplicate of {entry.entry_id} "
+                    "(lost concurrent registration)",
+                    anchor_kind="sub-job",
+                )
+            )
+            return
+        self._emit(
+            SubJobStored(
+                entry_id=entry.entry_id,
+                output_path=candidate.store_path,
+                anchor_kind=candidate.anchor_kind,
+            )
+        )
 
-    def _register_whole_job(self, job: MapReduceJob, stats: JobStats) -> None:
+    def _register_whole_job(
+        self, job: MapReduceJob, stats: JobStats, workflow: Workflow
+    ) -> None:
         policy = self.config.register_whole_jobs
         if policy == "none":
             return
@@ -410,9 +589,7 @@ class ReStoreManager(JobListener):
         if self.repository.find_equivalent(clean_plan) is not None:
             return
         load_paths = [op.path for op in clean_plan.loads()]
-        sim_time = (
-            stats.sim.total_without_side_stores if stats.sim is not None else 0.0
-        )
+        sim_time = stats.sim.total_without_side_stores if stats.sim is not None else 0.0
         entry = RepositoryEntry(
             plan=clean_plan,
             output_path=primary.path,
@@ -430,25 +607,36 @@ class ReStoreManager(JobListener):
         )
         decision = self.selector.decide(entry)
         if not decision.keep:
-            self._emit(SubJobDiscarded(
-                output_path=primary.path,
-                reason=decision.reason,
-                anchor_kind="whole-job",
-            ))
+            self._emit(
+                SubJobDiscarded(
+                    output_path=primary.path,
+                    reason=decision.reason,
+                    anchor_kind="whole-job",
+                )
+            )
             return
-        self.repository.add(entry)
-        if job.temporary:
-            self.kept_paths.add(primary.path)
-        self._emit(SubJobStored(
-            entry_id=entry.entry_id,
-            output_path=primary.path,
-            anchor_kind="whole-job",
-        ))
+        with self._lock:
+            entry, added = self.repository.add_if_absent(entry)
+            if added and job.temporary:
+                self.kept_paths.add(primary.path)
+                # this workflow's later jobs load the temporary output;
+                # a concurrent tenant's eviction must not delete it
+                # out from under them mid-run
+                self._pin(workflow, primary.path)
+        if not added:
+            # A concurrent worker stored the same computation first;
+            # like the sequential duplicate probe above, keep theirs.
+            return
+        self._emit(
+            SubJobStored(
+                entry_id=entry.entry_id,
+                output_path=primary.path,
+                anchor_kind="whole-job",
+            )
+        )
 
     def _mtimes(self, paths) -> Dict[str, int]:
-        return {
-            path: self.dfs.mtime(path) for path in paths if self.dfs.exists(path)
-        }
+        return {path: self.dfs.mtime(path) for path in paths if self.dfs.exists(path)}
 
     # -- eviction (§5 rules 3-4) --------------------------------------------------------------
 
@@ -458,37 +646,77 @@ class ReStoreManager(JobListener):
         Iterating matters for cascades: evicting an entry deletes its
         owned output file, which is another entry's *input* — Rule 4
         must then claim that dependent entry on the next pass (stale
-        results never survive transitively).
+        results never survive transitively).  The whole fixpoint runs
+        under the manager lock: eviction is rare (once per workflow)
+        and policies must see a stable repository while choosing
+        victims.  Victims whose output an in-flight workflow was
+        rewritten to read are condemned immediately (removed from the
+        repository so no later job matches possibly-stale data) but
+        their files outlive the reading workflow (see :meth:`_pin` and
+        ``_deferred_deletes``).
         """
         evicted: List[str] = []
-        changed = True
-        while changed:
-            changed = False
-            for policy in self.eviction_policies:
-                victims = policy.select_victims(
-                    self.repository, self.dfs, self.clock
-                )
-                for victim in victims:
-                    if victim.entry_id in evicted:
-                        continue
-                    self._evict(victim, policy.name)
-                    evicted.append(victim.entry_id)
-                    changed = True
+        events: List[EntryEvicted] = []
+        with self._lock:
+            changed = True
+            while changed:
+                changed = False
+                pinned = self._pinned_paths()
+                for policy in self.eviction_policies:
+                    victims = policy.select_victims(
+                        self.repository, self.dfs, self.clock
+                    )
+                    for victim in victims:
+                        if victim.entry_id in evicted:
+                            continue
+                        # pinned: an in-flight workflow reads the
+                        # file — condemn the entry now (it must not
+                        # match again; it may be stale) but let the
+                        # file outlive the reading workflow
+                        event = self._evict(
+                            victim,
+                            policy.name,
+                            defer_delete=victim.output_path in pinned,
+                        )
+                        if event is not None:
+                            events.append(event)
+                        evicted.append(victim.entry_id)
+                        changed = True
+        # emit after releasing the manager lock: bus subscribers run
+        # callback code and may call back into the manager (events.py
+        # promises they can do so without lock-order deadlocks)
+        for event in events:
+            self._emit(event)
         return evicted
 
-    def _evict(self, entry: RepositoryEntry, reason: str) -> None:
+    def _evict(
+        self, entry: RepositoryEntry, reason: str, defer_delete: bool = False
+    ) -> Optional[EntryEvicted]:
+        """Remove one entry (and usually its owned file); returns the
+        :class:`EntryEvicted` event for the caller to emit outside the
+        eviction critical section, or None if the entry was gone.
+
+        ``defer_delete`` keeps the owned file on disk (queued in
+        ``_deferred_deletes``) because an in-flight workflow still
+        reads it; the entry itself is removed unconditionally.
+        """
         try:
             self.repository.remove(entry.entry_id)
         except Exception:
-            return
-        if entry.output_path in self.kept_paths:
-            self.kept_paths.discard(entry.output_path)
+            return None
+        with self._lock:
+            owned = entry.output_path in self.kept_paths
+            if owned:
+                self.kept_paths.discard(entry.output_path)
+                if defer_delete:
+                    self._deferred_deletes.add(entry.output_path)
+        if owned and not defer_delete:
             self._discard_file(entry.output_path)
-        self._emit(EntryEvicted(
+        return EntryEvicted(
             entry_id=entry.entry_id,
             policy=reason,
             output_path=entry.output_path,
-        ))
+        )
 
     def _discard_file(self, path: str) -> None:
         self.dfs.delete_if_exists(path)
@@ -497,7 +725,10 @@ class ReStoreManager(JobListener):
 
     #: event types whose rendered form the legacy string channel carried
     _LEGACY_EVENT_TYPES = (
-        RewriteApplied, JobEliminated, SubJobDiscarded, EntryEvicted,
+        RewriteApplied,
+        JobEliminated,
+        SubJobDiscarded,
+        EntryEvicted,
     )
 
     @classmethod
@@ -506,7 +737,8 @@ class ReStoreManager(JobListener):
         no 'stored' lines — only rewrites, eliminations, discards, and
         evictions)."""
         return [
-            event.render() for event in events
+            event.render()
+            for event in events
             if isinstance(event, cls._LEGACY_EVENT_TYPES)
         ]
 

@@ -93,9 +93,7 @@ class PlanMatcher:
         if frontier_repo is None:
             return None
 
-        order = [
-            op for op in repo_plan.topo_order() if not isinstance(op, POStore)
-        ]
+        order = [op for op in repo_plan.topo_order() if not isinstance(op, POStore)]
         mapping: Dict[int, PhysicalOperator] = {}
         used_input_ids: Set[int] = set()
 
@@ -154,11 +152,7 @@ class PlanMatcher:
 
         if not repo_preds:
             # A source (Load): match against the input plan's loads.
-            pool = [
-                op
-                for op in input_plan.loads()
-                if op.op_id not in used_input_ids
-            ]
+            pool = [op for op in input_plan.loads() if op.op_id not in used_input_ids]
         else:
             # All predecessors were already mapped (topological walk);
             # candidates are common effective successors of the images.
@@ -178,9 +172,7 @@ class PlanMatcher:
                 if op.op_id in common_ids and op.op_id not in used_input_ids
             ]
 
-        candidates = [
-            op for op in pool if operators_equivalent(op, repo_op)
-        ]
+        candidates = [op for op in pool if operators_equivalent(op, repo_op)]
         # For multi-input ops the *order* of inputs must also agree;
         # signature equality of the upstream LocalRearranges (which
         # embed their branch index) already enforces this.

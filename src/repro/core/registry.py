@@ -38,10 +38,13 @@ class PluginRegistry:
             class KeepAllSelector(Selector): ...
         """
         if factory is None:
+
             def decorator(cls):
                 self.register(name, cls, aliases=aliases)
                 return cls
+
             return decorator
+
         key = name.lower()
         self._factories[key] = factory
         self._canonical[key] = key

@@ -13,8 +13,17 @@ match found during the sequential scan is the best one:
 2. otherwise by the input/output size ratio, then by execution time
    (both: higher first).
 
-The repository is fingerprint-indexed.  Three structures are kept
-consistent on every add/remove/eviction:
+The repository is fingerprint-indexed and **concurrency-safe**.  The
+three inverted indexes from the fingerprint work are now *sharded*:
+each index key (whole-plan fingerprint, load signature, input path)
+hashes to one of ``n_shards`` stripes, each with its own lock.  Be
+clear about what that buys today: entry-level operations (add,
+remove, match, ordering) still serialize on the repository lock, so
+under CPython's GIL the striping is not a parallelism knob — it lets
+bucket readers that bypass the entry lock (``input_paths``, the
+merged index views) see consistent buckets, and it is the structure a
+free-threaded build needs to let disjoint key ranges stop contending
+on index-bucket maintenance:
 
 * whole-plan fingerprint → entry ids: O(1) exact-equivalence lookup
   (``find_equivalent`` no longer runs a linear matcher scan);
@@ -25,20 +34,31 @@ consistent on every add/remove/eviction:
 * input path → entry ids: eviction Rule 4 checks each source dataset
   once instead of walking every entry's recorded mtimes.
 
-The §3 scan order is maintained *incrementally*: each inserted entry
-is compared (with fingerprint pruning) only against entries it could
-subsume or be subsumed by, and removals retire cached subsumption
-pairs without any matcher calls — there is no O(n²) re-sort on
-invalidation any more.
+Entry-level state (the entry table, insertion sequence, and the §3
+ordering structures) is guarded by one reentrant repository lock; the
+locking discipline is strictly *repository lock before shard lock*,
+never the reverse, so the two layers can never deadlock.
+
+The §3 scan order is maintained *incrementally*, and registration is
+**batched**: entries added while no scan is running accumulate in a
+pending batch, and the next ``ordered_entries()`` call integrates the
+whole batch at once — the subsumption pairs are still computed (with
+fingerprint pruning) per entry, but the list maintenance collapses to
+one final sort instead of per-insert ``insort`` plus repositioning.
+The resulting order is provably identical to one-at-a-time inserts:
+the sort key is a strict total order (the insertion sequence breaks
+every tie), so any maintenance strategy converges to the same list.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
+import zlib
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.matcher import PlanMatcher
 from repro.exceptions import RepositoryError
@@ -148,31 +168,68 @@ class RepositoryIndexStats:
     subsume_checks: int = 0
     #: ordering pairs dismissed by fingerprint pruning (no traversal)
     subsume_pruned: int = 0
+    #: entries folded into the order one at a time (insort path)
+    order_integrations: int = 0
+    #: batched order flushes, and entries amortized across them
+    batch_flushes: int = 0
+    batch_entries: int = 0
+
+
+class _IndexShard:
+    """One lock stripe of the inverted indexes.
+
+    Keys (fingerprints, load signatures, input paths) hash to a shard;
+    all buckets for a key live in that key's shard and are only touched
+    under its lock.
+    """
+
+    __slots__ = ("lock", "by_fingerprint", "by_load_sig", "by_input_path")
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        #: whole-plan fingerprint -> entry ids (insertion order)
+        self.by_fingerprint: Dict[str, List[str]] = {}
+        #: load signature -> entry ids
+        self.by_load_sig: Dict[str, Set[str]] = {}
+        #: input path -> entry ids
+        self.by_input_path: Dict[str, Set[str]] = {}
 
 
 class Repository:
-    """Fingerprint-indexed, scan-ordered collection of entries."""
+    """Fingerprint-indexed, scan-ordered, concurrency-safe collection.
+
+    ``n_shards`` controls the lock striping of the inverted indexes
+    (shard assignment is a deterministic CRC of the key, so layouts are
+    stable across processes).  All public methods may be called from
+    any thread; reads return snapshots.
+    """
 
     def __init__(
         self,
         matcher: Optional[PlanMatcher] = None,
         ordering_enabled: bool = True,
+        n_shards: int = 8,
     ):
+        if n_shards < 1:
+            raise ValueError("need at least one index shard")
         self.matcher = matcher or PlanMatcher()
         #: when False, ordered_entries() returns insertion order —
         #: an ablation knob showing why §3's ordering rules matter
         #: (the first match found is used for the rewrite)
         self.ordering_enabled = ordering_enabled
         self.index_stats = RepositoryIndexStats()
+        self.n_shards = n_shards
+        #: guards the entry table, sequence numbers, sig counts, the
+        #: ordering structures, and index_stats; shard locks are only
+        #: ever taken while holding (or after) this lock, never before
+        self._lock = threading.RLock()
         self._entries: Dict[str, RepositoryEntry] = {}
         self._id_counter = 1
         self._seq_counter = 0
         #: entry id -> insertion sequence (stable-sort tie-break)
         self._seq: Dict[str, int] = {}
-        # -- fingerprint indexes (kept in step with _entries) --------
-        self._by_fingerprint: Dict[str, List[str]] = {}
-        self._by_load_sig: Dict[str, Set[str]] = {}
-        self._by_input_path: Dict[str, Set[str]] = {}
+        # -- sharded fingerprint indexes (kept in step with _entries) --
+        self._shards: List[_IndexShard] = [_IndexShard() for _ in range(n_shards)]
         self._sig_counts: Dict[str, Dict[str, int]] = {}
         # -- incremental §3 ordering ---------------------------------
         #: entry id -> how many other entries its plan subsumes
@@ -183,7 +240,8 @@ class Repository:
         #: integrated entry ids, sorted by the §3 scan key
         self._sorted: List[str] = []
         #: added but not yet integrated into the order (lazy, so
-        #: ordering-free workloads never pay for matcher calls)
+        #: ordering-free workloads never pay for matcher calls; flushed
+        #: as one amortized batch by the next ordered scan)
         self._pending: List[str] = []
 
     # -- basic operations ---------------------------------------------------------
@@ -192,10 +250,12 @@ class Repository:
         return len(self._entries)
 
     def __iter__(self):
-        return iter(list(self._entries.values()))
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     def entries(self) -> List[RepositoryEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def get(self, entry_id: str) -> RepositoryEntry:
         try:
@@ -203,15 +263,19 @@ class Repository:
         except KeyError:
             raise RepositoryError(f"no such entry: {entry_id}") from None
 
+    def has_entry(self, entry_id: str) -> bool:
+        """Whether *entry_id* is still live (snapshot validation: a
+        matcher works on candidate snapshots, so an entry can be
+        evicted mid-scan; callers re-check before acting on a match)."""
+        return entry_id in self._entries
+
     def _assign_id(self, entry: RepositoryEntry) -> None:
         if entry.entry_id:
             # Persisted id: keep it, but advance the counter past it so
             # later generated ids can never collide.
             match = _ENTRY_ID_PATTERN.match(entry.entry_id)
             if match:
-                self._id_counter = max(
-                    self._id_counter, int(match.group(1)) + 1
-                )
+                self._id_counter = max(self._id_counter, int(match.group(1)) + 1)
             return
         while True:
             candidate = f"entry_{self._id_counter:06d}"
@@ -221,6 +285,10 @@ class Repository:
                 return
 
     def add(self, entry: RepositoryEntry) -> RepositoryEntry:
+        with self._lock:
+            return self._add_locked(entry)
+
+    def _add_locked(self, entry: RepositoryEntry) -> RepositoryEntry:
         self._assign_id(entry)
         eid = entry.entry_id
         if eid in self._entries:
@@ -240,95 +308,200 @@ class Repository:
         self._pending.append(eid)
         return entry
 
-    def remove(self, entry_id: str) -> RepositoryEntry:
-        entry = self.get(entry_id)
-        del self._entries[entry_id]
-        del self._seq[entry_id]
-        self._deindex_entry(entry)
-        if entry_id in self._pending:
-            self._pending.remove(entry_id)
-        else:
-            self._retire_from_order(entry_id)
-        return entry
+    def add_batch(self, entries: Iterable[RepositoryEntry]) -> List[RepositoryEntry]:
+        """Add many entries in one registration batch.
 
-    # -- fingerprint indexes ------------------------------------------------------
+        The batch defers subsumption-order upkeep: all entries land in
+        the pending set and the next ordered scan (or :meth:`flush`)
+        integrates them together, paying one list sort for the whole
+        batch instead of an ``insort`` plus repositioning per insert.
+        """
+        with self._lock:
+            return [self._add_locked(entry) for entry in entries]
+
+    def add_if_absent(self, entry: RepositoryEntry) -> Tuple[RepositoryEntry, bool]:
+        """Atomically register *entry* unless an equivalent plan is
+        already stored.
+
+        Returns ``(stored_entry, added)``.  This is the check-then-add
+        race closed: two concurrent registrations of the same
+        computation can both pass a bare :meth:`find_equivalent` probe,
+        but only one can win this method; the loser receives the
+        winner's entry and ``added=False``.
+        """
+        with self._lock:
+            existing = self.find_equivalent(entry.plan)
+            if existing is not None:
+                return existing, False
+            return self._add_locked(entry), True
+
+    def remove(self, entry_id: str) -> RepositoryEntry:
+        with self._lock:
+            entry = self.get(entry_id)
+            del self._entries[entry_id]
+            del self._seq[entry_id]
+            self._deindex_entry(entry)
+            if entry_id in self._pending:
+                self._pending.remove(entry_id)
+            else:
+                self._retire_from_order(entry_id)
+            return entry
+
+    def flush(self) -> None:
+        """Integrate every pending entry into the §3 order now.
+
+        Equivalent to what the next :meth:`ordered_entries` call would
+        do; exposed so batch writers can pay the upkeep at a chosen
+        point (e.g. between workloads) instead of inside a match scan.
+        """
+        if not self.ordering_enabled:
+            return
+        with self._lock:
+            self._flush_pending_locked()
+
+    # -- sharded fingerprint indexes ----------------------------------------------
+
+    def _shard_of(self, key: str) -> _IndexShard:
+        return self._shards[zlib.crc32(key.encode()) % self.n_shards]
 
     def _index_entry(self, entry: RepositoryEntry) -> None:
         eid = entry.entry_id
-        self._by_fingerprint.setdefault(entry.plan.fingerprint(), []).append(
-            eid
-        )
+        fingerprint = entry.plan.fingerprint()
+        shard = self._shard_of(fingerprint)
+        with shard.lock:
+            bucket = shard.by_fingerprint.setdefault(fingerprint, [])
+            # keep buckets in insertion-sequence order even through
+            # same-id re-adds, so find_equivalent can take bucket[0]
+            insort(bucket, eid, key=lambda e: self._seq[e])
         for sig in entry.plan.load_signature_set():
-            self._by_load_sig.setdefault(sig, set()).add(eid)
+            shard = self._shard_of(sig)
+            with shard.lock:
+                shard.by_load_sig.setdefault(sig, set()).add(eid)
         for path in entry.input_mtimes:
-            self._by_input_path.setdefault(path, set()).add(eid)
+            shard = self._shard_of(path)
+            with shard.lock:
+                shard.by_input_path.setdefault(path, set()).add(eid)
         self._sig_counts[eid] = dict(entry.plan.signature_counts())
 
     def _deindex_entry(self, entry: RepositoryEntry) -> None:
         eid = entry.entry_id
         fingerprint = entry.plan.fingerprint()
-        bucket = self._by_fingerprint.get(fingerprint, [])
-        if eid in bucket:
-            bucket.remove(eid)
-            if not bucket:
-                del self._by_fingerprint[fingerprint]
+        shard = self._shard_of(fingerprint)
+        with shard.lock:
+            bucket = shard.by_fingerprint.get(fingerprint, [])
+            if eid in bucket:
+                bucket.remove(eid)
+                if not bucket:
+                    del shard.by_fingerprint[fingerprint]
         for sig in entry.plan.load_signature_set():
-            holders = self._by_load_sig.get(sig)
-            if holders is not None:
-                holders.discard(eid)
-                if not holders:
-                    del self._by_load_sig[sig]
+            shard = self._shard_of(sig)
+            with shard.lock:
+                holders = shard.by_load_sig.get(sig)
+                if holders is not None:
+                    holders.discard(eid)
+                    if not holders:
+                        del shard.by_load_sig[sig]
         for path in entry.input_mtimes:
-            holders = self._by_input_path.get(path)
-            if holders is not None:
-                holders.discard(eid)
-                if not holders:
-                    del self._by_input_path[path]
+            shard = self._shard_of(path)
+            with shard.lock:
+                holders = shard.by_input_path.get(path)
+                if holders is not None:
+                    holders.discard(eid)
+                    if not holders:
+                        del shard.by_input_path[path]
         self._sig_counts.pop(eid, None)
+
+    def _load_sig_pool(self, sigs: Iterable[str]) -> Set[str]:
+        """Union of the load-signature buckets for *sigs* (per-shard
+        locking; the caller decides whether entry-level state is also
+        locked)."""
+        pool: Set[str] = set()
+        for sig in sigs:
+            shard = self._shard_of(sig)
+            with shard.lock:
+                pool |= shard.by_load_sig.get(sig, set())
+        return pool
+
+    # -- merged index views (tests, debugging) ------------------------------------
+
+    def merged_index_views(self) -> Dict[str, Dict]:
+        """Deep-copied, merged snapshots of the sharded indexes, keyed
+        ``by_fingerprint`` / ``by_load_sig`` / ``by_input_path``.
+
+        Read-only by construction: the returned containers are copies,
+        so code that mutates them (as pre-shard code mutated the old
+        ``_by_*`` dict attributes) cannot silently desync the real
+        shard buckets — there is deliberately no attribute exposing
+        them directly.
+        """
+        views: Dict[str, Dict] = {
+            "by_fingerprint": {},
+            "by_load_sig": {},
+            "by_input_path": {},
+        }
+        for shard in self._shards:
+            with shard.lock:
+                for key, bucket in shard.by_fingerprint.items():
+                    views["by_fingerprint"][key] = list(bucket)
+                for key, holders in shard.by_load_sig.items():
+                    views["by_load_sig"][key] = set(holders)
+                for key, holders in shard.by_input_path.items():
+                    views["by_input_path"][key] = set(holders)
+        return views
 
     def find_equivalent(self, plan: PhysicalPlan) -> Optional[RepositoryEntry]:
         """An existing entry whose plan computes exactly *plan*.
 
-        O(1): one cached fingerprint plus one dict probe (used to be a
-        linear scan re-fingerprinting every stored plan).
+        O(1): one cached fingerprint plus one dict probe in the
+        fingerprint's shard (used to be a linear scan re-fingerprinting
+        every stored plan).
         """
-        self.index_stats.exact_lookups += 1
-        bucket = self._by_fingerprint.get(plan.fingerprint())
-        if not bucket:
-            return None
-        self.index_stats.exact_hits += 1
-        # insertion order, matching the historical first-found scan
-        first = min(bucket, key=lambda eid: self._seq[eid])
-        return self._entries[first]
+        fingerprint = plan.fingerprint()
+        shard = self._shard_of(fingerprint)
+        with self._lock:
+            self.index_stats.exact_lookups += 1
+            with shard.lock:
+                bucket = shard.by_fingerprint.get(fingerprint)
+                if not bucket:
+                    return None
+                # buckets are kept in insertion order, matching the
+                # historical first-found scan
+                first = bucket[0]
+            self.index_stats.exact_hits += 1
+            return self._entries[first]
 
     def find_by_output_path(self, path: str) -> Optional[RepositoryEntry]:
-        for entry in self._entries.values():
+        for entry in self.entries():
             if entry.output_path == path:
                 return entry
         return None
 
     def input_paths(self) -> List[str]:
         """Distinct source-dataset paths recorded by live entries."""
-        return list(self._by_input_path)
+        paths: List[str] = []
+        for shard in self._shards:
+            with shard.lock:
+                paths.extend(shard.by_input_path)
+        return paths
 
     def entries_with_input(self, path: str) -> List[RepositoryEntry]:
         """Entries whose plans read *path* (insertion order)."""
-        ids = self._by_input_path.get(path, set())
-        return [
-            self._entries[eid]
-            for eid in sorted(ids, key=lambda e: self._seq[e])
-        ]
+        with self._lock:
+            shard = self._shard_of(path)
+            with shard.lock:
+                ids = set(shard.by_input_path.get(path, set()))
+            return [
+                self._entries[eid] for eid in sorted(ids, key=lambda e: self._seq[e])
+            ]
 
     @property
     def total_stored_bytes(self) -> int:
-        return sum(e.stats.output_bytes for e in self._entries.values())
+        return sum(e.stats.output_bytes for e in self.entries())
 
-    # -- candidate pruning (the tentpole fast path) -------------------------------
+    # -- candidate pruning (the indexed fast path) --------------------------------
 
     @staticmethod
-    def _counts_contained(
-        inner: Dict[str, int], outer: Dict[str, int]
-    ) -> bool:
+    def _counts_contained(inner: Dict[str, int], outer: Dict[str, int]) -> bool:
         """True when *inner* is a sub-multiset of *outer* — necessary
         for inner's plan to be contained in outer's (every repo
         operator needs a distinct, signature-equal image)."""
@@ -345,35 +518,38 @@ class Repository:
         ablation baseline.  Pruning is sound: it only removes entries
         whose Load set or operator-signature multiset proves Algorithm
         1 would reject them, so the surviving first match is byte-for-
-        byte the one the full scan finds.
+        byte the one the full scan finds.  The returned list is a
+        snapshot: entries removed concurrently stay visible to a scan
+        already in flight.
         """
-        ordered = self.ordered_entries()
-        total = len(ordered)
-        stats = MatchScanStats(entries_total=total)
-        if not indexed:
-            stats.candidates = total
+        load_sigs = plan.load_signature_set()
+        counts = dict(plan.signature_counts())
+        with self._lock:
+            ordered = self._ordered_entries_locked()
+            total = len(ordered)
+            stats = MatchScanStats(entries_total=total)
+            if not indexed:
+                stats.candidates = total
+                self.index_stats.scans += 1
+                self.index_stats.candidates_examined += total
+                return ordered, stats
+            pool = self._load_sig_pool(load_sigs)
+            if pool:
+                keep = {
+                    eid
+                    for eid in pool
+                    if eid in self._sig_counts
+                    and self._counts_contained(self._sig_counts[eid], counts)
+                }
+            else:
+                keep = set()
+            candidates = [e for e in ordered if e.entry_id in keep]
+            stats.candidates = len(candidates)
+            stats.pruned = total - len(candidates)
             self.index_stats.scans += 1
-            self.index_stats.candidates_examined += total
-            return ordered, stats
-        pool: Set[str] = set()
-        for sig in plan.load_signature_set():
-            pool |= self._by_load_sig.get(sig, set())
-        if pool:
-            counts = dict(plan.signature_counts())
-            keep = {
-                eid
-                for eid in pool
-                if self._counts_contained(self._sig_counts[eid], counts)
-            }
-        else:
-            keep = set()
-        candidates = [e for e in ordered if e.entry_id in keep]
-        stats.candidates = len(candidates)
-        stats.pruned = total - len(candidates)
-        self.index_stats.scans += 1
-        self.index_stats.candidates_examined += stats.candidates
-        self.index_stats.candidates_pruned += stats.pruned
-        return candidates, stats
+            self.index_stats.candidates_examined += stats.candidates
+            self.index_stats.candidates_pruned += stats.pruned
+            return candidates, stats
 
     # -- ordering (§3, incrementally maintained) ----------------------------------
 
@@ -399,15 +575,21 @@ class Repository:
         self._sorted.remove(entry_id)
         insort(self._sorted, entry_id, key=self._order_key)
 
-    def _integrate(self, entry_id: str) -> None:
-        """Fold one pending entry into the maintained order: compare
-        it (fingerprint-pruned) against entries it shares a Load with,
-        update subsumption scores on both sides, insert by key."""
+    def _compute_subsumptions(self, entry_id: str, reposition: bool) -> None:
+        """Record the subsumption pairs of one pending entry: compare
+        it (fingerprint-pruned) against every integrated or
+        earlier-batched entry sharing a Load, updating scores on both
+        sides.
+
+        With ``reposition`` each *other* entry whose score grew is
+        re-placed immediately — ``_sorted`` must stay sorted under
+        current keys at every step, or later ``insort`` calls bisect a
+        stale list.  Batch flushes pass False: one final total-order
+        sort supersedes every intermediate placement.
+        """
         entry = self._entries[entry_id]
         counts = self._sig_counts[entry_id]
-        pool: Set[str] = set()
-        for sig in entry.plan.load_signature_set():
-            pool |= self._by_load_sig.get(sig, set())
+        pool = self._load_sig_pool(entry.plan.load_signature_set())
         pool.discard(entry_id)
         self._scores.setdefault(entry_id, 0)
         for other_id in sorted(pool, key=lambda e: self._seq[e]):
@@ -415,7 +597,6 @@ class Repository:
                 continue  # still pending; handled when it integrates
             other = self._entries[other_id]
             other_counts = self._sig_counts[other_id]
-            moved = False
             if self._counts_contained(other_counts, counts):
                 if self._contains_traversal(entry, other):
                     self._record_subsumption(entry_id, other_id)
@@ -424,12 +605,43 @@ class Repository:
             if self._counts_contained(counts, other_counts):
                 if self._contains_traversal(other, entry):
                     self._record_subsumption(other_id, entry_id)
-                    moved = True
+                    if reposition and other_id in self._sorted:
+                        self._reposition(other_id)
             else:
                 self.index_stats.subsume_pruned += 1
-            if moved:
-                self._reposition(other_id)
+
+    def _integrate(self, entry_id: str) -> None:
+        """Fold one pending entry into the maintained order: record its
+        subsumption pairs (repositioning as scores change), insert by
+        key."""
+        self.index_stats.order_integrations += 1
+        self._compute_subsumptions(entry_id, reposition=True)
         insort(self._sorted, entry_id, key=self._order_key)
+
+    def _integrate_batch(self, batch: List[str]) -> None:
+        """Fold a whole pending batch into the order at once.
+
+        Subsumption pairs are computed per entry exactly as the
+        one-at-a-time path would (earlier batch entries are visible to
+        later ones, mirroring FIFO integration), but placement is paid
+        once: a single total-order sort of the merged list replaces
+        per-entry ``insort`` and per-move repositioning.
+        """
+        self.index_stats.batch_flushes += 1
+        self.index_stats.batch_entries += len(batch)
+        for entry_id in batch:
+            self._compute_subsumptions(entry_id, reposition=False)
+        self._sorted.extend(batch)
+        self._sorted.sort(key=self._order_key)
+
+    def _flush_pending_locked(self) -> None:
+        if not self._pending:
+            return
+        if len(self._pending) == 1:
+            self._integrate(self._pending.pop(0))
+            return
+        batch, self._pending = self._pending, []
+        self._integrate_batch(batch)
 
     def _retire_from_order(self, entry_id: str) -> None:
         """Remove an integrated entry: retire its cached subsumption
@@ -451,25 +663,35 @@ class Repository:
                 holders.discard(entry_id)
         self._scores.pop(entry_id, None)
 
+    def _ordered_entries_locked(self) -> List[RepositoryEntry]:
+        if not self.ordering_enabled:
+            return list(self._entries.values())
+        self._flush_pending_locked()
+        return [self._entries[eid] for eid in self._sorted]
+
     def ordered_entries(self) -> List[RepositoryEntry]:
         """Entries in match-scan order (best candidates first).
 
         Single stable sort by (subsumption score desc, io ratio desc,
         exec time desc, insertion order) — provably the same order as
         the historical two-pass stable sort, but maintained entry by
-        entry instead of recomputed O(n²) per mutation.
+        entry (or batch by batch) instead of recomputed O(n²) per
+        mutation.  Returns a snapshot safe to iterate without locks.
+
+        Integration of pending entries (including its matcher
+        traversals) runs under the repository lock — the §3 order is
+        global state, so upkeep is deliberately exclusive; batching
+        keeps that critical section short by amortizing list
+        maintenance across the whole pending set.
         """
-        if not self.ordering_enabled:
-            return list(self._entries.values())
-        while self._pending:
-            self._integrate(self._pending.pop(0))
-        return [self._entries[eid] for eid in self._sorted]
+        with self._lock:
+            return self._ordered_entries_locked()
 
     # -- persistence --------------------------------------------------------------
 
     def to_json(self) -> str:
         return json.dumps(
-            {"entries": [e.to_dict() for e in self._entries.values()]},
+            {"entries": [e.to_dict() for e in self.entries()]},
             indent=2,
         )
 
@@ -479,8 +701,10 @@ class Repository:
     ) -> "Repository":
         repo = cls(matcher=matcher)
         data = json.loads(text)
-        for entry_data in data.get("entries", []):
-            repo.add(RepositoryEntry.from_dict(entry_data))
+        repo.add_batch(
+            RepositoryEntry.from_dict(entry_data)
+            for entry_data in data.get("entries", [])
+        )
         return repo
 
     def __repr__(self) -> str:

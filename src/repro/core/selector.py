@@ -100,9 +100,7 @@ class RuleBasedSelector(Selector):
         )
 
 
-def selector_by_name(
-    name: str, cost_model: Optional[CostModel] = None
-) -> Selector:
+def selector_by_name(name: str, cost_model: Optional[CostModel] = None) -> Selector:
     """Resolve a selector by registry name, injecting ``cost_model``
     so Rule-2 estimates agree with the rest of the session."""
     return SELECTORS.create(name, cost_model=cost_model)

@@ -11,6 +11,7 @@ the cost model.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Iterable, List, Optional
 
 from repro.dfs.blocks import Block, split_into_blocks
@@ -52,6 +53,24 @@ class DistributedFileSystem:
         # Physical counter including replication fan-out.
         self.replica_bytes_written = 0
         self._script_ids = itertools.count(1)
+        self._subjob_ids = itertools.count(1)
+        #: one filesystem is shared by every concurrent service worker;
+        #: this lock makes namespace mutations (block allocation, the
+        #: mtime clock, delete-if-exists) atomic — without it two
+        #: writers can be handed the same block id and silently read
+        #: each other's bytes back
+        self._lock = threading.RLock()
+
+    def next_subjob_id(self) -> int:
+        """Allocate a ReStore sub-job output number.
+
+        Scoped like :meth:`next_script_id`: deterministic per fresh
+        filesystem (a serial rerun of the same stream reproduces the
+        same ``restore/subjob/sj...`` paths byte for byte), and unique
+        across managers sharing one DFS so kept sub-job outputs can
+        never overwrite each other.
+        """
+        return next(self._subjob_ids)
 
     def next_script_id(self) -> int:
         """Allocate a script id unique within this filesystem.
@@ -70,21 +89,23 @@ class DistributedFileSystem:
     def write_file(self, path: str, data: bytes | str, overwrite: bool = False) -> FileStatus:
         """Create *path* with *data*; replicates each block."""
         payload = data.encode() if isinstance(data, str) else data
-        if overwrite and self.namenode.exists(path):
-            self.delete(path)
-        inode = self.namenode.create(path, self.replication)
-        self._append_blocks(inode, payload)
-        return self.namenode.stat(path)
+        with self._lock:
+            if overwrite and self.namenode.exists(path):
+                self.delete(path)
+            inode = self.namenode.create(path, self.replication)
+            self._append_blocks(inode, payload)
+            return self.namenode.stat(path)
 
     def append(self, path: str, data: bytes | str) -> FileStatus:
         """Append to an existing file (creates it if missing)."""
         payload = data.encode() if isinstance(data, str) else data
-        if not self.namenode.exists(path):
-            return self.write_file(path, payload)
-        inode = self.namenode.lookup(path)
-        self._append_blocks(inode, payload)
-        self.namenode.touch(path)
-        return self.namenode.stat(path)
+        with self._lock:
+            if not self.namenode.exists(path):
+                return self.write_file(path, payload)
+            inode = self.namenode.lookup(path)
+            self._append_blocks(inode, payload)
+            self.namenode.touch(path)
+            return self.namenode.stat(path)
 
     def write_lines(self, path: str, lines: Iterable[str], overwrite: bool = False) -> FileStatus:
         text = "".join(line if line.endswith("\n") else line + "\n" for line in lines)
@@ -104,14 +125,15 @@ class DistributedFileSystem:
     # -- reads ----------------------------------------------------------------------
 
     def read_file(self, path: str) -> bytes:
-        inode = self.namenode.lookup(path)
-        chunks = []
-        for block_id in inode.block_ids:
-            node = self._locate(block_id)
-            chunks.append(node.read_block(block_id))
-        data = b"".join(chunks)
-        self.bytes_read += len(data)
-        return data
+        with self._lock:
+            inode = self.namenode.lookup(path)
+            chunks = []
+            for block_id in inode.block_ids:
+                node = self._locate(block_id)
+                chunks.append(node.read_block(block_id))
+            data = b"".join(chunks)
+            self.bytes_read += len(data)
+            return data
 
     def read_text(self, path: str) -> str:
         return self.read_file(path).decode()
@@ -132,19 +154,22 @@ class DistributedFileSystem:
         return self.namenode.exists(path)
 
     def delete(self, path: str) -> None:
-        inode = self.namenode.remove(path)
-        for block_id in inode.block_ids:
-            for node in self.datanodes:
-                node.delete_block(block_id)
+        with self._lock:
+            inode = self.namenode.remove(path)
+            for block_id in inode.block_ids:
+                for node in self.datanodes:
+                    node.delete_block(block_id)
 
     def delete_if_exists(self, path: str) -> bool:
-        if self.exists(path):
-            self.delete(path)
-            return True
-        return False
+        with self._lock:
+            if self.exists(path):
+                self.delete(path)
+                return True
+            return False
 
     def rename(self, src: str, dst: str) -> None:
-        self.namenode.rename(src, dst)
+        with self._lock:
+            self.namenode.rename(src, dst)
 
     def stat(self, path: str) -> FileStatus:
         return self.namenode.stat(path)

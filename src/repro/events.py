@@ -15,6 +15,7 @@ deprecated string channels (``ReStoreManager.drain_events()``,
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Tuple, Type, Union
 
@@ -26,9 +27,16 @@ class ReStoreEvent:
     ``seq`` is a bus-assigned monotonically increasing sequence number
     (0 until the event passes through a bus); it makes global ordering
     explicit for subscribers that buffer events.
+
+    ``session_id`` names the tenant session whose job produced the
+    event ("" outside any session scope).  The manager stamps it from
+    its active session scope, so multi-tenant deployments — many
+    sessions sharing one manager and repository — can route and drain
+    events per session without cross-talk.
     """
 
     seq: int = field(default=0, init=False, compare=False)
+    session_id: str = field(default="", init=False, compare=False)
 
     def render(self) -> str:
         """The legacy human-readable log line for this event."""
@@ -181,13 +189,20 @@ class EventBus:
     """Synchronous publish/subscribe fan-out for :class:`ReStoreEvent`.
 
     Subscribers are invoked in subscription order, on the emitting
-    thread, in emission order; ``emit`` stamps each event with a
-    strictly increasing ``seq`` before dispatch.
+    thread; ``emit`` stamps each event with a strictly increasing
+    ``seq`` before dispatch.  The bus is thread-safe, and callbacks
+    run *outside* the bus lock — a subscriber may freely call back
+    into the manager or the bus without risking lock-order deadlocks.
+    The trade-off: when several threads emit concurrently, a single
+    subscriber can observe events slightly out of ``seq`` order; the
+    stamped ``seq`` is the authoritative global order for buffering
+    subscribers.
     """
 
     def __init__(self):
         self._subscriptions: List[_Subscription] = []
         self._seq = itertools.count(1)
+        self._lock = threading.RLock()
 
     def subscribe(
         self,
@@ -203,12 +218,14 @@ class EventBus:
         if event_types is not None and not isinstance(event_types, tuple):
             event_types = (event_types,)
         subscription = _Subscription(callback, event_types, predicate)
-        self._subscriptions.append(subscription)
+        with self._lock:
+            self._subscriptions.append(subscription)
 
         def unsubscribe() -> None:
             subscription.active = False
-            if subscription in self._subscriptions:
-                self._subscriptions.remove(subscription)
+            with self._lock:
+                if subscription in self._subscriptions:
+                    self._subscriptions.remove(subscription)
 
         return unsubscribe
 
@@ -224,8 +241,10 @@ class EventBus:
         return seen
 
     def emit(self, event: ReStoreEvent) -> ReStoreEvent:
-        event.seq = next(self._seq)
-        for subscription in list(self._subscriptions):
+        with self._lock:
+            event.seq = next(self._seq)
+            subscriptions = list(self._subscriptions)
+        for subscription in subscriptions:
             if subscription.wants(event):
                 subscription.callback(event)
         return event

@@ -36,6 +36,14 @@ class JobListener:
     def on_workflow_start(self, workflow: Workflow) -> None:
         """Called once before any job of the workflow runs."""
 
+    def on_workflow_end(self, workflow: Workflow) -> None:
+        """Called once after the workflow finishes (even on failure).
+
+        ReStore releases per-workflow state here — e.g. the pins that
+        protect repository outputs referenced by this workflow's
+        rewritten plans from concurrent eviction.
+        """
+
     def before_job(self, job: MapReduceJob, workflow: Workflow) -> bool:
         """Called before submission; return False to skip the job
         (e.g. its entire output was answered from the repository)."""
@@ -91,17 +99,21 @@ class HadoopSimulator:
         if listener is not None:
             listener.on_workflow_start(workflow)
 
-        for job in workflow.topo_order():
-            run_it = True
+        try:
+            for job in workflow.topo_order():
+                run_it = True
+                if listener is not None:
+                    run_it = listener.before_job(job, workflow)
+                if not run_it or job.eliminated_by is not None:
+                    result.eliminated_jobs.append(job.job_id)
+                    continue
+                stats = self.run_job(job)
+                result.job_stats[job.job_id] = stats
+                if listener is not None:
+                    listener.after_job(job, stats, workflow)
+        finally:
             if listener is not None:
-                run_it = listener.before_job(job, workflow)
-            if not run_it or job.eliminated_by is not None:
-                result.eliminated_jobs.append(job.job_id)
-                continue
-            stats = self.run_job(job)
-            result.job_stats[job.job_id] = stats
-            if listener is not None:
-                listener.after_job(job, stats, workflow)
+                listener.on_workflow_end(workflow)
 
         deps = workflow.dependency_ids()
         job_times = {

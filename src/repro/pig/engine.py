@@ -100,6 +100,7 @@ class PigServer:
         compiler = MRCompiler(
             temp_prefix=f"tmp/s{script_id}",
             default_parallel=self.default_parallel,
+            job_prefix=f"s{script_id}",
         )
         return compiler.compile(plan, name=name or f"script_{script_id}")
 

@@ -69,6 +69,28 @@ class JobControlCompiler:
         iterations: List[IterationReport] = []
         finished: Set[str] = set()
 
+        try:
+            self._run_iterations(workflow, stats, iterations, finished)
+        finally:
+            if self.restore is not None:
+                self.restore.on_workflow_end(workflow)
+
+        deps = workflow.dependency_ids()
+        job_times = {
+            job_id: s.sim_seconds for job_id, s in stats.job_stats.items()
+        }
+        stats.sim_seconds = self.runner.cost_model.workflow_time(
+            job_times, deps
+        )
+        return stats, iterations
+
+    def _run_iterations(
+        self,
+        workflow: Workflow,
+        stats: WorkflowStats,
+        iterations: List["IterationReport"],
+        finished: Set[str],
+    ) -> None:
         while len(finished) < len(workflow.jobs):
             batch = self.ready_jobs(workflow, finished)
             if not batch:
@@ -100,12 +122,3 @@ class JobControlCompiler:
                     self.restore.after_job(job, job_stats, workflow)
             report.sim_seconds = batch_seconds
             iterations.append(report)
-
-        deps = workflow.dependency_ids()
-        job_times = {
-            job_id: s.sim_seconds for job_id, s in stats.job_stats.items()
-        }
-        stats.sim_seconds = self.runner.cost_model.workflow_time(
-            job_times, deps
-        )
-        return stats, iterations

@@ -65,17 +65,30 @@ class Cursor:
 class MRCompiler:
     """Compiles one logical plan into a :class:`Workflow`."""
 
-    def __init__(self, temp_prefix: str = "tmp/run", default_parallel: int = 28):
+    def __init__(
+        self,
+        temp_prefix: str = "tmp/run",
+        default_parallel: int = 28,
+        job_prefix: Optional[str] = None,
+    ):
         self.temp_prefix = temp_prefix.rstrip("/")
         self.default_parallel = default_parallel
+        #: when set, jobs get deterministic ids ``job_<prefix>_<n>``
+        #: instead of drawing from the process-global counter; the
+        #: engine passes the DFS-scoped script id, so a rerun of the
+        #: same stream on a fresh DFS reproduces identical job ids
+        #: (the 1-worker service determinism guarantee relies on it)
+        self.job_prefix = job_prefix
         self._jobs: List[MapReduceJob] = []
         self._tmp_counter = 0
+        self._job_counter = 0
 
     # -- public -------------------------------------------------------------------
 
     def compile(self, plan: LogicalPlan, name: str = "workflow") -> Workflow:
         self._jobs = []
         self._tmp_counter = 0
+        self._job_counter = 0
         for store in plan.stores:
             self._compile_store(store)
         workflow = Workflow(jobs=list(self._jobs), name=name)
@@ -90,8 +103,14 @@ class MRCompiler:
         return f"{self.temp_prefix}/t{self._tmp_counter}"
 
     def _new_job(self, name: str) -> MapReduceJob:
+        job_id = None
+        if self.job_prefix is not None:
+            self._job_counter += 1
+            job_id = f"job_{self.job_prefix}_{self._job_counter}"
         job = MapReduceJob(
-            PhysicalPlan(), JobConf(name=name, n_reducers=self.default_parallel)
+            PhysicalPlan(),
+            JobConf(name=name, n_reducers=self.default_parallel),
+            job_id=job_id,
         )
         self._jobs.append(job)
         return job

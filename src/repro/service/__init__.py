@@ -1,0 +1,24 @@
+"""The shared-service deployment of ReStore (§1, Figure 1).
+
+``JobService`` runs many tenants' jobs on a worker pool against one
+sharded repository; ``WorkloadDriver`` is the load/differential
+harness that drives job streams through it.
+"""
+
+from repro.service.driver import (
+    DriverResult,
+    WorkloadDriver,
+    WorkloadItem,
+    decision_log,
+)
+from repro.service.jobservice import JobService, ServiceSession, ServiceStats
+
+__all__ = [
+    "DriverResult",
+    "JobService",
+    "ServiceSession",
+    "ServiceStats",
+    "WorkloadDriver",
+    "WorkloadItem",
+    "decision_log",
+]

@@ -1,0 +1,362 @@
+"""JobService: the concurrent multi-tenant front door to ReStore.
+
+The paper positions ReStore as a *shared service* between many Pig
+clients and one MapReduce cluster (§1, Figure 1): every client's jobs
+flow through the same repository so that one tenant's stored results
+answer another tenant's queries.  This module is that deployment
+shape: a :class:`JobService` owns one DFS, one thread-safe
+:class:`~repro.core.manager.ReStoreManager`, and one sharded
+:class:`~repro.core.repository.Repository`, and executes job
+submissions from many :class:`~repro.session.ReStoreSession` tenants
+on a worker thread pool.
+
+Guarantees:
+
+* **per-session FIFO** — each tenant's submissions execute in exact
+  submission order (a ticket taken at enqueue time gates execution),
+  while different tenants' jobs run concurrently on the pool;
+* **event isolation** — every tenant session runs inside its own
+  ``manager.session_scope``, so its typed events are stamped with its
+  session id and drained without cross-talk;
+* **1-worker determinism** — with ``max_workers=1`` the pool executes
+  all submissions in global FIFO order, producing byte-identical
+  rewrite decisions and an identical final repository to a serial run
+  of the same stream (the differential tests and the
+  ``service_throughput`` benchmark gate assert exactly this).
+
+Quick start::
+
+    from repro.service import JobService
+
+    with JobService(max_workers=4) as service:
+        service.dfs.write_file("data/users", "alice\\t1\\nbob\\t2\\n")
+        alice = service.open_session("alice")
+        bob = service.open_session("bob")
+        f1 = alice.submit(
+            "A = load 'data/users' as (name, uid:int);"
+            "B = filter A by uid > 0; store B into 'out/a';"
+        )
+        f1.result()
+        f2 = bob.submit(           # submitted after alice's job
+            "A = load 'data/users' as (name, uid:int);"
+            "B = filter A by uid > 0; C = foreach B generate name;"
+            "store C into 'out/b';"
+        )
+        f2.result()                # reused alice's stored result
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.core.repository import Repository
+from repro.costmodel.model import CostModel
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.events import ReStoreEvent
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.job import Workflow
+from repro.pig.engine import PigRunResult
+from repro.session import ReStoreSession
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters for one :class:`JobService` lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    #: session id -> jobs completed for that tenant
+    per_session: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.completed - self.failed - self.cancelled
+
+
+class ServiceSession:
+    """One tenant's handle on the service.
+
+    Wraps a real :class:`ReStoreSession` (sharing the service's DFS,
+    manager, and repository) and turns its synchronous ``run`` into
+    pool-scheduled ``submit`` calls.  Submissions from one session are
+    serialized FIFO by *ticket*: each submission takes the session's
+    next ticket number at enqueue time, and a worker only runs it when
+    the session is serving that ticket — so even if two workers
+    dequeue one tenant's jobs back to back, they execute in exact
+    submission order.  Different sessions interleave on the pool.
+
+    Trade-off: a worker that dequeues a not-yet-eligible ticket parks
+    in ``_await_turn``, so one tenant's burst of k submissions can
+    idle up to k-1 pool slots until its head job finishes.  Progress
+    is still guaranteed (the lowest outstanding ticket is always the
+    first dequeued), but pools should be sized above the expected
+    per-tenant burst; a per-session holdback queue that only hands
+    the executor eligible jobs is the known next refinement.
+    """
+
+    def __init__(self, service: "JobService", session: ReStoreSession):
+        self._service = service
+        self.session = session
+        #: per-session FIFO: tickets are taken in submission order and
+        #: served strictly in sequence
+        self._order = threading.Condition()
+        self._next_ticket = 0
+        self._now_serving = 0
+        #: tickets released out of turn (cancelled before execution);
+        #: _now_serving skips over them once their turn comes up
+        self._released: set = set()
+
+    def _take_ticket(self) -> int:
+        with self._order:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            return ticket
+
+    def _await_turn(self, ticket: int) -> None:
+        with self._order:
+            while self._now_serving != ticket:
+                self._order.wait()
+
+    def _finish_turn(self, ticket: int) -> None:
+        """Release *ticket*.  Only advances ``_now_serving`` when the
+        released ticket's turn arrives — a ticket cancelled while an
+        earlier one is still running must not unblock later tickets
+        early (that would let two of a tenant's jobs run at once)."""
+        with self._order:
+            self._released.add(ticket)
+            while self._now_serving in self._released:
+                self._released.discard(self._now_serving)
+                self._now_serving += 1
+            self._order.notify_all()
+
+    @property
+    def session_id(self) -> str:
+        return self.session.session_id
+
+    def submit(self, source: str, name: str = "") -> "Future[PigRunResult]":
+        """Queue a Pig Latin script; returns a future of its result."""
+        return self._service._submit(self, lambda: self.session.run(source, name=name))
+
+    def submit_workflow(self, workflow: Workflow) -> "Future[PigRunResult]":
+        """Queue a pre-compiled workflow (benchmark/driver path)."""
+        return self._service._submit(self, lambda: self.session.run_workflow(workflow))
+
+    def run(self, source: str, name: str = "") -> PigRunResult:
+        """Submit and wait (convenience for interactive tenants)."""
+        return self.submit(source, name=name).result()
+
+    def drain_events(self) -> List[ReStoreEvent]:
+        """Typed events from this tenant's completed jobs that were
+        not already attached to a returned result."""
+        return self._service.manager.drain_session(self.session_id)
+
+    def close(self) -> None:
+        self.session.close()
+
+    def __repr__(self) -> str:
+        return f"ServiceSession({self.session_id!r})"
+
+
+class JobService:
+    """Shared ReStore deployment: one repository, many tenants, a pool.
+
+    Parameters mirror :class:`ReStoreSession`; the service builds the
+    shared infrastructure once and every :meth:`open_session` tenant is
+    wired onto it.  ``max_workers`` sizes the execution pool — with 1
+    worker the service degenerates to a deterministic serial executor.
+    """
+
+    def __init__(
+        self,
+        dfs: Optional[DistributedFileSystem] = None,
+        *,
+        datanodes: Optional[int] = None,
+        cluster: Optional[ClusterConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        repository: Optional[Repository] = None,
+        config: Optional[ReStoreConfig] = None,
+        max_workers: int = 4,
+        optimize: bool = True,
+        default_parallel: int = 28,
+    ):
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.cluster = cluster or ClusterConfig()
+        self.dfs = dfs or DistributedFileSystem(
+            n_datanodes=datanodes or self.cluster.n_worker_nodes
+        )
+        self.cost_model = cost_model or CostModel(cluster=self.cluster)
+        self.config = config or ReStoreConfig()
+        self.manager = ReStoreManager(
+            self.dfs,
+            cost_model=self.cost_model,
+            repository=repository,
+            config=self.config,
+        )
+        self.max_workers = max_workers
+        self._optimize = optimize
+        self._default_parallel = default_parallel
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="restore-worker"
+        )
+        self._lock = threading.RLock()
+        self._sessions: Dict[str, ServiceSession] = {}
+        self._session_counter = 0
+        self._closed = False
+        self.stats = ServiceStats()
+
+    # -- tenants -----------------------------------------------------------------
+
+    @property
+    def repository(self) -> Repository:
+        return self.manager.repository
+
+    @property
+    def events(self):
+        """The shared bus (all tenants' events, in global seq order)."""
+        return self.manager.events
+
+    def open_session(self, session_id: Optional[str] = None) -> ServiceSession:
+        """Register a tenant; ids default to ``tenant_001``, ...
+
+        The returned handle owns a real :class:`ReStoreSession` that
+        shares the service's DFS, manager, and repository.
+        """
+        with self._lock:
+            self._check_open()
+            if session_id is None:
+                # skip ids already taken by explicit registrations
+                # (e.g. a WorkloadDriver's tenant_### names)
+                while True:
+                    self._session_counter += 1
+                    session_id = f"tenant_{self._session_counter:03d}"
+                    if session_id not in self._sessions:
+                        break
+            if session_id in self._sessions:
+                raise ValueError(f"session id already open: {session_id}")
+            session = ReStoreSession(
+                manager=self.manager,
+                cluster=self.cluster,
+                optimize=self._optimize,
+                default_parallel=self._default_parallel,
+                session_id=session_id,
+            )
+            handle = ServiceSession(self, session)
+            self._sessions[session_id] = handle
+            return handle
+
+    def session(self, session_id: str) -> ServiceSession:
+        with self._lock:
+            return self._sessions[session_id]
+
+    def sessions(self) -> List[ServiceSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self, session_id: str, source: str, name: str = ""
+    ) -> "Future[PigRunResult]":
+        """Queue a script for the named tenant (opened on demand).
+
+        The get-or-open is atomic (the service lock is reentrant), so
+        concurrent first submissions for one tenant race safely.
+        """
+        with self._lock:
+            handle = self._sessions.get(session_id)
+            if handle is None:
+                handle = self.open_session(session_id)
+        return handle.submit(source, name=name)
+
+    def _submit(
+        self, handle: ServiceSession, run: Callable[[], PigRunResult]
+    ) -> "Future[PigRunResult]":
+        # Ticket-take and enqueue happen under one lock, so the pool's
+        # FIFO queue order always agrees with ticket order — the
+        # worker holding a session's lowest outstanding ticket was
+        # dequeued first and can always make progress (no deadlock).
+        with self._lock:
+            self._check_open()
+            self.stats.submitted += 1
+            ticket = handle._take_ticket()
+            future = self._executor.submit(self._execute, handle, run, ticket)
+
+        # A cancelled future never reaches _execute, so its turn must
+        # still be released (or the tenant's ticket chain wedges and
+        # every later submission blocks a pool worker forever) and its
+        # submission accounted, or in_flight overcounts permanently.
+        def _on_done(f) -> None:
+            if f.cancelled():
+                handle._finish_turn(ticket)
+                with self._lock:
+                    self.stats.cancelled += 1
+
+        future.add_done_callback(_on_done)
+        return future
+
+    def _execute(
+        self, handle: ServiceSession, run: Callable[[], PigRunResult], ticket: int
+    ):
+        # Per-session FIFO: wait for this submission's turn, so a
+        # tenant's own submissions never interleave or reorder (and
+        # drain() inside the run attributes events unambiguously).
+        handle._await_turn(ticket)
+        try:
+            result = run()
+        except BaseException:
+            with self._lock:
+                self.stats.failed += 1
+            raise
+        finally:
+            handle._finish_turn(ticket)
+        with self._lock:
+            self.stats.completed += 1
+            sid = handle.session_id
+            self.stats.per_session[sid] = self.stats.per_session.get(sid, 0) + 1
+        return result
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is shut down")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submissions.
+
+        With ``wait=True`` (default) every queued and running job
+        finishes, then the tenant sessions close.  With ``wait=False``
+        queued jobs are cancelled (their futures report cancelled —
+        they must not run against closed sessions) and the currently
+        running jobs complete in the background with their sessions
+        left open.  The DFS, repository, and manager stay readable so
+        state can be inspected or persisted afterwards.
+        """
+        with self._lock:
+            self._closed = True
+            handles = list(self._sessions.values())
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)
+        if wait:
+            for handle in handles:
+                handle.session.close()
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"JobService(workers={self.max_workers}, "
+            f"sessions={len(self._sessions)}, "
+            f"entries={len(self.repository)}, "
+            f"completed={self.stats.completed})"
+        )

@@ -26,6 +26,7 @@ names resolve through the heuristic/selector/eviction registries).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Mapping, Optional, Union
 
 from repro.core.eviction import EvictionPolicy
@@ -68,7 +69,14 @@ class ReStoreSession:
         restore_enabled: bool = True,
         optimize: bool = True,
         default_parallel: int = 28,
+        session_id: str = "",
     ):
+        #: tenant identity for multi-session deployments.  When several
+        #: sessions share one manager (e.g. under a JobService), each
+        #: session's runs execute inside ``manager.session_scope`` so
+        #: its events are stamped and drained without cross-talk.  The
+        #: default "" keeps single-session behaviour unchanged.
+        self.session_id = session_id
         self.cluster = cluster or ClusterConfig()
         if manager is not None:
             # Adopt a pre-built manager (e.g. restored from persisted
@@ -209,10 +217,27 @@ class ReStoreSession:
         self._check_open()
         self.dfs.write_file(path, payload, overwrite=overwrite)
 
+    @contextmanager
+    def _scope(self):
+        if self.manager is not None:
+            with self.manager.session_scope(self.session_id):
+                yield
+        else:
+            yield
+
     def run(self, source: str, name: str = "") -> PigRunResult:
         """Compile and execute a Pig Latin script."""
         self._check_open()
-        result = self.server.run(source, name=name)
+        with self._scope():
+            result = self.server.run(source, name=name)
+        self.results.append(result)
+        return result
+
+    def run_workflow(self, workflow) -> PigRunResult:
+        """Execute a pre-compiled workflow (service/benchmark path)."""
+        self._check_open()
+        with self._scope():
+            result = self.server.run_workflow(workflow)
         self.results.append(result)
         return result
 
@@ -264,6 +289,7 @@ class SessionBuilder:
         self._restore_enabled = True
         self._optimize = True
         self._default_parallel = 28
+        self._session_id = ""
 
     # -- infrastructure ---------------------------------------------------------
 
@@ -293,6 +319,11 @@ class SessionBuilder:
 
     def default_parallel(self, n: int) -> "SessionBuilder":
         self._default_parallel = n
+        return self
+
+    def session_id(self, session_id: str) -> "SessionBuilder":
+        """Name this session for multi-tenant event isolation."""
+        self._session_id = session_id
         return self
 
     # -- ReStore behaviour -------------------------------------------------------
@@ -361,5 +392,6 @@ class SessionBuilder:
             restore_enabled=self._restore_enabled,
             optimize=self._optimize,
             default_parallel=self._default_parallel,
+            session_id=self._session_id,
         )
         return session

@@ -1,6 +1,13 @@
-"""Shared fixtures: tiny deterministic sandboxes for fast tests."""
+"""Shared fixtures: tiny deterministic sandboxes for fast tests,
+plus the :class:`StepScheduler` harness that makes concurrency tests
+reproducible."""
 
 from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional
 
 import pytest
 
@@ -73,3 +80,113 @@ def tiny_pigmix(pigmix_dfs):
 TINY_PIGMIX_CONFIG = PigMixConfig(
     n_page_views=120, n_users=20, n_power_users=5, n_widerow=40, seed=11
 )
+
+
+class StepScheduler:
+    """Deterministic thread interleaver for concurrency tests.
+
+    Worker callables invoke :meth:`step` at interesting points; the
+    scheduler parks every worker on a barrier (a shared condition
+    variable) and releases exactly one at a time, chosen by a seeded
+    RNG.  Only one worker ever runs between two grants, so the whole
+    interleaving is a pure function of the seed — a failing schedule
+    replays exactly by rerunning with the same seed, and ``history``
+    records the grant sequence for the failure message.
+
+    Every wait carries a deadline: a worker that can never be released
+    (deadlock, lost wakeup) fails the test with a ``TimeoutError``
+    instead of hanging the suite.
+    """
+
+    def __init__(self, seed: int = 0, timeout_s: float = 30.0):
+        self.seed = seed
+        self.timeout_s = timeout_s
+        self.history: List[str] = []
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._waiting: Dict[str, str] = {}
+        self._granted: Optional[str] = None
+        self._live: set = set()
+        self._failures: List[BaseException] = []
+
+    def step(self, label: str = "") -> None:
+        """Park the calling worker until the scheduler releases it."""
+        name = threading.current_thread().name
+        with self._cond:
+            if name not in self._live:
+                return  # unmanaged thread: checkpoints are no-ops
+            self._waiting[name] = label
+            self._cond.notify_all()
+            deadline = time.monotonic() + self.timeout_s
+            while self._granted != name:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"worker {name} never released at step {label!r} "
+                        f"(history={self.history})"
+                    )
+                self._cond.wait(remaining)
+            self._granted = None
+            del self._waiting[name]
+            self._cond.notify_all()
+
+    def _run_worker(self, name: str, fn: Callable[[], None]) -> None:
+        try:
+            self.step("start")
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - reraised in run()
+            with self._cond:
+                self._failures.append(exc)
+        finally:
+            with self._cond:
+                self._live.discard(name)
+                self._waiting.pop(name, None)
+                self._cond.notify_all()
+
+    def run(self, workers: Dict[str, Callable[[], None]]) -> List[str]:
+        """Run *workers* to completion under the seeded schedule.
+
+        Returns the grant history; re-raises the first worker failure.
+        """
+        self._live = set(workers)
+        threads = [
+            threading.Thread(
+                target=self._run_worker, args=(name, fn), name=name, daemon=True
+            )
+            for name, fn in workers.items()
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + self.timeout_s
+        with self._cond:
+            while self._live:
+                quiescent = self._granted is None and set(self._waiting) == self._live
+                if not quiescent:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"scheduler timed out waiting for quiescence "
+                            f"(live={sorted(self._live)}, "
+                            f"waiting={sorted(self._waiting)})"
+                        )
+                    self._cond.wait(remaining)
+                    continue
+                pick = self._rng.choice(sorted(self._waiting))
+                self.history.append(pick)
+                self._granted = pick
+                self._cond.notify_all()
+        for thread in threads:
+            thread.join(self.timeout_s)
+        if self._failures:
+            raise self._failures[0]
+        return self.history
+
+
+@pytest.fixture
+def step_scheduler():
+    """Factory for seeded :class:`StepScheduler` instances."""
+
+    def make(seed: int = 0, timeout_s: float = 30.0) -> StepScheduler:
+        return StepScheduler(seed=seed, timeout_s=timeout_s)
+
+    return make

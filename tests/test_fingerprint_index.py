@@ -169,14 +169,15 @@ def assert_index_consistent(repo: Repository) -> None:
     """White-box invariant: every index references live entries only,
     and every live entry is fully indexed."""
     live = set(repo._entries)
+    views = repo.merged_index_views()
     indexed_by_fp = {
-        eid for bucket in repo._by_fingerprint.values() for eid in bucket
+        eid for bucket in views["by_fingerprint"].values() for eid in bucket
     }
     indexed_by_load = {
-        eid for holders in repo._by_load_sig.values() for eid in holders
+        eid for holders in views["by_load_sig"].values() for eid in holders
     }
     indexed_by_input = {
-        eid for holders in repo._by_input_path.values() for eid in holders
+        eid for holders in views["by_input_path"].values() for eid in holders
     }
     assert indexed_by_fp == live
     assert indexed_by_load == live
