@@ -6,14 +6,17 @@ Usage::
     PYTHONPATH=src python scripts/run_benchmarks.py [--quick]
         [--out BENCH_repo_scale.json] [--probes 20] [--seed 13]
         [--scales 10,100,1000] [--service-scales 1000,10000]
-        [--service-workers 1,4,8] [--service-jobs 60] [--no-gate]
+        [--service-workers 1,4,8] [--service-jobs 60]
+        [--exec-scales 6000,20000] [--no-gate]
 
 This is the repo's perf trajectory: ``BENCH_repo_scale.json`` records
 match latency, candidates examined, and rewrites found for repository
-sizes N ∈ {10, 100, 1000} in both indexed and full-scan modes, plus
-the shared-service throughput (jobs/sec at 1/4/8 workers over one
-sharded repository).  The process exits non-zero when a regression
-gate trips (CI's ``bench-smoke`` job relies on this):
+sizes N ∈ {10, 100, 1000} in both indexed and full-scan modes, the
+shared-service throughput (jobs/sec at 1/4/8 workers over one sharded
+repository), and the ``exec_sim`` data-plane trajectory (end-to-end
+workflow wall time and rows/sec, zero-copy vs legacy, over PigMix-
+style chains at two table sizes).  The process exits non-zero when a
+regression gate trips (CI's ``bench-smoke`` job relies on this):
 
 * indexed and full-scan rewrite decisions must be byte-identical;
 * indexed matching must never examine more candidates than the
@@ -21,7 +24,9 @@ gate trips (CI's ``bench-smoke`` job relies on this):
 * at N≥1000 (full runs), indexed matching must run ≥10x fewer
   pairwise traversals than the full scan;
 * the 1-worker service run must reproduce the serial decision log
-  byte for byte, and every pool size must clear 1 job/sec per worker.
+  byte for byte, and every pool size must clear 1 job/sec per worker;
+* the zero-copy data plane must beat the legacy plane ≥3x end to end
+  with byte-identical DFS contents, counters, and decisions.
 
 ``python -m repro bench`` accepts the same flags.
 """

@@ -2,6 +2,7 @@
 figure benchmarks under ``benchmarks/``, which reproduce results; these
 measure the implementation itself and feed the CI perf gates)."""
 
+from repro.bench.exec_sim import check_exec_sim_gates, run_exec_sim_benchmark
 from repro.bench.repo_scale import (
     run_repo_scale_benchmark,
     run_service_benchmark,
@@ -9,6 +10,8 @@ from repro.bench.repo_scale import (
 )
 
 __all__ = [
+    "check_exec_sim_gates",
+    "run_exec_sim_benchmark",
     "run_repo_scale_benchmark",
     "run_service_benchmark",
     "run_service_throughput",

@@ -1,11 +1,11 @@
 """Benchmark orchestration shared by the CLI and scripts/run_benchmarks.py.
 
 Assembles the full ``BENCH_repo_scale.json`` payload — the indexed vs
-full-scan matching trajectory plus the ``service_throughput`` section —
-runs the regression gates, writes the file, and prints the summary.
-Both entry points (``python -m repro bench`` and
-``python scripts/run_benchmarks.py``) are thin argument parsers over
-:func:`run_benchmark_suite`.
+full-scan matching trajectory, the ``service_throughput`` section, and
+the ``exec_sim`` data-plane section — runs the regression gates,
+writes the file, and prints the summary.  Both entry points
+(``python -m repro bench`` and ``python scripts/run_benchmarks.py``)
+are thin argument parsers over :func:`run_benchmark_suite`.
 """
 
 from __future__ import annotations
@@ -15,6 +15,7 @@ import pathlib
 import sys
 from typing import Optional, Tuple
 
+from repro.bench.exec_sim import run_exec_sim_benchmark
 from repro.bench.repo_scale import (
     check_gates,
     run_repo_scale_benchmark,
@@ -32,6 +33,7 @@ def run_benchmark_suite(
     service_scales: Optional[Tuple[int, ...]] = None,
     service_workers: Optional[Tuple[int, ...]] = None,
     service_jobs: Optional[int] = None,
+    exec_scales: Optional[Tuple[int, ...]] = None,
     gate: bool = True,
 ) -> int:
     """Run everything, write *out*, print a summary; returns the
@@ -42,7 +44,14 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
-    payload["version"] = 2
+    payload["version"] = 3
+    # exec_sim runs before the service benchmark: its wall-time gate is
+    # the noise-sensitive one, so it gets the freshest process state
+    payload["exec_sim"] = run_exec_sim_benchmark(
+        scales=exec_scales,
+        seed=seed,
+        quick=quick,
+    )
     payload["service_throughput"] = run_service_benchmark(
         scales=service_scales,
         n_jobs=service_jobs,
@@ -78,6 +87,22 @@ def run_benchmark_suite(
             f"  service N={scale['n_entries']:>5}: "
             f"serial={scale['serial']['jobs_per_sec']:.0f}/s, {runs}, "
             f"1-worker identical={scale['one_worker_decisions_identical']}"
+        )
+    for scale in payload["exec_sim"]["scales"]:
+        fast = scale["modes"]["fast"]
+        legacy = scale["modes"]["legacy"]
+        identical = (
+            scale["outputs_identical"]
+            and scale["counters_identical"]
+            and scale["dfs_counters_identical"]
+            and scale["decisions_identical"]
+        )
+        print(
+            f"  exec_sim N={scale['n_rows']:>6}: "
+            f"cached={fast['workflow_wall_s']:.3f}s vs "
+            f"legacy={legacy['workflow_wall_s']:.3f}s "
+            f"({scale['speedup']}x, {fast['rows_per_sec']:,.0f} rows/s), "
+            f"identical={identical}"
         )
 
     if failures:
@@ -130,6 +155,13 @@ def add_benchmark_arguments(parser) -> None:
         "(default 60, or 24 with --quick)",
     )
     parser.add_argument(
+        "--exec-scales",
+        type=int_tuple,
+        default=None,
+        help="events-table row counts for the exec_sim data-plane "
+        "benchmark (default 6000,20000; 2000,6000 with --quick)",
+    )
+    parser.add_argument(
         "--no-gate",
         action="store_true",
         help="record results without failing on gate regressions",
@@ -147,5 +179,6 @@ def run_from_args(args, out: pathlib.Path) -> int:
         service_scales=args.service_scales,
         service_workers=args.service_workers,
         service_jobs=args.service_jobs,
+        exec_scales=args.exec_scales,
         gate=not args.no_gate,
     )

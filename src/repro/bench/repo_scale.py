@@ -521,10 +521,17 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
       service run must reproduce the serial decision log byte for
       byte, and every worker count must sustain more than 1 job/sec
       per worker (a deliberately loose floor — a stalled pool or a
-      lock serializing whole runs misses it, machine noise does not).
+      lock serializing whole runs misses it, machine noise does not);
+    * when an ``exec_sim`` section is present: the zero-copy data
+      plane must be ≥3x faster than the legacy plane end to end with
+      byte-identical outputs, counters, and decisions (see
+      :func:`repro.bench.exec_sim.check_exec_sim_gates`).
     """
+    from repro.bench.exec_sim import check_exec_sim_gates
+
     failures = []
     failures.extend(_service_gate_failures(payload.get("service_throughput")))
+    failures.extend(check_exec_sim_gates(payload.get("exec_sim")))
     for scale in payload["scales"]:
         n = scale["n_entries"]
         indexed = scale["modes"]["indexed"]

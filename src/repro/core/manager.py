@@ -79,6 +79,14 @@ class ReStoreConfig:
     #: the historical full scan (ablation / benchmark baseline) —
     #: decisions are identical either way, only the work differs
     indexed_matching: bool = True
+    #: when True (default) the execution simulator runs on the
+    #: zero-copy data plane: loads come from the DFS typed-dataset
+    #: cache, stores write typed rows, and map segments run through
+    #: fused operator closures.  False restores the
+    #: serialize-to-text-at-every-edge path (ablation / ``exec_sim``
+    #: baseline) — every byte counter, store output, and rewrite
+    #: decision is identical either way, only wall time differs
+    fast_data_plane: bool = True
     #: whole-job registration policy (§2.1 type 1): "all", "none", or
     #: "temporary-only".  The last registers only intermediate
     #: (workflow-internal) job outputs — it isolates sub-job reuse for
@@ -129,6 +137,7 @@ class ReStoreConfig:
             "rewrite_enabled",
             "inject_enabled",
             "indexed_matching",
+            "fast_data_plane",
             "register_whole_jobs",
             "selector",
             "eviction_policies",

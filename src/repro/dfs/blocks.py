@@ -3,12 +3,19 @@
 Files are split into fixed-size blocks exactly like HDFS; the block
 size drives how many map tasks a job gets (one per block, as in
 Hadoop's default ``FileInputFormat`` behaviour).
+
+Blocks are immutable and **shared**: every replica of a block on every
+datanode is the same :class:`Block` instance, so replication never
+copies chunk bytes.  A block can also be a lazy *view* into a larger
+file payload (:meth:`Block.view`) — the chunk bytes are sliced out
+only if something genuinely reads them, which lets the typed-dataset
+cache serve reads without ever materializing per-block byte strings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -21,16 +28,94 @@ class BlockId:
         return f"blk_{self.value:012d}"
 
 
-@dataclass
-class Block:
-    """One block of file bytes."""
+class LazyPayload:
+    """A file payload that is built on first byte access.
 
-    block_id: BlockId
-    data: bytes
+    The zero-copy write path knows a file's exact byte size without
+    serializing it (``canonical_ascii_size``); the text itself is
+    only ever needed if something genuinely reads bytes.  All blocks
+    of one file share a single LazyPayload, so the payload is built at
+    most once no matter which block is touched first.
+    """
+
+    __slots__ = ("_build", "_data")
+
+    def __init__(self, build: Callable[[], bytes]):
+        self._build: Optional[Callable[[], bytes]] = build
+        self._data: Optional[bytes] = None
+
+    def get(self) -> bytes:
+        if self._data is None:
+            self._data = self._build()
+            self._build = None
+        return self._data
+
+    @property
+    def materialized(self) -> bool:
+        return self._data is not None
+
+
+class Block:
+    """One block of file bytes (immutable, replica-shared)."""
+
+    __slots__ = ("block_id", "_size", "_data", "_payload", "_offset")
+
+    def __init__(self, block_id: BlockId, data: bytes):
+        self.block_id = block_id
+        self._data = data
+        self._size = len(data)
+        self._payload: Optional[bytes] = None
+        self._offset = 0
+
+    @classmethod
+    def view(
+        cls,
+        block_id: BlockId,
+        payload: Union[bytes, LazyPayload],
+        offset: int,
+        size: int,
+    ) -> "Block":
+        """A block covering ``payload[offset:offset + size]``.
+
+        The slice is deferred until :attr:`data` is touched; a view
+        spanning a whole ``bytes`` payload shares it outright and
+        never copies.  A :class:`LazyPayload` view additionally defers
+        building the payload itself.
+        """
+        if isinstance(payload, bytes) and offset == 0 and size == len(payload):
+            return cls(block_id, payload)
+        block = cls.__new__(cls)
+        block.block_id = block_id
+        block._size = size
+        block._data = None
+        block._payload = payload
+        block._offset = offset
+        return block
 
     @property
     def size(self) -> int:
-        return len(self.data)
+        return self._size
+
+    @property
+    def data(self) -> bytes:
+        if self._data is None:
+            payload = self._payload
+            if isinstance(payload, LazyPayload):
+                payload = payload.get()
+            if self._offset == 0 and self._size == len(payload):
+                self._data = payload
+            else:
+                self._data = payload[self._offset : self._offset + self._size]
+            self._payload = None
+        return self._data
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the chunk bytes have been sliced out of the payload."""
+        return self._data is not None
+
+    def __repr__(self) -> str:
+        return f"Block({self.block_id}, size={self._size})"
 
 
 def split_into_blocks(data: bytes, block_size: int) -> Iterator[bytes]:

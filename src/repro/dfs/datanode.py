@@ -45,14 +45,29 @@ class DataNode:
         self.bytes_written += block.size
 
     def read_block(self, block_id: BlockId) -> bytes:
+        block = self.get_block(block_id)
+        self.bytes_read += block.size
+        return block.data
+
+    def get_block(self, block_id: BlockId) -> Block:
+        """The replica-shared :class:`Block` object itself (no counters)."""
         try:
-            block = self._blocks[block_id]
+            return self._blocks[block_id]
         except KeyError:
             raise DFSError(
                 f"datanode {self.node_id} does not hold {block_id}"
             ) from None
+
+    def charge_read(self, block_id: BlockId) -> int:
+        """Account a read served from the typed-dataset cache.
+
+        Counters move exactly as :meth:`read_block` would move them,
+        but the block bytes stay unmaterialized — the zero-copy path
+        must stay value-identical to the text path in every counter.
+        """
+        block = self.get_block(block_id)
         self.bytes_read += block.size
-        return block.data
+        return block.size
 
     def delete_block(self, block_id: BlockId) -> None:
         self._blocks.pop(block_id, None)

@@ -1,0 +1,307 @@
+"""Typed datasets pinned to DFS inodes: the zero-copy data plane.
+
+Every edge of a simulated workflow used to serialize rows to
+PigStorage text and re-parse the same text in the next job.  A
+:class:`TypedDataset` keeps the parsed ``List[Row]`` attached to the
+inode the text was written to, so a downstream job whose load schema
+matches skips parsing entirely.  The serialized bytes remain the
+source of truth: they are what byte counters account and what genuine
+text reads return.
+
+Correctness hinges on one invariant: the cached rows must be exactly
+what ``deserialize_rows(serialize_rows(rows), schema)`` would produce,
+otherwise the cached and text paths could diverge downstream (an int
+stored in a double column re-parses as a float; an empty string
+re-parses as null; a string containing a tab changes field splitting).
+:func:`rows_are_canonical` checks that invariant; rows that fail are
+simply not pinned at write time, and readers fall back to parsing
+(whose result is then itself pinned, because a parse is always
+canonical with respect to its own text).
+
+The check runs once per stored row on the write hot path, so it is
+*compiled*: each schema gets a tuple of per-field closures (cached by
+schema identity) doing bare ``type(...) is`` tests — no enum
+dispatch, no attribute chasing, roughly the cost of a tuple scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Optional, Tuple
+
+from repro.relational.schema import FieldSchema, Schema
+from repro.relational.tuples import Bag, Row, format_value_size
+from repro.relational.types import DataType
+
+
+@dataclass(eq=False)
+class TypedDataset:
+    """Parsed rows pinned to one inode, valid for one schema + generation."""
+
+    rows: Tuple[Row, ...]
+    schema_fp: tuple
+    #: the inode generation this dataset was built at; a bump on
+    #: write/append/delete/rename invalidates every pinned dataset
+    generation: int
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"TypedDataset(rows={len(self.rows)}, generation={self.generation})"
+
+
+def rows_are_canonical(rows, schema: Schema) -> bool:
+    """True when *rows* survive a PigStorage round trip unchanged.
+
+    ``deserialize_rows(serialize_rows(rows), schema) == rows`` — the
+    Hypothesis property in ``tests/test_properties.py`` holds this
+    function to that contract.
+    """
+    return _row_checker(schema)(rows)
+
+
+def canonical_ascii_size(rows, schema: Schema) -> Optional[int]:
+    """One-pass canonicality check + exact byte sizing.
+
+    Returns the exact byte length of ``serialize_rows(rows).encode()``
+    when the rows are canonical under *schema* **and** all-ASCII (so
+    character counts are byte counts), else None.  This is the write
+    hot path: one walk over the data decides pinning eligibility and
+    does the byte-size accounting that lets text serialization be
+    deferred.
+    """
+    return _row_sizer(schema)(rows)
+
+
+@lru_cache(maxsize=512)
+def _row_sizer(schema: Schema) -> Callable[[object], Optional[int]]:
+    sizers = tuple(_field_sizer(fs) for fs in schema.fields)
+    n_fields = len(sizers)
+    base = max(0, n_fields - 1) + 1  # tab separators + the newline
+
+    def size_rows(rows) -> Optional[int]:
+        total = 0
+        for row in rows:
+            if type(row) is not tuple or len(row) != n_fields:
+                return None
+            total += base
+            for value, sizer in zip(row, sizers):
+                if value is None:
+                    continue
+                field_size = sizer(value)
+                if field_size is None:
+                    return None
+                total += field_size
+        return total
+
+    return size_rows
+
+
+_FieldSizer = Callable[[object], Optional[int]]
+
+
+def _field_sizer(fs: FieldSchema) -> _FieldSizer:
+    if fs.dtype is DataType.BAG:
+        return _bag_sizer(fs.inner)
+    return _scalar_sizer(fs.dtype, nested=False) or _no_size
+
+
+def _scalar_sizer(dtype: DataType, nested: bool) -> Optional[_FieldSizer]:
+    """A closure sizing one non-null scalar (None = not canonical)."""
+    if dtype is DataType.INT or dtype is DataType.LONG:
+        return _size_int
+    if dtype is DataType.FLOAT or dtype is DataType.DOUBLE:
+        return _size_float
+    if dtype is DataType.CHARARRAY or dtype is DataType.BYTEARRAY:
+        return _size_nested_str if nested else _size_str
+    if dtype is DataType.BOOLEAN:
+        return _size_bool
+    return None
+
+
+# the canonicality (type) checks live here; the size math itself is
+# delegated to tuples.format_value_size, the single mirror of the real
+# serialization, so sizing can never drift from what serialize writes
+
+
+def _size_int(value) -> Optional[int]:
+    if type(value) is int:
+        return format_value_size(value)
+    return None
+
+
+def _size_float(value) -> Optional[int]:
+    if type(value) is float and value == value:
+        return format_value_size(value)
+    return None
+
+
+def _size_str(value) -> Optional[int]:
+    if type(value) is str and value != "" and value.isascii():
+        if "\t" not in value and "\n" not in value:
+            return len(value)
+    return None
+
+
+def _size_nested_str(value) -> Optional[int]:
+    if type(value) is str and value != "" and value.isascii():
+        if not _has_nested_unsafe(value) and value == value.strip():
+            return len(value)
+    return None
+
+
+def _size_bool(value) -> Optional[int]:
+    if type(value) is bool:
+        return format_value_size(value)
+    return None
+
+
+def _no_size(value) -> Optional[int]:
+    return None
+
+
+def _bag_sizer(inner: Optional[Schema]) -> _FieldSizer:
+    if inner is None:
+        return _no_size
+    inner_sizers = []
+    for fs in inner.fields:
+        sizer = None if fs.dtype.is_nested else _scalar_sizer(fs.dtype, nested=True)
+        if sizer is None:
+            return _no_size
+        inner_sizers.append(sizer)
+    inner_sizers = tuple(inner_sizers)
+    n_fields = len(inner_sizers)
+    tuple_base = 2 + max(0, n_fields - 1)  # parens + commas
+
+    def size_bag(value) -> Optional[int]:
+        if not isinstance(value, Bag):
+            return None
+        rows = value.rows
+        total = 2 + max(0, len(rows) - 1)  # braces + commas
+        for row in rows:
+            if type(row) is not tuple or len(row) != n_fields:
+                return None
+            total += tuple_base
+            for v, sizer in zip(row, inner_sizers):
+                if v is None:
+                    continue
+                field_size = sizer(v)
+                if field_size is None:
+                    return None
+                total += field_size
+        return total
+
+    return size_bag
+
+
+_FieldCheck = Callable[[object], bool]
+
+
+@lru_cache(maxsize=512)
+def _row_checker(schema: Schema) -> Callable[[object], bool]:
+    checks = tuple(_field_checker(fs) for fs in schema.fields)
+    n_fields = len(checks)
+
+    def check_rows(rows) -> bool:
+        for row in rows:
+            if type(row) is not tuple or len(row) != n_fields:
+                return False
+            for value, check in zip(row, checks):
+                if value is not None and not check(value):
+                    return False
+        return True
+
+    return check_rows
+
+
+def _field_checker(fs: FieldSchema) -> _FieldCheck:
+    if fs.dtype is DataType.BAG:
+        return _bag_checker(fs.inner)
+    return _scalar_checker(fs.dtype, nested=False) or _never
+
+
+def _scalar_checker(dtype: DataType, nested: bool) -> Optional[_FieldCheck]:
+    """A closure validating one non-null scalar, or None if *dtype*
+    can never round-trip (nested types inside nested text)."""
+    if dtype is DataType.INT or dtype is DataType.LONG:
+        return _check_int
+    if dtype is DataType.FLOAT or dtype is DataType.DOUBLE:
+        return _check_float
+    if dtype is DataType.CHARARRAY or dtype is DataType.BYTEARRAY:
+        return _check_nested_str if nested else _check_str
+    if dtype is DataType.BOOLEAN:
+        return _check_bool
+    return None
+
+
+def _check_int(value) -> bool:
+    return type(value) is int
+
+
+def _check_float(value) -> bool:
+    # NaN re-parses to a value that is not == to itself
+    return type(value) is float and value == value
+
+
+def _check_str(value) -> bool:
+    # "" re-parses as null; tab/newline change field splitting
+    if type(value) is not str or value == "":
+        return False
+    return "\t" not in value and "\n" not in value
+
+
+def _check_nested_str(value) -> bool:
+    # bag text is split on commas/parens/braces and
+    # whitespace-stripped by the nested parser
+    return (
+        type(value) is str
+        and value != ""
+        and not _has_nested_unsafe(value)
+        and value == value.strip()
+    )
+
+
+def _check_bool(value) -> bool:
+    return type(value) is bool
+
+
+_NESTED_UNSAFE = ("\t", "\n", ",", "(", ")", "{", "}")
+
+
+def _has_nested_unsafe(value: str) -> bool:
+    for ch in _NESTED_UNSAFE:
+        if ch in value:
+            return True
+    return False
+
+
+def _never(value) -> bool:
+    return False
+
+
+def _bag_checker(inner: Optional[Schema]) -> _FieldCheck:
+    if inner is None:
+        return _never  # untyped bags re-parse as raw string tuples
+    inner_checks = []
+    for fs in inner.fields:
+        check = None if fs.dtype.is_nested else _scalar_checker(fs.dtype, nested=True)
+        if check is None:
+            return _never  # doubly nested text does not round-trip
+        inner_checks.append(check)
+    inner_checks = tuple(inner_checks)
+    n_fields = len(inner_checks)
+
+    def check_bag(value) -> bool:
+        if not isinstance(value, Bag):
+            return False
+        for row in value.rows:
+            if type(row) is not tuple or len(row) != n_fields:
+                return False
+            for v, check in zip(row, inner_checks):
+                if v is not None and not check(v):
+                    return False
+        return True
+
+    return check_bag

@@ -12,13 +12,21 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
-from repro.dfs.blocks import Block, split_into_blocks
+from repro.dfs.blocks import Block, LazyPayload
 from repro.dfs.datanode import DataNode
-from repro.dfs.namenode import FileStatus, NameNode
+from repro.dfs.dataset import TypedDataset, canonical_ascii_size, rows_are_canonical
+from repro.dfs.namenode import FileStatus, INode, NameNode
 from repro.dfs.replication import PlacementPolicy, RoundRobinPlacement
 from repro.exceptions import DFSError, FileNotFoundInDFS
+from repro.relational.schema import Schema
+from repro.relational.tuples import (
+    Row,
+    deserialize_rows,
+    serialize_rows,
+    snapshot_rows,
+)
 
 
 class DistributedFileSystem:
@@ -86,7 +94,9 @@ class DistributedFileSystem:
 
     # -- writes -------------------------------------------------------------------
 
-    def write_file(self, path: str, data: bytes | str, overwrite: bool = False) -> FileStatus:
+    def write_file(
+        self, path: str, data: bytes | str, overwrite: bool = False
+    ) -> FileStatus:
         """Create *path* with *data*; replicates each block."""
         payload = data.encode() if isinstance(data, str) else data
         with self._lock:
@@ -104,23 +114,86 @@ class DistributedFileSystem:
                 return self.write_file(path, payload)
             inode = self.namenode.lookup(path)
             self._append_blocks(inode, payload)
+            inode.invalidate_datasets()
             self.namenode.touch(path)
             return self.namenode.stat(path)
 
-    def write_lines(self, path: str, lines: Iterable[str], overwrite: bool = False) -> FileStatus:
+    def write_lines(
+        self, path: str, lines: Iterable[str], overwrite: bool = False
+    ) -> FileStatus:
         text = "".join(line if line.endswith("\n") else line + "\n" for line in lines)
         return self.write_file(path, text, overwrite=overwrite)
 
-    def _append_blocks(self, inode, payload: bytes) -> None:
-        for chunk in split_into_blocks(payload, self.block_size):
+    def write_rows(
+        self,
+        path: str,
+        rows: Iterable[Row],
+        schema: Optional[Schema] = None,
+        overwrite: bool = False,
+    ) -> FileStatus:
+        """Create *path* from typed rows (the zero-copy write path).
+
+        The PigStorage serialization stays the source of truth — it is
+        what the byte counters account and what :meth:`read_file`
+        returns — but when the rows round-trip exactly under *schema*
+        they are additionally pinned to the inode, so a
+        :meth:`read_rows` with a matching schema skips parsing and the
+        block bytes are never even sliced out of the payload.
+        """
+        # snapshot at call time, like write_file snapshots bytes: a
+        # caller mutating a Bag after this returns must not corrupt
+        # the deferred serialization or the pinned dataset
+        rows = snapshot_rows(rows)
+        payload: bytes | LazyPayload
+        # one pass decides pinning eligibility and sizes the bytes
+        total_bytes = (
+            canonical_ascii_size(rows, schema) if schema is not None else None
+        )
+        if total_bytes is None:
+            # non-canonical or non-ASCII rows: readers will genuinely
+            # parse the text, so build it up front (rare path: the
+            # canonical check runs again, off the hot path)
+            canonical = schema is not None and rows_are_canonical(rows, schema)
+            data = serialize_rows(rows).encode()
+            payload, total_bytes = data, len(data)
+        else:
+            # byte-size accounting is exact without serializing; the
+            # text is built only if something reads actual bytes
+            canonical = True
+            payload = LazyPayload(lambda: serialize_rows(rows).encode())
+        with self._lock:
+            if overwrite and self.namenode.exists(path):
+                self.delete(path)
+            inode = self.namenode.create(path, self.replication)
+            self._append_blocks(inode, payload, total_bytes)
+            if canonical:
+                fingerprint = schema.fingerprint()
+                inode.datasets[fingerprint] = TypedDataset(
+                    rows, fingerprint, inode.generation
+                )
+            return self.namenode.stat(path)
+
+    def _append_blocks(
+        self,
+        inode,
+        payload: bytes | LazyPayload,
+        total_bytes: Optional[int] = None,
+    ) -> None:
+        if total_bytes is None:
+            total_bytes = len(payload)
+        block_size = self.block_size
+        for offset in range(0, total_bytes, block_size):
+            chunk_len = min(block_size, total_bytes - offset)
             block_id = self.namenode.new_block_id()
-            block = Block(block_id, chunk)
+            # one immutable block shared by every replica; the chunk
+            # bytes are a lazy view, materialized only if actually read
+            block = Block.view(block_id, payload, offset, chunk_len)
             for node in self.placement.choose(self.datanodes, inode.replication):
                 node.store_block(block)
                 self.replica_bytes_written += block.size
             inode.block_ids.append(block_id)
             inode.size += block.size
-        self.bytes_written += len(payload)
+        self.bytes_written += total_bytes
 
     # -- reads ----------------------------------------------------------------------
 
@@ -137,6 +210,52 @@ class DistributedFileSystem:
 
     def read_text(self, path: str) -> str:
         return self.read_file(path).decode()
+
+    def read_rows(self, path: str, schema: Schema) -> Tuple[Row, ...]:
+        """Read *path* as typed rows (the zero-copy read path).
+
+        A pinned dataset with a matching schema fingerprint and a
+        current generation is returned as-is — no bytes are
+        materialized, no text is parsed, yet every read counter
+        (logical and per-datanode) moves exactly as a text read would
+        move it.  On a miss the text is parsed once and the result is
+        pinned, so the next matching reader hits.  The returned tuple
+        is shared: treat it as immutable.
+        """
+        fingerprint = schema.fingerprint()
+        with self._lock:
+            inode = self.namenode.lookup(path)
+            dataset = inode.datasets.get(fingerprint)
+            if dataset is not None and dataset.generation == inode.generation:
+                self._charge_cached_read(inode)
+                return dataset.rows
+            chunks = []
+            for block_id in inode.block_ids:
+                node = self._locate(block_id)
+                chunks.append(node.read_block(block_id))
+            data = b"".join(chunks)
+            self.bytes_read += len(data)
+            generation = inode.generation
+        # parse outside the lock: a cold read of a large file must not
+        # stall every other worker sharing this filesystem
+        rows = tuple(deserialize_rows(data.decode(), schema))
+        with self._lock:
+            # a parse is canonical with respect to its own text, so the
+            # fill needs no round-trip check — but pin only if the file
+            # is still the same inode at the same generation
+            if self.namenode.exists(path):
+                current = self.namenode.lookup(path)
+                if current is inode and current.generation == generation:
+                    inode.datasets[fingerprint] = TypedDataset(
+                        rows, fingerprint, generation
+                    )
+        return rows
+
+    def _charge_cached_read(self, inode: INode) -> None:
+        """Move read counters for a cache hit exactly like a text read."""
+        for block_id in inode.block_ids:
+            self._locate(block_id).charge_read(block_id)
+        self.bytes_read += inode.size
 
     def read_lines(self, path: str) -> List[str]:
         text = self.read_text(path)
@@ -206,9 +325,7 @@ class DistributedFileSystem:
         for path in self.namenode.list_paths():
             inode = self.namenode.lookup(path)
             for block_id in inode.block_ids:
-                live = sum(
-                    1 for node in self.datanodes if node.has_block(block_id)
-                )
+                live = sum(1 for node in self.datanodes if node.has_block(block_id))
                 if live < min(inode.replication, len(self.datanodes)):
                     out.append((path, block_id, live))
         return out
@@ -224,18 +341,19 @@ class DistributedFileSystem:
         for path, block_id, live in self.under_replicated_blocks():
             holders = [n for n in self.datanodes if n.has_block(block_id)]
             if not holders:
-                raise DFSError(
-                    f"data loss: no replica left for {block_id} of {path}"
-                )
-            data = holders[0].read_block(block_id)
+                raise DFSError(f"data loss: no replica left for {block_id} of {path}")
+            # the copy reads one surviving replica (counted) and then
+            # shares the same immutable Block object — no byte copies
+            block = holders[0].get_block(block_id)
+            holders[0].charge_read(block_id)
             inode = self.namenode.lookup(path)
             target_count = min(inode.replication, len(self.datanodes))
             for node in self.datanodes:
                 if live >= target_count:
                     break
                 if not node.has_block(block_id):
-                    node.store_block(Block(block_id, data))
-                    self.replica_bytes_written += len(data)
+                    node.store_block(block)
+                    self.replica_bytes_written += block.size
                     live += 1
                     created += 1
         return created

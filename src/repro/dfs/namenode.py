@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.dfs.blocks import BlockId
+from repro.dfs.dataset import TypedDataset
 from repro.exceptions import FileAlreadyExists, FileNotFoundInDFS
 
 
@@ -24,6 +25,17 @@ class INode:
     size: int = 0
     mtime: int = 0
     replication: int = 3
+    #: bumped on every mutation (append/delete/rename); pinned typed
+    #: datasets record the generation they were built at and become
+    #: invisible the moment it moves
+    generation: int = 0
+    #: schema fingerprint -> typed rows parsed from / written as this
+    #: file's bytes (the zero-copy data plane's cache)
+    datasets: Dict[tuple, TypedDataset] = field(default_factory=dict)
+
+    def invalidate_datasets(self) -> None:
+        self.generation += 1
+        self.datasets.clear()
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,7 @@ class NameNode:
     def remove(self, path: str) -> INode:
         inode = self.lookup(path)
         del self._inodes[path]
+        inode.invalidate_datasets()
         self.tick()
         return inode
 
@@ -90,6 +103,7 @@ class NameNode:
         del self._inodes[src]
         inode.path = dst
         inode.mtime = self.tick()
+        inode.invalidate_datasets()
         self._inodes[dst] = inode
 
     def touch(self, path: str) -> None:

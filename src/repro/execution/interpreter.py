@@ -5,6 +5,22 @@ from each POLoad to the shuffle (or straight to stores for map-only
 jobs), the shuffle buffer sorts and groups, and the reduce segment
 runs from POPackage to the stores.  All byte/record counters that the
 cost model and ReStore statistics need are collected on the way.
+
+Two data planes share this interpreter:
+
+* the **fast plane** (default) reads inputs through the DFS
+  typed-dataset cache, writes stores as typed rows
+  (:meth:`~repro.dfs.filesystem.DistributedFileSystem.write_rows`),
+  and routes rows through *compiled* per-operator handlers — straight
+  -line map segments (filter/foreach chains) fuse into closures that
+  skip the isinstance dispatch entirely;
+* the **legacy plane** (``fast_data_plane=False``) re-parses text at
+  every edge and dispatches per row, exactly as before.
+
+Every counter a :class:`~repro.mapreduce.stats.JobStats` carries and
+every byte the DFS accounts is value-identical between the planes —
+the ``exec_sim`` benchmark gate and the differential tests hold both
+planes to byte-identical outputs and decisions.
 """
 
 from __future__ import annotations
@@ -12,7 +28,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from itertools import product
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.exceptions import ExecutionError, PlanError
@@ -41,6 +57,9 @@ from repro.relational.tuples import (
     serialize_row,
 )
 
+#: a compiled row handler: (row, source operator) -> None
+Handler = Callable[[Row, Optional[PhysicalOperator]], None]
+
 
 class JobInterpreter:
     """Executes one job plan against the DFS and reports statistics."""
@@ -50,24 +69,28 @@ class JobInterpreter:
         job: MapReduceJob,
         dfs: DistributedFileSystem,
         n_reduce_tasks: int = 8,
+        fast_data_plane: bool = True,
     ):
         self.job = job
         self.plan = job.plan
         self.dfs = dfs
         self.n_reduce_tasks = max(1, n_reduce_tasks)
+        self.fast_data_plane = fast_data_plane
         self._shuffle: Optional[ShuffleBuffer] = None
         self._store_lines: Dict[int, List[str]] = defaultdict(list)
+        self._store_rows: Dict[int, List[Row]] = defaultdict(list)
         self._limit_counts: Dict[int, int] = defaultdict(int)
         #: POFRJoin op_id -> [probe rows, build rows]
-        self._frjoin_buffers: Dict[int, List[List[Row]]] = defaultdict(
-            lambda: [[], []]
-        )
+        self._frjoin_buffers: Dict[int, List[List[Row]]] = defaultdict(lambda: [[], []])
         self._op_records = 0
         self._map_output_records = 0
         self._reduce_phase_ids: set = set()
         #: POLocalRearrange op_id -> null-key policy (join semantics)
         self._null_key_policy: Dict[int, str] = {}
         self._null_counter = 0
+        #: op_id -> compiled handler / successor handler list (fast plane)
+        self._handlers: Dict[int, Handler] = {}
+        self._succ_handlers: Dict[int, List[Handler]] = {}
 
     # -- public ------------------------------------------------------------------
 
@@ -90,11 +113,21 @@ class JobInterpreter:
         for load in self.plan.loads():
             if load.schema is None:
                 raise ExecutionError(f"load without schema: {load!r}")
-            rows_read = 0
-            for line in iter_data_lines(self.dfs.read_text(load.path)):
-                row = deserialize_row(line, load.schema)
-                rows_read += 1
-                self._forward(load, row)
+            if self.fast_data_plane:
+                # cached typed read: a matching pinned dataset skips
+                # text parsing (and byte materialization) entirely
+                rows = self.dfs.read_rows(load.path, load.schema)
+                rows_read = len(rows)
+                handlers = self._handlers_after(load)
+                for row in rows:
+                    for handler in handlers:
+                        handler(row, load)
+            else:
+                rows_read = 0
+                for line in iter_data_lines(self.dfs.read_text(load.path)):
+                    row = deserialize_row(line, load.schema)
+                    rows_read += 1
+                    self._forward(load, row)
             stats.load_bytes[load.path] = self.dfs.file_size(load.path)
             stats.input_records += rows_read
 
@@ -114,14 +147,22 @@ class JobInterpreter:
 
         # Flush stores.
         for store in self.plan.stores():
-            lines = self._store_lines.get(store.op_id, [])
-            text = "".join(line + "\n" for line in lines)
-            self.dfs.write_file(store.path, text, overwrite=True)
+            if self.fast_data_plane:
+                rows = self._store_rows.get(store.op_id, [])
+                status = self.dfs.write_rows(
+                    store.path, rows, store.schema, overwrite=True
+                )
+                store_bytes, store_records = status.size, len(rows)
+            else:
+                lines = self._store_lines.get(store.op_id, [])
+                text = "".join(line + "\n" for line in lines)
+                self.dfs.write_file(store.path, text, overwrite=True)
+                store_bytes, store_records = len(text.encode()), len(lines)
             stats.stores.append(
                 StoreStat(
                     path=store.path,
-                    bytes=len(text.encode()),
-                    records=len(lines),
+                    bytes=store_bytes,
+                    records=store_records,
                     phase="reduce" if store.op_id in self._reduce_phase_ids else "map",
                     side=store.side,
                 )
@@ -135,8 +176,96 @@ class JobInterpreter:
     # -- row routing -------------------------------------------------------------------
 
     def _forward(self, op: PhysicalOperator, row: Row) -> None:
-        for succ in self.plan.successors(op):
-            self._process(succ, row, source=op)
+        if self.fast_data_plane:
+            for handler in self._handlers_after(op):
+                handler(row, op)
+        else:
+            for succ in self.plan.successors(op):
+                self._process(succ, row, source=op)
+
+    # -- compiled dispatch (fast plane) ------------------------------------------------
+
+    def _handlers_after(self, op: PhysicalOperator) -> List[Handler]:
+        handlers = self._succ_handlers.get(op.op_id)
+        if handlers is None:
+            handlers = [self._compile(succ) for succ in self.plan.successors(op)]
+            self._succ_handlers[op.op_id] = handlers
+        return handlers
+
+    def _compile(self, op: PhysicalOperator) -> Handler:
+        """One closure per operator, fusing straight-line map segments.
+
+        Filter→foreach chains with single successors collapse into
+        nested closures — one Python call per row per segment instead
+        of the per-operator isinstance dispatch.  Counter increments
+        mirror :meth:`_process` exactly: ``op_records`` moves once per
+        operator visit on both planes.
+        """
+        handler = self._handlers.get(op.op_id)
+        if handler is not None:
+            return handler
+        successors = self.plan.successors(op)
+        if isinstance(op, POFilter) and len(successors) == 1:
+            inner = self._compile(successors[0])
+            predicate_eval = op.predicate.eval
+
+            def handler(row, source, _op=op, _inner=inner):
+                self._op_records += 1
+                if bool(predicate_eval(row)):
+                    _inner(row, _op)
+
+        elif isinstance(op, POForEach) and len(successors) == 1:
+            inner = self._compile(successors[0])
+
+            def handler(row, source, _op=op, _inner=inner):
+                self._op_records += 1
+                for out in self._foreach_rows(_op, row):
+                    _inner(out, _op)
+
+        elif isinstance(op, POLocalRearrange):
+            shuffle_add = None  # bound lazily: the buffer exists by first row
+
+            def handler(row, source, _op=op):
+                nonlocal shuffle_add
+                self._op_records += 1
+                key = _op.make_key(row)
+                if _is_null_key(key):
+                    policy = self._null_key_policy.get(_op.op_id, "keep")
+                    if policy == "drop":
+                        return  # Pig: null keys never match in inner joins
+                    if policy == "isolate":
+                        self._null_counter += 1
+                        key = ("__null__", self._null_counter)
+                if shuffle_add is None:
+                    shuffle_add = self._shuffle.add
+                shuffle_add(key, _op.branch, row)
+                self._map_output_records += 1
+
+        elif isinstance(op, POStore):
+            append_row = self._store_rows[op.op_id].append
+
+            def handler(row, source, _append=append_row):
+                self._op_records += 1
+                _append(row)
+
+        elif isinstance(op, (POSplit, POUnion)):
+            inner_handlers = None  # bound lazily: successors compile on demand
+
+            def handler(row, source, _op=op):
+                nonlocal inner_handlers
+                self._op_records += 1
+                if inner_handlers is None:
+                    inner_handlers = self._handlers_after(_op)
+                for inner in inner_handlers:
+                    inner(row, _op)
+
+        else:
+
+            def handler(row, source, _op=op):
+                self._process(_op, row, source=source)
+
+        self._handlers[op.op_id] = handler
+        return handler
 
     def _process(
         self,
@@ -167,7 +296,10 @@ class JobInterpreter:
             self._shuffle.add(key, op.branch, row)
             self._map_output_records += 1
         elif isinstance(op, POStore):
-            self._store_lines[op.op_id].append(serialize_row(row))
+            if self.fast_data_plane:
+                self._store_rows[op.op_id].append(row)
+            else:
+                self._store_lines[op.op_id].append(serialize_row(row))
         elif isinstance(op, (POSplit, POUnion)):
             self._forward(op, row)
         elif isinstance(op, POLimit):
@@ -175,9 +307,7 @@ class JobInterpreter:
                 self._limit_counts[op.op_id] += 1
                 self._forward(op, row)
         elif isinstance(op, (POGlobalRearrange, POPackage, POLoad)):
-            raise ExecutionError(
-                f"operator {op!r} cannot appear mid-pipeline"
-            )
+            raise ExecutionError(f"operator {op!r} cannot appear mid-pipeline")
         else:
             raise PlanError(f"interpreter cannot execute {op!r}")
 
@@ -200,9 +330,7 @@ class JobInterpreter:
 
     # -- fragment-replicate join ------------------------------------------------------------
 
-    def _frjoin_branch(
-        self, op: POFRJoin, source: Optional[PhysicalOperator]
-    ) -> int:
+    def _frjoin_branch(self, op: POFRJoin, source: Optional[PhysicalOperator]) -> int:
         preds = self.plan.predecessors(op)
         if source is not None:
             for branch, pred in enumerate(preds):
@@ -243,9 +371,7 @@ class JobInterpreter:
                 scalar_or_items.append(("flat", items))
             else:
                 if isinstance(value, list):
-                    value = Bag(
-                        v if isinstance(v, tuple) else (v,) for v in value
-                    )
+                    value = Bag(v if isinstance(v, tuple) else (v,) for v in value)
                 scalar_or_items.append(("scalar", value))
 
         flat_groups = [items for tag, items in scalar_or_items if tag == "flat"]

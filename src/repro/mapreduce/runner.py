@@ -70,6 +70,7 @@ class HadoopSimulator:
         dfs: DistributedFileSystem,
         cluster: Optional[ClusterConfig] = None,
         cost_model: Optional["CostModel"] = None,
+        fast_data_plane: bool = True,
     ):
         # Imported here to break the mapreduce <-> costmodel cycle:
         # the model consumes this package's ClusterConfig and stats.
@@ -78,12 +79,18 @@ class HadoopSimulator:
         self.dfs = dfs
         self.cluster = cluster or ClusterConfig()
         self.cost_model = cost_model or CostModel(cluster=self.cluster)
+        #: route execution through the typed-dataset cache + compiled
+        #: dispatch; False restores the text-at-every-edge path (the
+        #: ``exec_sim`` ablation baseline) — counters and outputs are
+        #: byte-identical either way, only wall time differs
+        self.fast_data_plane = fast_data_plane
 
     def run_job(self, job: MapReduceJob) -> JobStats:
         interpreter = JobInterpreter(
             job,
             self.dfs,
             n_reduce_tasks=self.cluster.n_reduce_tasks(job.conf.n_reducers),
+            fast_data_plane=self.fast_data_plane,
         )
         stats = interpreter.run()
         stats.sim = self.cost_model.job_time(stats, job.conf.n_reducers)
@@ -124,7 +131,9 @@ class HadoopSimulator:
         result.wall_seconds = time.perf_counter() - started
         return result
 
-    def cleanup_temporaries(self, workflow: Workflow, keep: Optional[set] = None) -> int:
+    def cleanup_temporaries(
+        self, workflow: Workflow, keep: Optional[set] = None
+    ) -> int:
         """Delete temp outputs (stock Pig behaviour the paper changes).
 
         ReStore passes ``keep`` with the paths it decided to retain in

@@ -4,23 +4,43 @@ Keys can be heterogeneous (ints, floats, strings, tuples, None), so
 ordering uses a type-ranked canonical form, and partitioning uses a
 content-stable hash (Python's ``hash`` of strings is process-seeded
 and would make runs non-deterministic).
+
+Records are **decorated at add time**: the canonical sort key and the
+partition hash are computed once per record when it enters the buffer,
+so sorting compares precomputed keys and the group scan never
+re-derives them (decorate-sort-undecorate).  Wire-byte accounting uses
+:func:`repro.relational.tuples.serialized_row_size` — the serialized
+length without building the line — and reuses the key's ``repr`` for
+both the partition hash and the key-length term.  Both changes are
+value-identical to the historical per-record recomputation;
+``tests/test_shuffle.py`` pins that down.
 """
 
 from __future__ import annotations
 
 import zlib
 from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+from operator import itemgetter
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.relational.tuples import Row, serialize_row
+from repro.relational.tuples import Row, serialized_row_size
 
-#: one shuffle record: (key, branch tag, row)
-ShuffleRecord = Tuple[object, int, Row]
+#: one decorated shuffle record: (sort key, key, branch tag, row)
+ShuffleRecord = Tuple[tuple, object, int, Row]
+
+_by_sort_key = itemgetter(0)
 
 
-def stable_hash(key) -> int:
-    """Deterministic non-negative hash of an arbitrary key value."""
-    return zlib.crc32(repr(key).encode())
+def stable_hash(key, key_repr: Optional[str] = None) -> int:
+    """Deterministic non-negative hash of an arbitrary key value.
+
+    ``key_repr`` lets hot callers that already rendered ``repr(key)``
+    (the shuffle reuses it for wire-byte accounting) skip a second
+    rendering; it must equal ``repr(key)``.
+    """
+    if key_repr is None:
+        key_repr = repr(key)
+    return zlib.crc32(key_repr.encode())
 
 
 _TYPE_RANK = {type(None): 0, bool: 1, int: 2, float: 2, str: 3, tuple: 4}
@@ -55,12 +75,13 @@ class ShuffleBuffer:
         self.bytes = 0
 
     def add(self, key, branch: int, row: Row) -> None:
-        partition = stable_hash(key) % self.n_partitions
-        self._partitions[partition].append((key, branch, row))
+        key_repr = repr(key)
+        partition = stable_hash(key, key_repr) % self.n_partitions
+        self._partitions[partition].append((sort_key(key), key, branch, row))
         self.records += 1
         # Approximate the wire size the way Hadoop accounts map output
         # bytes: serialized key + value.
-        self.bytes += len(serialize_row(row)) + len(repr(key)) + 2
+        self.bytes += serialized_row_size(row) + len(key_repr) + 2
 
     def used_partitions(self) -> List[int]:
         return sorted(p for p, records in self._partitions.items() if records)
@@ -68,13 +89,14 @@ class ShuffleBuffer:
     def grouped(self, partition: int) -> Iterator[Tuple[object, Dict[int, List[Row]]]]:
         """Yield (key, branch -> rows) groups in key-sorted order."""
         records = self._partitions.get(partition, [])
-        records.sort(key=lambda rec: sort_key(rec[0]))
+        records.sort(key=_by_sort_key)
         index = 0
-        while index < len(records):
-            key = records[index][0]
+        n_records = len(records)
+        while index < n_records:
+            group_sort_key, key = records[index][0], records[index][1]
             bags: Dict[int, List[Row]] = defaultdict(list)
-            while index < len(records) and sort_key(records[index][0]) == sort_key(key):
-                _, branch, row = records[index]
+            while index < n_records and records[index][0] == group_sort_key:
+                _, _, branch, row = records[index]
                 bags[branch].append(row)
                 index += 1
             yield key, bags

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Tuple
 
 from repro.relational.schema import Schema
-from repro.relational.types import DataType, format_value, parse_text
+from repro.relational.types import DataType, format_tuple, format_value, parse_text
 
 Row = Tuple
 
@@ -63,6 +63,86 @@ def serialize_row(row: Row) -> str:
     return "\t".join(_serialize_field(v) for v in row)
 
 
+def serialized_row_size(row: Row) -> int:
+    """``len(serialize_row(row))`` without building the joined line.
+
+    The shuffle accounts map-output wire bytes per record and the
+    zero-copy write path accounts store bytes per file; both need the
+    serialized length, neither needs the text.  Strings and nulls (the
+    bulk of PigMix traffic) contribute their length without any
+    allocation; numbers render just the one field; bags and tuples
+    recurse structurally instead of building the nested text.  Must
+    stay value-identical to the serialized length —
+    ``tests/test_shuffle.py`` and the Hypothesis properties assert the
+    equality.
+    """
+    if not row:
+        return 0
+    total = len(row) - 1  # the tab separators
+    for value in row:
+        if value is None:
+            continue
+        if type(value) is str:
+            total += len(value)
+        else:
+            total += _field_size(value)
+    return total
+
+
+def _field_size(value) -> int:
+    """Character length of ``_serialize_field(value)`` for one field.
+
+    Mirrors ``_serialize_field`` exactly: a Bag *field* renders as bag
+    text, but everything nested below goes through ``format_value``
+    semantics (where a Bag inside a tuple falls to ``str``) — sizes
+    must track the real serialization byte for byte, however odd.
+    """
+    if type(value) is Bag:
+        return _bag_size(value.rows)
+    return format_value_size(value)
+
+
+def format_value_size(value) -> int:
+    """Character length of ``format_value(value)`` without building it.
+
+    The single home of the per-type size math (bool -> 4/5, int ->
+    len(str), float -> len(repr), str -> len, nested -> structural
+    recursion); the typed-dataset cache's fused sizers delegate here
+    so serialization and sizing can never drift apart.
+    """
+    kind = type(value)
+    if kind is str:
+        return len(value)
+    if kind is bool:
+        return 4 if value else 5
+    if kind is int:
+        return len(str(value))
+    if kind is float:
+        return len(repr(value))
+    if kind is list:
+        return _bag_size(value)
+    if kind is tuple:
+        return _tuple_size(value)
+    return len(format_value(value))
+
+
+def _tuple_size(row: tuple) -> int:
+    # "(" + ",".join(format_value(v)) + ")"
+    total = 2 + max(0, len(row) - 1)
+    for value in row:
+        if value is not None:
+            total += format_value_size(value)
+    return total
+
+
+def _bag_size(rows: List[Row]) -> int:
+    # "{" + ",".join(format_tuple(t)) + "}"
+    total = 2 + max(0, len(rows) - 1)
+    for row in rows:
+        total += _tuple_size(row) if type(row) is tuple else len(format_tuple(row))
+    return total
+
+
 def _serialize_field(value) -> str:
     if isinstance(value, Bag):
         return format_value(value.rows)
@@ -83,15 +163,42 @@ def deserialize_row(line: str, schema: Schema) -> Row:
 
 
 def _retype_rows(raw_rows, inner: Schema) -> List[Row]:
+    """Type the string fields a freshly parsed bag carries.
+
+    Values that are already typed (a bag built in memory rather than
+    parsed from text) pass through unchanged — round-tripping them
+    through ``str`` would corrupt distinctions the text form cannot
+    carry, e.g. an int in a double-typed field.
+    """
     typed = []
     for raw in raw_rows:
         typed.append(
             tuple(
-                parse_text(v if isinstance(v, str) else str(v), fs.dtype)
+                parse_text(v, fs.dtype) if isinstance(v, str) else v
                 for v, fs in zip(raw, inner)
             )
         )
     return typed
+
+
+def snapshot_rows(rows: Iterable[Row]) -> Tuple[Row, ...]:
+    """Rows decoupled from caller-held mutable containers.
+
+    Row tuples are immutable and shared as-is; Bag values (the one
+    mutable container a row can hold) are shallow-copied.  Both ends
+    of the zero-copy plane need this: ``write_rows`` snapshots at call
+    time (so later caller mutation cannot corrupt the deferred
+    serialization or the pinned dataset), and result outputs hand the
+    caller bags it may freely mutate.
+    """
+    out = []
+    for row in rows:
+        if type(row) is tuple and any(type(value) is Bag for value in row):
+            row = tuple(
+                Bag(value.rows) if type(value) is Bag else value for value in row
+            )
+        out.append(row)
+    return tuple(out)
 
 
 def serialize_rows(rows: Iterable[Row]) -> str:

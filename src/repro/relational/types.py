@@ -45,9 +45,7 @@ class DataType(enum.Enum):
             raise SchemaError(f"unknown data type: {name!r}") from None
 
 
-_NUMERIC = frozenset(
-    {DataType.INT, DataType.LONG, DataType.FLOAT, DataType.DOUBLE}
-)
+_NUMERIC = frozenset({DataType.INT, DataType.LONG, DataType.FLOAT, DataType.DOUBLE})
 
 _PYTHON_TYPES = {
     DataType.INT: int,

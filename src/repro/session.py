@@ -122,6 +122,7 @@ class ReStoreSession:
             restore=self.manager,
             optimize=optimize,
             default_parallel=default_parallel,
+            fast_data_plane=self.config.fast_data_plane,
         )
         self._events = self.manager.events if self.manager else EventBus()
         self._closed = False
@@ -358,6 +359,11 @@ class SessionBuilder:
 
     def indexed_matching(self, enabled: bool) -> "SessionBuilder":
         self._config_kwargs["indexed_matching"] = enabled
+        return self
+
+    def fast_data_plane(self, enabled: bool) -> "SessionBuilder":
+        """Toggle the zero-copy execution data plane (default on)."""
+        self._config_kwargs["fast_data_plane"] = enabled
         return self
 
     def inject(self, enabled: bool) -> "SessionBuilder":

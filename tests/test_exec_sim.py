@@ -1,0 +1,171 @@
+"""Differential tests for the zero-copy data plane + exec_sim bench.
+
+The load-bearing guarantee: ``fast_data_plane`` changes wall time and
+nothing else.  A multi-job PigMix-style workflow run with the plane on
+and off must produce byte-identical DFS contents, identical
+``WorkflowStats``/``JobStats`` counters, identical DFS byte counters,
+and an identical rewrite/elimination decision log.
+"""
+
+import copy
+
+from repro.bench.exec_sim import (
+    SPEEDUP_FLOOR,
+    build_queries,
+    check_exec_sim_gates,
+    generate_event_rows,
+    run_exec_mode,
+    run_exec_scale,
+)
+from repro.core.manager import ReStoreConfig
+from repro.pigmix.datagen import PigMixConfig, PigMixDataGenerator
+from repro.pigmix.queries import build_query
+from repro.session import ReStoreSession
+
+
+def _job_counters(result):
+    out = []
+    for run in result:
+        for job_id in sorted(run.stats.job_stats):
+            stats = run.stats.job_stats[job_id]
+            out.append(
+                (
+                    job_id,
+                    stats.input_records,
+                    stats.map_output_records,
+                    stats.shuffle_records,
+                    stats.shuffle_bytes,
+                    stats.reduce_groups,
+                    stats.op_records,
+                    tuple(sorted(stats.load_bytes.items())),
+                    tuple(
+                        (s.path, s.bytes, s.records, s.phase, s.side)
+                        for s in stats.stores
+                    ),
+                    stats.sim_seconds,
+                )
+            )
+        out.append(tuple(sorted(run.stats.eliminated_jobs)))
+    return out
+
+
+def _run_pigmix_stream(fast: bool):
+    """A multi-job PigMix stream (L2/L3 share the join prefix, L5 is
+    an anti-join, L3 again for whole-job reuse) through one session."""
+    config = ReStoreConfig(fast_data_plane=fast)
+    with ReStoreSession(datanodes=4, config=config) as session:
+        dataset = PigMixDataGenerator(
+            PigMixConfig(n_page_views=150, n_users=30, n_widerow=40)
+        ).generate(session.dfs)
+        results = []
+        for i, query in enumerate(["L2", "L3", "L5", "L3"]):
+            source = build_query(query, dataset, out=f"out/{query}_{i}")
+            results.append(session.run(source, name=f"{query}_{i}"))
+        snapshot = {
+            path: session.dfs.read_file(path) for path in session.dfs.list_paths()
+        }
+        counters = _job_counters(results)
+        decisions = [repr(e) for res in results for e in res.events]
+        dfs_counters = (
+            session.dfs.bytes_read,
+            session.dfs.bytes_written,
+            session.dfs.replica_bytes_written,
+        )
+        outputs = [res.outputs for res in results]
+        return snapshot, counters, decisions, dfs_counters, outputs
+
+
+class TestDifferentialPigMix:
+    def test_fast_and_legacy_planes_are_equivalent(self):
+        fast = _run_pigmix_stream(fast=True)
+        legacy = _run_pigmix_stream(fast=False)
+        snapshot_f, counters_f, decisions_f, dfs_f, outputs_f = fast
+        snapshot_l, counters_l, decisions_l, dfs_l, outputs_l = legacy
+        assert snapshot_f == snapshot_l  # byte-identical DFS contents
+        assert counters_f == counters_l
+        assert decisions_f == decisions_l
+        assert dfs_f == dfs_l
+        assert outputs_f == outputs_l
+
+
+class TestExecSimBench:
+    def test_scale_run_reports_identical(self):
+        scale = run_exec_scale(300, seed=5, reps=1)
+        assert scale["outputs_identical"]
+        assert scale["counters_identical"]
+        assert scale["dfs_counters_identical"]
+        assert scale["decisions_identical"]
+        assert scale["n_queries"] == len(build_queries())
+        for mode in ("fast", "legacy"):
+            stats = scale["modes"][mode]
+            assert stats["input_records"] > 0
+            assert stats["jobs_run"] > 0
+            assert stats["rows_per_sec"] > 0
+        # reuse actually happened: consumers were rewritten
+        assert scale["modes"]["fast"]["rewrites"] > 0
+
+    def test_mode_result_shape(self):
+        rows = generate_event_rows(120, seed=5)
+        queries = build_queries()[:3]
+        result = run_exec_mode(rows, queries, fast=True)
+        assert result.jobs_run >= len(queries)
+        assert len(result.snapshot) > 0
+        assert result.dfs_counters[1] > 0  # bytes_written moved
+
+    def test_gates_green_on_identical_fast_payload(self):
+        payload = {
+            "scales": [
+                {
+                    "n_rows": 1000,
+                    "speedup": SPEEDUP_FLOOR + 1.0,
+                    "outputs_identical": True,
+                    "counters_identical": True,
+                    "dfs_counters_identical": True,
+                    "decisions_identical": True,
+                    "modes": {
+                        "fast": {"workflow_wall_s": 0.1},
+                        "legacy": {"workflow_wall_s": 0.5},
+                    },
+                }
+            ]
+        }
+        assert check_exec_sim_gates(payload) == []
+        assert check_exec_sim_gates(None) == []
+
+    def test_gates_trip_on_slow_or_divergent(self):
+        base = {
+            "n_rows": 1000,
+            "speedup": SPEEDUP_FLOOR + 1.0,
+            "outputs_identical": True,
+            "counters_identical": True,
+            "dfs_counters_identical": True,
+            "decisions_identical": True,
+            "modes": {
+                "fast": {"workflow_wall_s": 0.1},
+                "legacy": {"workflow_wall_s": 0.5},
+            },
+        }
+        slow = copy.deepcopy(base)
+        slow["speedup"] = SPEEDUP_FLOOR - 0.5
+        divergent = copy.deepcopy(base)
+        divergent["outputs_identical"] = False
+        failures = check_exec_sim_gates({"scales": [slow, divergent]})
+        assert len(failures) == 2
+        assert "below" in failures[1] or "below" in failures[0]
+
+
+class TestOutputsAreCallerOwned:
+    def test_mutating_an_output_bag_does_not_corrupt_the_cache(self):
+        with ReStoreSession(datanodes=2) as session:
+            session.write_file("d", "a\t1\na\t2\nb\t3\n")
+            source = (
+                "A = load 'd' as (k, v:int); B = group A by k; "
+                "store B into 'o';"
+            )
+            first = session.run(source)
+            bag = first.outputs["o"][0][1]
+            bag.append(("poison", 99))  # legacy semantics: caller-owned
+            second = session.run(source)
+            assert all(
+                ("poison", 99) not in list(row[1]) for row in second.outputs["o"]
+            )

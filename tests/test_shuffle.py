@@ -90,3 +90,103 @@ class TestShuffleBuffer:
             buf.add(key, 0, (key,))
         seen = [key for key, _ in buf.all_groups()]
         assert sorted(seen) == sorted(keys)
+
+
+class TestDecoratedRecordsRegression:
+    """The decorate-sort-undecorate refactor must preserve the exact
+    grouping the per-record recomputation produced."""
+
+    HETEROGENEOUS_KEYS = [
+        None,
+        1,
+        1.0,
+        2,
+        "1",
+        "a",
+        "b",
+        (1, "a"),
+        (1, "b"),
+        ("a", 1),
+        None,
+        2.0,
+        "a",
+        (1, "a"),
+    ]
+
+    def _oracle_groups(self, records, n_partitions):
+        """The historical algorithm: bucket by stable_hash, sort by
+        sort_key computed per record, scan comparing sort_key."""
+        from collections import defaultdict
+
+        partitions = defaultdict(list)
+        for key, branch, row in records:
+            partitions[stable_hash(key) % n_partitions].append((key, branch, row))
+        groups = []
+        for partition in range(n_partitions):
+            bucket = sorted(
+                partitions.get(partition, []), key=lambda rec: sort_key(rec[0])
+            )
+            index = 0
+            while index < len(bucket):
+                key = bucket[index][0]
+                bags = defaultdict(list)
+                while index < len(bucket) and sort_key(bucket[index][0]) == sort_key(
+                    key
+                ):
+                    _, branch, row = bucket[index]
+                    bags[branch].append(row)
+                    index += 1
+                groups.append((key, {b: rows for b, rows in bags.items()}))
+        return groups
+
+    def test_group_boundaries_unchanged_for_heterogeneous_keys(self):
+        for n_partitions in (1, 2, 8):
+            records = [
+                (key, i % 2, (i, repr(key)))
+                for i, key in enumerate(self.HETEROGENEOUS_KEYS)
+            ]
+            buf = ShuffleBuffer(n_partitions=n_partitions)
+            for key, branch, row in records:
+                buf.add(key, branch, row)
+            got = [
+                (key, {b: rows for b, rows in bags.items()})
+                for key, bags in buf.all_groups()
+            ]
+            assert got == self._oracle_groups(records, n_partitions)
+
+    def test_int_and_float_of_equal_value_share_a_group(self):
+        buf = ShuffleBuffer(n_partitions=1)
+        buf.add(1, 0, ("int",))
+        buf.add(1.0, 0, ("float",))
+        ((key, bags),) = list(buf.all_groups())
+        # numbers sort together and compare equal: one group (as before)
+        assert bags[0] == [("int",), ("float",)]
+
+    def test_byte_accounting_matches_serialized_lengths(self):
+        from repro.relational.tuples import Bag, serialize_row
+
+        rows = [
+            ("alice", 1, 0.5),
+            (None, None, None),
+            ("k", Bag([("a", 1), ("b", 2)])),
+            (True, False, -17),
+            ((1, "x"), 2.5, "tail"),
+        ]
+        buf = ShuffleBuffer(n_partitions=4)
+        expected = 0
+        for i, row in enumerate(rows):
+            key = ("g", i % 2)
+            buf.add(key, 0, row)
+            expected += len(serialize_row(row)) + len(repr(key)) + 2
+        assert buf.bytes == expected
+
+    def test_sorting_never_compares_raw_keys(self):
+        class Unorderable:
+            def __repr__(self):
+                return f"Unorderable({id(self) % 7})"
+
+        buf = ShuffleBuffer(n_partitions=1)
+        for i in range(6):
+            buf.add(Unorderable(), 0, (i,))
+        groups = list(buf.all_groups())
+        assert sum(len(bags[0]) for _, bags in groups) == 6
