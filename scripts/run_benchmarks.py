@@ -13,10 +13,13 @@ This is the repo's perf trajectory: ``BENCH_repo_scale.json`` records
 match latency, candidates examined, and rewrites found for repository
 sizes N ∈ {10, 100, 1000} in both indexed and full-scan modes, the
 shared-service throughput (jobs/sec at 1/4/8 workers over one sharded
-repository), and the ``exec_sim`` data-plane trajectory (end-to-end
-workflow wall time and rows/sec, zero-copy vs legacy, over PigMix-
-style chains at two table sizes).  The process exits non-zero when a
-regression gate trips (CI's ``bench-smoke`` job relies on this):
+repository), the ``exec_sim`` data-plane trajectory (end-to-end
+workflow wall time and rows/sec across the batched / per-row fast /
+legacy planes, over PigMix-style chains at two table sizes), and the
+``subjob_enum`` enumeration trajectory (wall time and candidates/sec
+at N ∈ {100, 1000} heuristic anchors).  The process exits non-zero
+when a regression gate trips (CI's ``bench-smoke`` job relies on
+this):
 
 * indexed and full-scan rewrite decisions must be byte-identical;
 * indexed matching must never examine more candidates than the
@@ -25,8 +28,11 @@ regression gate trips (CI's ``bench-smoke`` job relies on this):
   pairwise traversals than the full scan;
 * the 1-worker service run must reproduce the serial decision log
   byte for byte, and every pool size must clear 1 job/sec per worker;
-* the zero-copy data plane must beat the legacy plane ≥3x end to end
-  with byte-identical DFS contents, counters, and decisions.
+* the batched data plane must beat the legacy plane ≥3x end to end at
+  every scale and the per-row fast plane ≥1.5x at the largest scale,
+  with byte-identical DFS contents, counters, and decisions across
+  all three planes and zero copy-store re-serialization;
+* sub-job enumeration must inject every expected candidate.
 
 ``python -m repro bench`` accepts the same flags.
 """

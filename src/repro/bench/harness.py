@@ -1,11 +1,12 @@
 """Benchmark orchestration shared by the CLI and scripts/run_benchmarks.py.
 
 Assembles the full ``BENCH_repo_scale.json`` payload — the indexed vs
-full-scan matching trajectory, the ``service_throughput`` section, and
-the ``exec_sim`` data-plane section — runs the regression gates,
-writes the file, and prints the summary.  Both entry points
-(``python -m repro bench`` and ``python scripts/run_benchmarks.py``)
-are thin argument parsers over :func:`run_benchmark_suite`.
+full-scan matching trajectory, the ``service_throughput`` section, the
+``exec_sim`` data-plane section, and the ``subjob_enum`` enumeration
+section — runs the regression gates, writes the file, and prints the
+summary.  Both entry points (``python -m repro bench`` and
+``python scripts/run_benchmarks.py``) are thin argument parsers over
+:func:`run_benchmark_suite`.
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from repro.bench.repo_scale import (
     run_repo_scale_benchmark,
     run_service_benchmark,
 )
+from repro.bench.subjob_enum import run_subjob_enum_benchmark
 
 
 def run_benchmark_suite(
@@ -44,7 +46,7 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
-    payload["version"] = 3
+    payload["version"] = 4
     # exec_sim runs before the service benchmark: its wall-time gate is
     # the noise-sensitive one, so it gets the freshest process state
     payload["exec_sim"] = run_exec_sim_benchmark(
@@ -52,6 +54,7 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
+    payload["subjob_enum"] = run_subjob_enum_benchmark()
     payload["service_throughput"] = run_service_benchmark(
         scales=service_scales,
         n_jobs=service_jobs,
@@ -89,6 +92,7 @@ def run_benchmark_suite(
             f"1-worker identical={scale['one_worker_decisions_identical']}"
         )
     for scale in payload["exec_sim"]["scales"]:
+        batched = scale["modes"]["batched"]
         fast = scale["modes"]["fast"]
         legacy = scale["modes"]["legacy"]
         identical = (
@@ -99,10 +103,20 @@ def run_benchmark_suite(
         )
         print(
             f"  exec_sim N={scale['n_rows']:>6}: "
-            f"cached={fast['workflow_wall_s']:.3f}s vs "
+            f"batched={batched['workflow_wall_s']:.3f}s vs "
+            f"row={fast['workflow_wall_s']:.3f}s vs "
             f"legacy={legacy['workflow_wall_s']:.3f}s "
-            f"({scale['speedup']}x, {fast['rows_per_sec']:,.0f} rows/s), "
+            f"({scale['speedup']}x legacy, {scale['batch_speedup']}x row, "
+            f"{batched['rows_per_sec']:,.0f} rows/s, "
+            f"{batched['payload_reuses']} payload reuses), "
             f"identical={identical}"
+        )
+    for scale in payload["subjob_enum"]["scales"]:
+        print(
+            f"  subjob_enum N={scale['n_anchors']:>5} anchors: "
+            f"{scale['wall_s']:.3f}s, "
+            f"{scale['candidates_per_sec']:,.0f} candidates/s "
+            f"({scale['candidates']} injected)"
         )
 
     if failures:
@@ -159,7 +173,9 @@ def add_benchmark_arguments(parser) -> None:
         type=int_tuple,
         default=None,
         help="events-table row counts for the exec_sim data-plane "
-        "benchmark (default 6000,20000; 2000,6000 with --quick)",
+        "benchmark (default 6000,20000; 2000,20000 with --quick — "
+        "quick keeps the large scale because the batch-speedup gate "
+        "applies there)",
     )
     parser.add_argument(
         "--no-gate",

@@ -522,16 +522,23 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
       byte, and every worker count must sustain more than 1 job/sec
       per worker (a deliberately loose floor — a stalled pool or a
       lock serializing whole runs misses it, machine noise does not);
-    * when an ``exec_sim`` section is present: the zero-copy data
-      plane must be ≥3x faster than the legacy plane end to end with
-      byte-identical outputs, counters, and decisions (see
-      :func:`repro.bench.exec_sim.check_exec_sim_gates`).
+    * when an ``exec_sim`` section is present: the batched data plane
+      must be ≥3x faster than the legacy plane at every scale and
+      ≥1.5x faster than the per-row fast plane at the largest scale,
+      with byte-identical outputs, counters, and decisions across all
+      three planes, and copy-style stores must never re-serialize (see
+      :func:`repro.bench.exec_sim.check_exec_sim_gates`);
+    * when a ``subjob_enum`` section is present: enumeration must
+      inject every expected candidate (see
+      :func:`repro.bench.subjob_enum.check_subjob_enum_gates`).
     """
     from repro.bench.exec_sim import check_exec_sim_gates
+    from repro.bench.subjob_enum import check_subjob_enum_gates
 
     failures = []
     failures.extend(_service_gate_failures(payload.get("service_throughput")))
     failures.extend(check_exec_sim_gates(payload.get("exec_sim")))
+    failures.extend(check_subjob_enum_gates(payload.get("subjob_enum")))
     for scale in payload["scales"]:
         n = scale["n_entries"]
         indexed = scale["modes"]["indexed"]

@@ -1,0 +1,107 @@
+"""Sub-job enumeration + injection benchmark (paper §4, Figure 8).
+
+The ROADMAP names sub-job enumeration as the remaining unmeasured hot
+path: every submitted job pays one ``enumerate_and_inject`` pass —
+heuristic classification over the whole plan, sub-plan extraction per
+anchor, and Split+Store splicing — before it runs, so a slow
+enumerator taxes the entire service.  This benchmark times that pass
+over a stream of PigMix-shaped jobs totalling N heuristic anchors
+(N ∈ {100, 1000} by default) and reports wall time plus anchors- and
+candidates-per-second, emitted as the ``subjob_enum`` section of
+``BENCH_repo_scale.json``.
+
+Each generated job is the ``load → filter → project → group →
+aggregate → store`` pipeline the repo-scale benchmark uses, which the
+aggressive heuristic anchors at four operators; the aggregate foreach
+feeds the store directly, so injection materializes three candidates
+per job.  The gate (:func:`check_subjob_enum_gates`) is a correctness
+check — every expected candidate must be enumerated — with the
+throughput figures recorded as trajectory, not gated (wall time at
+these sizes is noise-dominated in CI).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.repo_scale import SHAPES, EntrySpec, _pipeline_ops
+from repro.core.enumerator import SubJobEnumerator
+from repro.core.heuristics import heuristic_by_name
+from repro.mapreduce.job import MapReduceJob
+from repro.pig.physical.operators import POStore
+from repro.pig.physical.plan import linear_plan
+
+#: operators the aggressive heuristic anchors in one generated job
+ANCHORS_PER_JOB = 4
+#: anchors whose output already feeds a store are not injected
+CANDIDATES_PER_JOB = 3
+
+DEFAULT_ANCHOR_SCALES = (100, 1000)
+
+ROW_SCHEMA_SHAPE = SHAPES[-1]  # "aggregate": the full pipeline
+
+
+def _enum_jobs(n_jobs: int) -> List[MapReduceJob]:
+    """Fresh jobs (injection mutates plans) over distinct datasets."""
+    jobs = []
+    for index in range(n_jobs):
+        spec = EntrySpec(
+            index=index,
+            dataset=f"bench/enum/ds{index:05d}",
+            threshold=1 + index % 37,
+            shape=ROW_SCHEMA_SHAPE,
+        )
+        ops = _pipeline_ops(spec, ROW_SCHEMA_SHAPE)
+        ops.append(POStore(f"bench/enum/out{index:05d}", ops[-1].schema))
+        jobs.append(MapReduceJob(linear_plan(*ops), job_id=f"enum_{index:05d}"))
+    return jobs
+
+
+def run_subjob_enum_scale(n_anchors: int) -> Dict:
+    """Time enumeration + injection over jobs totalling *n_anchors*."""
+    n_jobs = max(1, n_anchors // ANCHORS_PER_JOB)
+    jobs = _enum_jobs(n_jobs)
+    enumerator = SubJobEnumerator(heuristic_by_name("aggressive"))
+    candidates = 0
+    started = time.perf_counter()
+    for job in jobs:
+        candidates += len(enumerator.enumerate_and_inject(job))
+    wall_s = time.perf_counter() - started
+    anchors = n_jobs * ANCHORS_PER_JOB
+    return {
+        "n_anchors": anchors,
+        "n_jobs": n_jobs,
+        "candidates": candidates,
+        "expected_candidates": n_jobs * CANDIDATES_PER_JOB,
+        "wall_s": round(wall_s, 4),
+        "anchors_per_sec": round(anchors / max(wall_s, 1e-9), 1),
+        "candidates_per_sec": round(candidates / max(wall_s, 1e-9), 1),
+    }
+
+
+def run_subjob_enum_benchmark(
+    scales: Optional[Tuple[int, ...]] = None,
+) -> Dict:
+    """The full subjob_enum section: one entry per anchor count."""
+    if scales is None:
+        scales = DEFAULT_ANCHOR_SCALES
+    return {
+        "benchmark": "subjob_enum",
+        "scales": [run_subjob_enum_scale(n) for n in scales],
+    }
+
+
+def check_subjob_enum_gates(payload: Optional[Dict]) -> List[str]:
+    """Correctness gate: every expected candidate was enumerated."""
+    if not payload:
+        return []
+    failures = []
+    for scale in payload["scales"]:
+        if scale["candidates"] != scale["expected_candidates"]:
+            failures.append(
+                f"subjob_enum N={scale['n_anchors']}: enumerated "
+                f"{scale['candidates']} candidates, expected "
+                f"{scale['expected_candidates']}"
+            )
+    return failures

@@ -94,11 +94,14 @@ class SubJobEnumerator:
             return None
 
         # The candidate's standalone plan is extracted *before* the tee
-        # is spliced in, so it stays clean of instrumentation.
-        sub_plan = plan.subplan_upto(anchor)
+        # is spliced in, so it stays clean of instrumentation.  The
+        # anchor's clone comes from the extraction's op-id mapping —
+        # scanning sinks for a matching signature would pick an
+        # arbitrary twin whenever two sinks compute the same thing.
+        sub_plan, twins = plan.subplan_upto_mapped(anchor)
         store_path = self._new_path()
         sub_store = POStore(store_path, schema=anchor.schema)
-        sub_anchor = self._twin_of(sub_plan, anchor)
+        sub_anchor = twins[anchor.op_id]
         sub_plan.add(sub_store)
         sub_plan.connect(sub_anchor, sub_store)
 
@@ -129,16 +132,3 @@ class SubJobEnumerator:
             plan.connect(tee, succ)
         plan.connect(anchor, tee)
         return tee
-
-    @staticmethod
-    def _twin_of(sub_plan: PhysicalPlan, anchor: PhysicalOperator) -> PhysicalOperator:
-        """Find the clone of *anchor* inside its extracted sub-plan.
-
-        ``subplan_upto`` clones operators; the twin is the unique sink
-        with the anchor's signature.
-        """
-        sinks = sub_plan.sinks()
-        for op in sinks:
-            if op.signature() == anchor.signature():
-                return op
-        raise ValueError("anchor twin not found in extracted sub-plan")

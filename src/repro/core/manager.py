@@ -44,6 +44,7 @@ from repro.core.rewriter import PlanRewriter
 from repro.core.selector import Selector, selector_by_name
 from repro.costmodel.model import CostModel, estimate_standalone_time
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.execution.interpreter import DEFAULT_BATCH_SIZE
 from repro.events import (
     EntryEvicted,
     EventBus,
@@ -87,6 +88,22 @@ class ReStoreConfig:
     #: baseline) — every byte counter, store output, and rewrite
     #: decision is identical either way, only wall time differs
     fast_data_plane: bool = True
+    #: chunk size of the batched operator-evaluation tier (fast plane
+    #: only): operators process ``List[Row]`` chunks through compiled
+    #: batch handlers — filters as one list comprehension per chunk,
+    #: foreach through precompiled projection closures, the shuffle
+    #: decorated chunk-at-a-time.  0 restores per-row fast-plane
+    #: dispatch (the batching ablation baseline); outputs, counters,
+    #: and decisions are byte-identical at every setting
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: when True (default, fast plane only) a copy-style store whose
+    #: input rows are provably the unchanged pinned dataset of an
+    #: existing file clones that file's serialized payload instead of
+    #: re-serializing — whole-job copy rewrites and load-teeing side
+    #: stores never render the same text twice.  False forces every
+    #: store to serialize its own payload (ablation knob); bytes and
+    #: decisions are identical either way
+    payload_reuse: bool = True
     #: whole-job registration policy (§2.1 type 1): "all", "none", or
     #: "temporary-only".  The last registers only intermediate
     #: (workflow-internal) job outputs — it isolates sub-job reuse for
@@ -138,6 +155,8 @@ class ReStoreConfig:
             "inject_enabled",
             "indexed_matching",
             "fast_data_plane",
+            "batch_size",
+            "payload_reuse",
             "register_whole_jobs",
             "selector",
             "eviction_policies",

@@ -28,10 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from itertools import chain
+from math import isnan
+from operator import itemgetter
 from typing import Callable, Optional, Tuple
 
 from repro.relational.schema import FieldSchema, Schema
-from repro.relational.tuples import Bag, Row, format_value_size
+from repro.relational.tuples import Bag, Row, serialized_row_size
 from repro.relational.types import DataType
 
 
@@ -44,6 +47,42 @@ class TypedDataset:
     #: the inode generation this dataset was built at; a bump on
     #: write/append/delete/rename invalidates every pinned dataset
     generation: int
+    #: True when the file's payload bytes are exactly
+    #: ``serialize_rows(rows)`` (writer-pinned datasets, and clones of
+    #: them).  Parse-filled datasets are *canonical* — they round-trip
+    #: — but their serialization may still differ from the original
+    #: text (``"03"`` parses to ``3``, which renders as ``"3"``), so
+    #: only exact datasets are eligible for serialized-payload reuse.
+    exact: bool = False
+    #: True when every row was proven canonical **and all-ASCII** at
+    #: pin time, i.e. each row's serialized byte length equals its
+    #: :func:`~repro.relational.tuples.serialized_row_size`.  A store
+    #: whose input rows are an identity-subset of such a dataset (the
+    #: shape of filtered side stores) can be sized without re-checking
+    #: canonicality — see ``write_rows``'s subset fast path.
+    ascii_sized: bool = False
+    #: lazily built ``frozenset(map(id, rows))`` for subset proofs;
+    #: valid for the dataset's lifetime because ``rows`` keeps every
+    #: member alive (a live id can only name the original object)
+    _row_ids: Optional[frozenset] = None
+    #: lazily built ``id(row) -> serialized_row_size(row)``; rows flow
+    #: through many consumers by identity (filters, tees, shuffles),
+    #: so each row's serialized width is computed once per dataset
+    #: lifetime instead of once per chunk per job
+    _size_memo: Optional[dict] = None
+
+    def row_ids(self) -> frozenset:
+        if self._row_ids is None:
+            self._row_ids = frozenset(map(id, self.rows))
+        return self._row_ids
+
+    def size_memo(self) -> dict:
+        if self._size_memo is None:
+            rows = self.rows
+            self._size_memo = dict(
+                zip(map(id, rows), map(serialized_row_size, rows))
+            )
+        return self._size_memo
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -62,7 +101,13 @@ def rows_are_canonical(rows, schema: Schema) -> bool:
     return _row_checker(schema)(rows)
 
 
-def canonical_ascii_size(rows, schema: Schema) -> Optional[int]:
+#: row count from which the columnar sizer amortizes its C-pass setup
+_COLUMNAR_MIN_ROWS = 64
+
+
+def canonical_ascii_size(
+    rows, schema: Schema, columnar: bool = True
+) -> Optional[int]:
     """One-pass canonicality check + exact byte sizing.
 
     Returns the exact byte length of ``serialize_rows(rows).encode()``
@@ -71,7 +116,29 @@ def canonical_ascii_size(rows, schema: Schema) -> Optional[int]:
     hot path: one walk over the data decides pinning eligibility and
     does the byte-size accounting that lets text serialization be
     deferred.
+
+    With ``columnar`` (the default; the batched data plane's write
+    path) large writes check and size each field as a *column* through
+    C-level passes (``map``/``set``/``sum`` plus substring scans over
+    one joined text per string column), with bag fields flattened
+    across all rows so even short bags amortize — the remaining
+    per-value Python work is ``str``/``repr`` on numeric columns,
+    which serialization would pay anyway.  Small writes, shapes the
+    columnar pass cannot prove (exotic types, Bag subclasses), and
+    ``columnar=False`` callers (the per-row fast plane, which keeps
+    PR-4 behaviour as the batching ablation baseline) use the compiled
+    per-row closures; the two paths are value-identical.
     """
+    if (
+        columnar
+        and isinstance(rows, (list, tuple))
+        and len(rows) >= _COLUMNAR_MIN_ROWS
+    ):
+        sizer = _columnar_sizer(schema)
+        if sizer is not None:
+            total = sizer(rows)
+            if total is not _FALLBACK:
+                return total
     return _row_sizer(schema)(rows)
 
 
@@ -121,20 +188,23 @@ def _scalar_sizer(dtype: DataType, nested: bool) -> Optional[_FieldSizer]:
     return None
 
 
-# the canonicality (type) checks live here; the size math itself is
-# delegated to tuples.format_value_size, the single mirror of the real
-# serialization, so sizing can never drift from what serialize writes
+# the scalar size math is inlined (len(str(v)) / len(repr(v)) / 4|5)
+# rather than delegated to tuples.format_value_size: these closures
+# run once per stored field and the extra dispatch hop showed up as
+# ~15% of write time in the exec_sim profile.  Each sizer must stay
+# value-identical to format_value_size for its type — the Hypothesis
+# round-trip property and the counter-parity tests pin that down.
 
 
 def _size_int(value) -> Optional[int]:
     if type(value) is int:
-        return format_value_size(value)
+        return len(str(value))
     return None
 
 
 def _size_float(value) -> Optional[int]:
     if type(value) is float and value == value:
-        return format_value_size(value)
+        return len(repr(value))
     return None
 
 
@@ -146,15 +216,24 @@ def _size_str(value) -> Optional[int]:
 
 
 def _size_nested_str(value) -> Optional[int]:
-    if type(value) is str and value != "" and value.isascii():
-        if not _has_nested_unsafe(value) and value == value.strip():
-            return len(value)
+    if (
+        type(value) is str
+        and value != ""
+        and value.isascii()
+        and not _has_nested_unsafe(value)
+        # strip-stability without allocating the stripped copy: the
+        # value is non-empty ASCII, so whitespace at either end is
+        # exactly what .strip() would remove
+        and not value[0].isspace()
+        and not value[-1].isspace()
+    ):
+        return len(value)
     return None
 
 
 def _size_bool(value) -> Optional[int]:
     if type(value) is bool:
-        return format_value_size(value)
+        return 4 if value else 5
     return None
 
 
@@ -194,6 +273,200 @@ def _bag_sizer(inner: Optional[Schema]) -> _FieldSizer:
         return total
 
     return size_bag
+
+
+# -- columnar sizing ------------------------------------------------------------
+#
+# Large writes check and size each field as a *column*: C-level
+# map/set/sum passes plus substring scans over one joined text per
+# string column, with bag fields flattened across every row of the
+# write so even short bags amortize the setup.  Results are
+# value-identical to the per-row closures; the one shape the column
+# passes cannot decide exactly — Bag *subclasses*, which the closures
+# accept via isinstance but type-multiset tests cannot prove — returns
+# the _FALLBACK sentinel and the caller reruns the closure path.
+
+#: columnar pass cannot decide; rerun the compiled per-row closures
+_FALLBACK = object()
+
+_NoneType = type(None)
+#: ASCII whitespace that str.strip() removes, minus the tab/newline
+#: characters the unsafe-character scan has already rejected — note
+#: the file/group/record/unit separators \x1c-\x1f are whitespace to
+#: str.strip()/isspace() too
+_ASCII_WS = " \r\x0b\x0c\x1c\x1d\x1e\x1f"
+
+
+@lru_cache(maxsize=512)
+def _columnar_sizer(schema: Schema) -> Optional[Callable]:
+    """A whole-write columnar sizer, or None if *schema* has a shape
+    (nested-in-nested, untyped bags, exotic scalar types) that only
+    the closure path handles."""
+    handlers = []
+    for fs in schema.fields:
+        if fs.dtype is DataType.BAG:
+            handler = _columnar_bag_handler(fs.inner)
+        else:
+            handler = _columnar_scalar_handler(fs.dtype, nested=False)
+        if handler is None:
+            return None
+        handlers.append(handler)
+    handlers = tuple(handlers)
+    n_fields = len(handlers)
+    base = max(0, n_fields - 1) + 1  # tab separators + the newline
+
+    def size_columns(rows):
+        if set(map(type, rows)) != {tuple} or set(map(len, rows)) != {n_fields}:
+            return None  # exact: the closures demand n-field tuples
+        total = len(rows) * base
+        for index, handler in enumerate(handlers):
+            part = handler(list(map(itemgetter(index), rows)))
+            if part is None or part is _FALLBACK:
+                return part
+            total += part
+        return total
+
+    return size_columns
+
+
+def _split_nulls(col):
+    """(non-null values, their exact-type set); nulls contribute 0."""
+    types = set(map(type, col))
+    if _NoneType in types:
+        types.discard(_NoneType)
+        col = [value for value in col if value is not None]
+    return col, types
+
+
+def _col_int(col):
+    col, types = _split_nulls(col)
+    if not types:
+        return 0
+    if types != {int}:
+        return None
+    return sum(map(len, map(str, col)))
+
+
+def _col_float(col):
+    col, types = _split_nulls(col)
+    if not types:
+        return 0
+    if types != {float}:
+        return None
+    if any(map(isnan, col)):
+        return None  # NaN re-parses to a value that is not == itself
+    return sum(map(len, map(repr, col)))
+
+
+def _col_bool(col):
+    col, types = _split_nulls(col)
+    if not types:
+        return 0
+    if types != {bool}:
+        return None
+    return 5 * len(col) - sum(col)  # true -> 4 bytes, false -> 5
+
+
+def _col_str(col):
+    col, types = _split_nulls(col)
+    if not types:
+        return 0
+    if types != {str}:
+        return None
+    if "" in col:
+        return None  # "" re-parses as null
+    joined = "".join(col)
+    if not joined.isascii():
+        return None
+    if "\t" in joined or "\n" in joined:
+        return None  # would change field splitting
+    return len(joined)
+
+
+def _col_nested_str(col):
+    col, types = _split_nulls(col)
+    if not types:
+        return 0
+    if types != {str}:
+        return None
+    if "" in col:
+        return None
+    joined = "".join(col)
+    if not joined.isascii():
+        return None
+    for ch in _NESTED_UNSAFE:
+        if ch in joined:
+            return None
+    # strip-stability is a per-value *boundary* property; after the
+    # comma ban above a ","-joined text has unambiguous boundaries,
+    # so whitespace adjacent to an edge or a separator is exactly a
+    # value that str.strip() would change
+    bounded = ",".join(col)
+    if bounded[0] in _ASCII_WS or bounded[-1] in _ASCII_WS:
+        return None
+    for ch in _ASCII_WS:
+        if ch + "," in bounded or "," + ch in bounded:
+            return None
+    return len(joined)
+
+
+def _columnar_scalar_handler(dtype: DataType, nested: bool) -> Optional[Callable]:
+    if dtype is DataType.INT or dtype is DataType.LONG:
+        return _col_int
+    if dtype is DataType.FLOAT or dtype is DataType.DOUBLE:
+        return _col_float
+    if dtype is DataType.CHARARRAY or dtype is DataType.BYTEARRAY:
+        return _col_nested_str if nested else _col_str
+    if dtype is DataType.BOOLEAN:
+        return _col_bool
+    return None
+
+
+def _columnar_bag_handler(inner: Optional[Schema]) -> Optional[Callable]:
+    if inner is None:
+        return None  # untyped bags never round-trip: closure path
+    field_handlers = []
+    for fs in inner.fields:
+        if fs.dtype.is_nested:
+            return None  # doubly nested text does not round-trip
+        handler = _columnar_scalar_handler(fs.dtype, nested=True)
+        if handler is None:
+            return None
+        field_handlers.append(handler)
+    field_handlers = tuple(field_handlers)
+    n_fields = len(field_handlers)
+    tuple_base = 2 + max(0, n_fields - 1)  # parens + commas
+
+    def size_bag_column(col):
+        col, types = _split_nulls(col)
+        if not types:
+            return 0
+        if types != {Bag}:
+            if all(issubclass(t, Bag) for t in types):
+                return _FALLBACK  # the closures accept Bag subclasses
+            return None
+        row_lists = [bag.rows for bag in col]
+        lens = list(map(len, row_lists))
+        n_tuples = sum(lens)
+        # per bag: braces + (len - 1) commas when non-empty
+        total = 2 * len(lens) + n_tuples - sum(map(bool, lens))
+        all_rows = list(chain.from_iterable(row_lists))
+        if not all_rows:
+            return total
+        if (
+            set(map(type, all_rows)) != {tuple}
+            or set(map(len, all_rows)) != {n_fields}
+        ):
+            return None
+        total += n_tuples * tuple_base
+        for index, handler in enumerate(field_handlers):
+            part = handler(list(map(itemgetter(index), all_rows)))
+            if part is None:
+                return None
+            total += part
+        return total
+
+    return size_bag_column
 
 
 _FieldCheck = Callable[[object], bool]

@@ -25,6 +25,7 @@ from repro.relational.tuples import (
     Row,
     deserialize_rows,
     serialize_rows,
+    serialized_rows_size,
     snapshot_rows,
 )
 
@@ -60,6 +61,12 @@ class DistributedFileSystem:
         self.bytes_written = 0
         # Physical counter including replication fan-out.
         self.replica_bytes_written = 0
+        #: stores that cloned an existing file's serialized payload
+        #: instead of re-serializing (see :meth:`write_rows` ``source``)
+        self.payload_reuses = 0
+        #: PigStorage renders actually performed for row writes (eager
+        #: builds plus lazy payloads something genuinely byte-read)
+        self.serializations = 0
         self._script_ids = itertools.count(1)
         self._subjob_ids = itertools.count(1)
         #: one filesystem is shared by every concurrent service worker;
@@ -130,6 +137,10 @@ class DistributedFileSystem:
         rows: Iterable[Row],
         schema: Optional[Schema] = None,
         overwrite: bool = False,
+        source: Optional[str] = None,
+        reuse_payload: bool = True,
+        columnar: bool = True,
+        snapshot: bool = True,
     ) -> FileStatus:
         """Create *path* from typed rows (the zero-copy write path).
 
@@ -139,38 +150,226 @@ class DistributedFileSystem:
         they are additionally pinned to the inode, so a
         :meth:`read_rows` with a matching schema skips parsing and the
         block bytes are never even sliced out of the payload.
+
+        ``source`` names a file the caller believes produced *rows*
+        (a copy-style or filtered store's load).  Two fast paths hang
+        off it, both fully verified here (a wrong or stale hint just
+        falls back to serializing):
+
+        * **payload clone** (``reuse_payload``) — when the source's
+          pinned dataset is provably these very rows (element
+          identity, current generation, *exact* serialization), the
+          new file shares the producer's payload: the text of a copied
+          result is rendered at most once no matter how many copies
+          exist;
+        * **subset sizing** (``columnar``) — when the rows are an
+          identity-subset of an ASCII-sized pinned dataset (a filter
+          passes row references through untouched), canonicality is
+          already proven, so the write sizes the rows in one columnar
+          pass and skips both the canonical re-check and the snapshot.
+
+        Byte counters move exactly as a fresh write would move them on
+        every path.  ``columnar=False`` and ``snapshot=False`` are for
+        the execution planes: the per-row fast plane keeps PR-4's
+        closure sizing, and the interpreter owns its flush rows (no
+        caller can mutate them later), so the batched plane skips the
+        defensive copy.
         """
-        # snapshot at call time, like write_file snapshots bytes: a
-        # caller mutating a Bag after this returns must not corrupt
-        # the deferred serialization or the pinned dataset
-        rows = snapshot_rows(rows)
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        fast = None
+        if source is not None and schema is not None:
+            fast = self._try_source_fast_path(
+                path, rows, schema, source, overwrite, reuse_payload, columnar
+            )
+        if fast is not None:
+            return fast
+        if snapshot:
+            # snapshot at call time, like write_file snapshots bytes: a
+            # caller mutating a Bag after this returns must not corrupt
+            # the deferred serialization or the pinned dataset
+            rows = snapshot_rows(rows)
+        elif not isinstance(rows, tuple):
+            rows = tuple(rows)
         payload: bytes | LazyPayload
         # one pass decides pinning eligibility and sizes the bytes
         total_bytes = (
-            canonical_ascii_size(rows, schema) if schema is not None else None
+            canonical_ascii_size(rows, schema, columnar=columnar)
+            if schema is not None
+            else None
         )
         if total_bytes is None:
             # non-canonical or non-ASCII rows: readers will genuinely
             # parse the text, so build it up front (rare path: the
             # canonical check runs again, off the hot path)
             canonical = schema is not None and rows_are_canonical(rows, schema)
+            self.serializations += 1
             data = serialize_rows(rows).encode()
             payload, total_bytes = data, len(data)
+            ascii_sized = False
         else:
             # byte-size accounting is exact without serializing; the
             # text is built only if something reads actual bytes
             canonical = True
-            payload = LazyPayload(lambda: serialize_rows(rows).encode())
+            ascii_sized = True
+            payload = LazyPayload(lambda: self._render_rows(rows))
         with self._lock:
             if overwrite and self.namenode.exists(path):
                 self.delete(path)
             inode = self.namenode.create(path, self.replication)
             self._append_blocks(inode, payload, total_bytes)
             if canonical:
+                # exact: the payload *is* serialize_rows(rows), so the
+                # dataset qualifies as a payload-reuse source itself
                 fingerprint = schema.fingerprint()
                 inode.datasets[fingerprint] = TypedDataset(
-                    rows, fingerprint, inode.generation
+                    rows,
+                    fingerprint,
+                    inode.generation,
+                    exact=True,
+                    ascii_sized=ascii_sized,
                 )
+            return self.namenode.stat(path)
+
+    def _try_source_fast_path(
+        self,
+        path: str,
+        rows,
+        schema: Schema,
+        source: str,
+        overwrite: bool,
+        reuse_payload: bool,
+        columnar: bool,
+    ) -> Optional[FileStatus]:
+        if reuse_payload:
+            status = self._clone_payload(path, rows, schema, source, overwrite)
+            if status is not None:
+                return status
+        if columnar:
+            return self._write_subset(path, rows, schema, source, overwrite)
+        return None
+
+    def _write_subset(
+        self,
+        path: str,
+        rows,
+        schema: Schema,
+        source: str,
+        overwrite: bool,
+    ) -> Optional[FileStatus]:
+        """Write rows proven to be an identity-subset of *source*'s
+        ASCII-sized pinned dataset: size them in one columnar pass,
+        skip the canonical re-check and the defensive snapshot.
+
+        Soundness of the id-subset proof: the source dataset's
+        ``rows`` tuple keeps every member alive, so a live object
+        whose id is in the set *is* the original (ids cannot recycle
+        while the referent exists); rows stay alive through the local
+        references below.
+        """
+        fingerprint = schema.fingerprint()
+
+        def subset_of_current_dataset():
+            """The source's live pinned dataset when it covers *rows*."""
+            if not self.namenode.exists(source):
+                return None
+            src = self.namenode.lookup(source)
+            dataset = src.datasets.get(fingerprint)
+            if (
+                dataset is None
+                or not dataset.ascii_sized
+                or dataset.generation != src.generation
+            ):
+                return None
+            if not set(map(id, rows)) <= dataset.row_ids():
+                return None
+            return dataset
+
+        with self._lock:
+            dataset = subset_of_current_dataset()
+            if dataset is None:
+                return None
+        # per-row widths + one newline per row == the serialized byte
+        # count (rows are proven canonical ASCII).  Sizing runs
+        # *outside* the DFS-wide lock — an O(subset) pass must not
+        # stall concurrent service workers — against state that cannot
+        # rot: we hold the dataset (ids stay unambiguous), and the
+        # preconditions are re-checked before anything is created.
+        memo = dataset._size_memo
+        if memo is not None:
+            total_bytes = sum(map(memo.__getitem__, map(id, rows)))
+        else:
+            total_bytes = serialized_rows_size(rows)
+        total_bytes += len(rows)
+        rows = tuple(rows)
+        with self._lock:
+            if subset_of_current_dataset() is not dataset:
+                return None  # source changed meanwhile: serialize path
+            if overwrite and self.namenode.exists(path):
+                self.delete(path)
+            inode = self.namenode.create(path, self.replication)
+            payload = LazyPayload(lambda: self._render_rows(rows))
+            self._append_blocks(inode, payload, total_bytes)
+            inode.datasets[fingerprint] = TypedDataset(
+                rows,
+                fingerprint,
+                inode.generation,
+                exact=True,
+                ascii_sized=True,
+            )
+            return self.namenode.stat(path)
+
+    def _render_rows(self, rows) -> bytes:
+        self.serializations += 1
+        return serialize_rows(rows).encode()
+
+    def _clone_payload(
+        self,
+        path: str,
+        rows,
+        schema: Schema,
+        source: str,
+        overwrite: bool,
+    ) -> Optional[FileStatus]:
+        """Create *path* by sharing *source*'s serialized payload.
+
+        Returns None (caller falls back to serializing) unless every
+        reuse precondition holds; see :meth:`write_rows`.
+        """
+        fingerprint = schema.fingerprint()
+        with self._lock:
+            if not self.namenode.exists(source):
+                return None
+            src = self.namenode.lookup(source)
+            dataset = src.datasets.get(fingerprint)
+            if (
+                dataset is None
+                or not dataset.exact
+                or dataset.generation != src.generation
+                or src.payload is None
+            ):
+                return None
+            src_rows = dataset.rows
+            if len(rows) != len(src_rows):
+                return None
+            for mine, theirs in zip(rows, src_rows):
+                if mine is not theirs:
+                    return None
+            # capture before any delete: source may equal path
+            # (a store overwriting its own input with itself)
+            payload, total_bytes = src.payload, src.size
+            if overwrite and self.namenode.exists(path):
+                self.delete(path)
+            inode = self.namenode.create(path, self.replication)
+            self._append_blocks(inode, payload, total_bytes)
+            inode.datasets[fingerprint] = TypedDataset(
+                src_rows,
+                fingerprint,
+                inode.generation,
+                exact=True,
+                ascii_sized=dataset.ascii_sized,
+            )
+            self.payload_reuses += 1
             return self.namenode.stat(path)
 
     def _append_blocks(
@@ -181,6 +380,9 @@ class DistributedFileSystem:
     ) -> None:
         if total_bytes is None:
             total_bytes = len(payload)
+        # a file written in one shot keeps its whole-file payload for
+        # serialized-payload cloning; appends invalidate it
+        fresh = not inode.block_ids and inode.size == 0
         block_size = self.block_size
         for offset in range(0, total_bytes, block_size):
             chunk_len = min(block_size, total_bytes - offset)
@@ -193,6 +395,7 @@ class DistributedFileSystem:
                 self.replica_bytes_written += block.size
             inode.block_ids.append(block_id)
             inode.size += block.size
+        inode.payload = payload if fresh else None
         self.bytes_written += total_bytes
 
     # -- reads ----------------------------------------------------------------------
@@ -250,6 +453,31 @@ class DistributedFileSystem:
                         rows, fingerprint, generation
                     )
         return rows
+
+    def row_size_memo(self, path: str, schema: Schema) -> Tuple[dict, tuple]:
+        """(id -> serialized width, keepalive rows) for *path*'s pinned
+        dataset, or ``({}, ())`` when nothing is pinned.
+
+        The batched plane's shuffle accounting looks rows up here
+        instead of re-sizing them chunk by chunk.  The caller must
+        hold the returned rows tuple for as long as it uses the memo:
+        the ids stay unambiguous exactly because every member object
+        is kept alive.
+        """
+        fingerprint = schema.fingerprint()
+        with self._lock:
+            if not self.namenode.exists(path):
+                return {}, ()
+            inode = self.namenode.lookup(path)
+            dataset = inode.datasets.get(fingerprint)
+            if dataset is None or dataset.generation != inode.generation:
+                return {}, ()
+        # build outside the DFS-wide lock: sizing a large dataset must
+        # not stall concurrent service workers (same discipline as the
+        # read_rows cold-parse).  A concurrent duplicate build is
+        # benign — the memo is pure per-row data and the dataset
+        # object itself keeps the rows (and so the ids) stable.
+        return dataset.size_memo(), dataset.rows
 
     def _charge_cached_read(self, inode: INode) -> None:
         """Move read counters for a cache hit exactly like a text read."""

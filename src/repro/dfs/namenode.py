@@ -9,9 +9,9 @@ logical mtimes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Union
 
-from repro.dfs.blocks import BlockId
+from repro.dfs.blocks import BlockId, LazyPayload
 from repro.dfs.dataset import TypedDataset
 from repro.exceptions import FileAlreadyExists, FileNotFoundInDFS
 
@@ -32,6 +32,12 @@ class INode:
     #: schema fingerprint -> typed rows parsed from / written as this
     #: file's bytes (the zero-copy data plane's cache)
     datasets: Dict[tuple, TypedDataset] = field(default_factory=dict)
+    #: the whole-file payload when the file was written in one shot
+    #: (None after appends); copy-style stores whose input rows are
+    #: provably this file's unchanged pinned dataset clone it instead
+    #: of re-serializing — blocks of both files then share one
+    #: (possibly still lazy) byte buffer
+    payload: Optional[Union[bytes, LazyPayload]] = None
 
     def invalidate_datasets(self) -> None:
         self.generation += 1

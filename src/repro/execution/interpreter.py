@@ -6,21 +6,35 @@ jobs), the shuffle buffer sorts and groups, and the reduce segment
 runs from POPackage to the stores.  All byte/record counters that the
 cost model and ReStore statistics need are collected on the way.
 
-Two data planes share this interpreter:
+Three data planes share this interpreter:
 
-* the **fast plane** (default) reads inputs through the DFS
-  typed-dataset cache, writes stores as typed rows
-  (:meth:`~repro.dfs.filesystem.DistributedFileSystem.write_rows`),
-  and routes rows through *compiled* per-operator handlers — straight
-  -line map segments (filter/foreach chains) fuse into closures that
-  skip the isinstance dispatch entirely;
+* the **batched plane** (default) reads inputs through the DFS
+  typed-dataset cache and streams ``List[Row]`` chunks of
+  ``batch_size`` rows through *batch handlers* compiled per operator:
+  filters run compiled predicates inside one list comprehension per
+  chunk, foreach runs precompiled projection closures, split tees
+  forward the same chunk object to every branch, and the shuffle
+  decorates whole chunks in one pass
+  (:meth:`~repro.mapreduce.shuffle.ShuffleBuffer.add_batch`) — one
+  Python call per operator per *chunk* instead of per row;
+* the **fast plane** (``batch_size=0``) keeps the typed-dataset cache
+  and lazy serialization but dispatches one compiled closure call per
+  row per operator (the PR-4 behaviour, kept as the batching ablation
+  baseline);
 * the **legacy plane** (``fast_data_plane=False``) re-parses text at
   every edge and dispatches per row, exactly as before.
 
+Both fast tiers additionally hand :meth:`write_rows` a *payload
+source* for pass-through stores (a store fed only by a load, possibly
+through split tees — the shape of whole-job copy rewrites and
+load-teeing side stores), letting the DFS clone the producer's
+serialized payload instead of rendering the same text twice
+(``payload_reuse`` knob).
+
 Every counter a :class:`~repro.mapreduce.stats.JobStats` carries and
 every byte the DFS accounts is value-identical between the planes —
-the ``exec_sim`` benchmark gate and the differential tests hold both
-planes to byte-identical outputs and decisions.
+the ``exec_sim`` benchmark gate and the differential tests hold all
+three planes to byte-identical outputs and decisions.
 """
 
 from __future__ import annotations
@@ -28,7 +42,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from itertools import product
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.exceptions import ExecutionError, PlanError
@@ -49,6 +63,11 @@ from repro.pig.physical.operators import (
     POStore,
     POUnion,
 )
+from repro.relational.compiled import (
+    compile_filter_list,
+    compile_key,
+    compile_projection,
+)
 from repro.relational.tuples import (
     Bag,
     Row,
@@ -60,6 +79,12 @@ from repro.relational.tuples import (
 #: a compiled row handler: (row, source operator) -> None
 Handler = Callable[[Row, Optional[PhysicalOperator]], None]
 
+#: a compiled chunk handler: (rows, source operator) -> None
+BatchHandler = Callable[[Sequence[Row], Optional[PhysicalOperator]], None]
+
+#: chunk size of the batched plane; 0 falls back to per-row dispatch
+DEFAULT_BATCH_SIZE = 1024
+
 
 class JobInterpreter:
     """Executes one job plan against the DFS and reports statistics."""
@@ -70,12 +95,16 @@ class JobInterpreter:
         dfs: DistributedFileSystem,
         n_reduce_tasks: int = 8,
         fast_data_plane: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        payload_reuse: bool = True,
     ):
         self.job = job
         self.plan = job.plan
         self.dfs = dfs
         self.n_reduce_tasks = max(1, n_reduce_tasks)
         self.fast_data_plane = fast_data_plane
+        self.batch_size = max(0, batch_size)
+        self.payload_reuse = payload_reuse
         self._shuffle: Optional[ShuffleBuffer] = None
         self._store_lines: Dict[int, List[str]] = defaultdict(list)
         self._store_rows: Dict[int, List[Row]] = defaultdict(list)
@@ -91,6 +120,17 @@ class JobInterpreter:
         #: op_id -> compiled handler / successor handler list (fast plane)
         self._handlers: Dict[int, Handler] = {}
         self._succ_handlers: Dict[int, List[Handler]] = {}
+        #: op_id -> compiled chunk handler / successor list (batched plane)
+        self._batch_handlers: Dict[int, BatchHandler] = {}
+        self._succ_batch_handlers: Dict[int, List[BatchHandler]] = {}
+        #: decided in :meth:`run` once null-key policies are known
+        self._batching = False
+        #: id(row) -> serialized width, merged from every load's pinned
+        #: dataset (batched plane); rows reaching the shuffle untouched
+        #: skip re-sizing.  ``_memo_keepalive`` pins the source row
+        #: tuples so the ids stay unambiguous for this job's lifetime.
+        self._size_memo: Dict[int, int] = {}
+        self._memo_keepalive: List[tuple] = []
 
     # -- public ------------------------------------------------------------------
 
@@ -108,6 +148,9 @@ class JobInterpreter:
             self._shuffle = ShuffleBuffer(n_partitions)
             self._reduce_phase_ids = self.plan.downstream_closure(gr)
             self._configure_null_key_policy(package)
+        self._batching = (
+            self.fast_data_plane and self.batch_size > 0 and self._batch_safe()
+        )
 
         # Map phase: stream every load's rows through its branch.
         for load in self.plan.loads():
@@ -118,10 +161,25 @@ class JobInterpreter:
                 # text parsing (and byte materialization) entirely
                 rows = self.dfs.read_rows(load.path, load.schema)
                 rows_read = len(rows)
-                handlers = self._handlers_after(load)
-                for row in rows:
-                    for handler in handlers:
-                        handler(row, load)
+                if self._batching:
+                    if self._shuffle is not None:
+                        # the memo only feeds shuffle wire accounting;
+                        # map-only jobs must not pay for building it
+                        memo, keepalive = self.dfs.row_size_memo(
+                            load.path, load.schema
+                        )
+                        if memo:
+                            self._size_memo.update(memo)
+                            self._memo_keepalive.append(keepalive)
+                    handlers = self._batch_handlers_after(load)
+                    for chunk in self._chunks(rows):
+                        for handler in handlers:
+                            handler(chunk, load)
+                else:
+                    handlers = self._handlers_after(load)
+                    for row in rows:
+                        for handler in handlers:
+                            handler(row, load)
             else:
                 rows_read = 0
                 for line in iter_data_lines(self.dfs.read_text(load.path)):
@@ -137,11 +195,14 @@ class JobInterpreter:
         # Reduce phase.
         if gr is not None:
             package = self._package_after(gr)
-            for key, branch_rows in self._shuffle.all_groups():
-                stats.reduce_groups += 1
-                for row in self._package_rows(package, key, branch_rows):
-                    self._op_records += 1
-                    self._forward(package, row)
+            if self._batching:
+                self._run_reduce_batched(package, stats)
+            else:
+                for key, branch_rows in self._shuffle.all_groups():
+                    stats.reduce_groups += 1
+                    for row in self._package_rows(package, key, branch_rows):
+                        self._op_records += 1
+                        self._forward(package, row)
             stats.shuffle_records = self._shuffle.records
             stats.shuffle_bytes = self._shuffle.bytes
 
@@ -150,7 +211,18 @@ class JobInterpreter:
             if self.fast_data_plane:
                 rows = self._store_rows.get(store.op_id, [])
                 status = self.dfs.write_rows(
-                    store.path, rows, store.schema, overwrite=True
+                    store.path,
+                    rows,
+                    store.schema,
+                    overwrite=True,
+                    source=self._source_hint(store),
+                    reuse_payload=self.payload_reuse,
+                    # the batched plane sizes columns and owns its
+                    # flush rows outright (nothing can mutate them
+                    # after this call), so the defensive snapshot is
+                    # skipped; batch_size=0 keeps PR-4's per-row write
+                    columnar=self._batching,
+                    snapshot=not self._batching,
                 )
                 store_bytes, store_records = status.size, len(rows)
             else:
@@ -182,6 +254,267 @@ class JobInterpreter:
         else:
             for succ in self.plan.successors(op):
                 self._process(succ, row, source=op)
+
+    # -- batched dispatch (batched plane) ----------------------------------------------
+
+    def _batch_safe(self) -> bool:
+        """Whether chunk-at-a-time forwarding is output-identical here.
+
+        The one piece of cross-operator order-sensitive state is the
+        null-isolation counter: a split tee feeding *two* isolating
+        rearranges would number their null keys row-major on the
+        per-row plane but chunk-major on the batched plane, reordering
+        the isolated singleton groups.  With at most one isolating
+        rearrange every consumer sees rows in stream order on both
+        planes, so numbering is identical; plans beyond that (full
+        self outer joins) fall back to per-row dispatch.
+        """
+        isolating = sum(
+            1 for policy in self._null_key_policy.values() if policy == "isolate"
+        )
+        return isolating <= 1
+
+    def _chunks(self, rows: Sequence[Row]) -> List[Sequence[Row]]:
+        batch = self.batch_size
+        if len(rows) <= batch:
+            return [rows] if rows else []
+        return [rows[start : start + batch] for start in range(0, len(rows), batch)]
+
+    def _run_reduce_batched(self, package: POPackage, stats: JobStats) -> None:
+        """Stream package output through batch handlers, chunk-wise.
+
+        Group outputs are tiny (one row per group for GROUP/DISTINCT),
+        so rows accumulate across groups until a chunk fills — the
+        reduce tail (foreach → store) then runs batch-at-a-time just
+        like the map side.  ``op_records`` moves once per package
+        output row, exactly as the per-row loop moves it.
+        """
+        handlers = self._batch_handlers_after(package)
+        batch = self.batch_size
+        buffer: List[Row] = []
+        for key, branch_rows in self._shuffle.all_groups():
+            stats.reduce_groups += 1
+            buffer.extend(self._package_rows(package, key, branch_rows))
+            if len(buffer) >= batch:
+                self._op_records += len(buffer)
+                for handler in handlers:
+                    handler(buffer, package)
+                buffer = []
+        if buffer:
+            self._op_records += len(buffer)
+            for handler in handlers:
+                handler(buffer, package)
+
+    def _batch_handlers_after(self, op: PhysicalOperator) -> List[BatchHandler]:
+        handlers = self._succ_batch_handlers.get(op.op_id)
+        if handlers is None:
+            handlers = [self._compile_batch(succ) for succ in self.plan.successors(op)]
+            self._succ_batch_handlers[op.op_id] = handlers
+        return handlers
+
+    def _compile_batch(self, op: PhysicalOperator) -> BatchHandler:
+        """One chunk handler per operator.
+
+        Counter semantics mirror :meth:`_process` exactly — every
+        operator visit moves ``op_records`` once per row on all three
+        planes — but the per-row work runs inside one call per chunk:
+        filters evaluate a compiled predicate in a list comprehension,
+        foreach maps a precompiled projection, rearranges decorate the
+        whole chunk via :meth:`ShuffleBuffer.add_batch`, and tees
+        forward the same chunk object to every branch.
+        """
+        handler = self._batch_handlers.get(op.op_id)
+        if handler is not None:
+            return handler
+        successors = self.plan.successors(op)
+        if isinstance(op, POFilter) and len(successors) == 1:
+            inner = self._compile_batch(successors[0])
+            filter_rows = compile_filter_list(op.predicate)
+
+            def handler(rows, source, _op=op, _inner=inner, _filter=filter_rows):
+                self._op_records += len(rows)
+                out = _filter(rows)
+                if out:
+                    _inner(out, _op)
+
+        elif isinstance(op, POForEach) and len(successors) == 1:
+            inner = self._compile_batch(successors[0])
+            project = compile_projection(op.exprs, op.flattens)
+            if project is not None:
+
+                def handler(rows, source, _op=op, _inner=inner, _project=project):
+                    self._op_records += len(rows)
+                    _inner([_project(row) for row in rows], _op)
+
+            else:
+                # FLATTEN expands cross products: row-at-a-time
+                # expansion, chunk-at-a-time forwarding
+
+                def handler(rows, source, _op=op, _inner=inner):
+                    self._op_records += len(rows)
+                    out: List[Row] = []
+                    extend = out.extend
+                    for row in rows:
+                        extend(self._foreach_rows(_op, row))
+                    if out:
+                        _inner(out, _op)
+
+        elif isinstance(op, POLocalRearrange):
+            handler = self._compile_batch_rearrange(op)
+        elif isinstance(op, POStore):
+            extend_rows = self._store_rows[op.op_id].extend
+
+            def handler(rows, source, _extend=extend_rows):
+                self._op_records += len(rows)
+                _extend(rows)
+
+        elif isinstance(op, (POSplit, POUnion)):
+            inner_handlers = None  # bound lazily: successors compile on demand
+
+            def handler(rows, source, _op=op):
+                nonlocal inner_handlers
+                self._op_records += len(rows)
+                if inner_handlers is None:
+                    inner_handlers = self._batch_handlers_after(_op)
+                for inner in inner_handlers:
+                    inner(rows, _op)
+
+        elif isinstance(op, POLimit):
+
+            def handler(rows, source, _op=op):
+                self._op_records += len(rows)
+                taken = self._limit_counts[_op.op_id]
+                if taken >= _op.n:
+                    return
+                out = rows[: _op.n - taken] if _op.n - taken < len(rows) else rows
+                self._limit_counts[_op.op_id] += len(out)
+                for inner in self._batch_handlers_after(_op):
+                    inner(out, _op)
+
+        elif isinstance(op, POFRJoin):
+
+            def handler(rows, source, _op=op):
+                self._op_records += len(rows)
+                branch = self._frjoin_branch(_op, source)
+                self._frjoin_buffers[_op.op_id][branch].extend(rows)
+
+        else:
+
+            def handler(rows, source, _op=op):
+                for row in rows:
+                    self._process(_op, row, source=source)
+
+        self._batch_handlers[op.op_id] = handler
+        return handler
+
+    def _compile_batch_rearrange(self, op: POLocalRearrange) -> BatchHandler:
+        """A chunk handler decorating the shuffle in one pass.
+
+        The null-key policy is fixed before the map phase starts
+        (:meth:`_configure_null_key_policy` runs before any handler
+        compiles), so each policy gets its own specialized loop.
+        """
+        key_of = compile_key(op.key_exprs)
+        branch = op.branch
+        policy = self._null_key_policy.get(op.op_id, "keep")
+        if policy == "keep":
+
+            def handler(rows, source, _key_of=key_of, _branch=branch):
+                self._op_records += len(rows)
+                # C-level when the key compiles to an itemgetter
+                keys = list(map(_key_of, rows))
+                self._shuffle.add_batch(
+                    _branch, keys, rows, self._wire_total(rows)
+                )
+                self._map_output_records += len(rows)
+
+        elif policy == "drop":
+
+            def handler(rows, source, _key_of=key_of, _branch=branch):
+                self._op_records += len(rows)
+                keys, kept = [], []
+                for row in rows:
+                    key = _key_of(row)
+                    if _is_null_key(key):
+                        continue  # Pig: null keys never match in inner joins
+                    keys.append(key)
+                    kept.append(row)
+                self._shuffle.add_batch(
+                    _branch, keys, kept, self._wire_total(kept)
+                )
+                self._map_output_records += len(kept)
+
+        else:  # isolate: outer-preserved rows survive, unmatched
+
+            def handler(rows, source, _key_of=key_of, _branch=branch):
+                self._op_records += len(rows)
+                keys = []
+                for row in rows:
+                    key = _key_of(row)
+                    if _is_null_key(key):
+                        self._null_counter += 1
+                        key = ("__null__", self._null_counter)
+                    keys.append(key)
+                self._shuffle.add_batch(
+                    _branch, keys, rows, self._wire_total(rows)
+                )
+                self._map_output_records += len(rows)
+
+        return handler
+
+    def _wire_total(self, rows) -> Optional[int]:
+        """Summed memoized widths for a chunk, or None on any miss
+        (rows built by foreach/package are not in any load's memo)."""
+        memo = self._size_memo
+        if not memo:
+            return None
+        sizes = list(map(memo.get, map(id, rows)))
+        if None in sizes:
+            return None
+        return sum(sizes)
+
+    # -- payload reuse / subset sizing (fast tiers) ------------------------------------
+
+    #: operators that forward row *objects* unchanged: a store whose
+    #: ancestry up to a single load crosses only these receives a
+    #: subset of the load's row stream by identity (splits and unions
+    #: forward everything; filters and limits drop rows but never
+    #: rebuild them)
+    _IDENTITY_OPS = (POSplit, POFilter, POLimit, POUnion)
+
+    def _source_hint(self, store: POStore) -> Optional[str]:
+        """The load path this store's rows identity-descend from.
+
+        Feeds :meth:`write_rows`'s two source fast paths: a *pure*
+        pass-through (splits only — the shape of whole-job copy
+        rewrites and load-teeing side stores) clones the producer's
+        serialized payload, and a *filtered* descent (the shape of
+        injected filter side stores) sizes the subset in one columnar
+        pass.  The returned path is only a hint: ``write_rows``
+        verifies row identity against the source's pinned dataset
+        before using either path.
+        """
+        if not self.fast_data_plane:
+            return None
+        schema = store.schema
+        if schema is None:
+            return None
+        op: PhysicalOperator = store
+        while True:
+            preds = self.plan.predecessors(op)
+            if len(preds) != 1:
+                return None
+            pred = preds[0]
+            if isinstance(pred, POLoad):
+                if (
+                    pred.schema is not None
+                    and pred.schema.fingerprint() == schema.fingerprint()
+                ):
+                    return pred.path
+                return None
+            if not isinstance(pred, self._IDENTITY_OPS):
+                return None
+            op = pred
 
     # -- compiled dispatch (fast plane) ------------------------------------------------
 
@@ -349,6 +682,20 @@ class JobInterpreter:
                 key = op.make_key(1, row)
                 if not _is_null_key(key):
                     table[key].append(row)
+            if self._batching:
+                out: List[Row] = []
+                for row in probe_rows:
+                    key = op.make_key(0, row)
+                    if _is_null_key(key):
+                        continue
+                    for match in table.get(key, ()):
+                        self._op_records += 1
+                        out.append(tuple(row) + tuple(match))
+                handlers = self._batch_handlers_after(op)
+                for chunk in self._chunks(out):
+                    for handler in handlers:
+                        handler(chunk, op)
+                continue
             for row in probe_rows:
                 key = op.make_key(0, row)
                 if _is_null_key(key):

@@ -20,15 +20,20 @@ from __future__ import annotations
 
 import zlib
 from collections import defaultdict
+from itertools import groupby, repeat
 from operator import itemgetter
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.relational.tuples import Row, serialized_row_size
+from repro.relational.tuples import Row, serialized_row_size, serialized_rows_size
 
 #: one decorated shuffle record: (sort key, key, branch tag, row)
 ShuffleRecord = Tuple[tuple, object, int, Row]
 
 _by_sort_key = itemgetter(0)
+
+#: exact scalar type -> sort rank, for whole-chunk decoration; types
+#: outside this map (None, tuples, unranked) decorate per record
+_SCALAR_RANKS = {bool: 1, int: 2, float: 2, str: 3}
 
 
 def stable_hash(key, key_repr: Optional[str] = None) -> int:
@@ -71,35 +76,118 @@ class ShuffleBuffer:
             raise ValueError("need at least one partition")
         self.n_partitions = n_partitions
         self._partitions: Dict[int, List[ShuffleRecord]] = defaultdict(list)
+        self._branches_seen: set = set()
         self.records = 0
         self.bytes = 0
+
+    @property
+    def _single_branch(self) -> Optional[int]:
+        """The one branch every record carries, or None if mixed."""
+        if len(self._branches_seen) == 1:
+            return next(iter(self._branches_seen))
+        return None
 
     def add(self, key, branch: int, row: Row) -> None:
         key_repr = repr(key)
         partition = stable_hash(key, key_repr) % self.n_partitions
         self._partitions[partition].append((sort_key(key), key, branch, row))
+        self._branches_seen.add(branch)
         self.records += 1
         # Approximate the wire size the way Hadoop accounts map output
         # bytes: serialized key + value.
         self.bytes += serialized_row_size(row) + len(key_repr) + 2
 
+    def add_batch(
+        self,
+        branch: int,
+        keys: List,
+        rows: List[Row],
+        row_bytes: Optional[int] = None,
+    ) -> None:
+        """Add a chunk's records of one branch in columnar passes.
+
+        The batched data plane's POLocalRearrange handler decorates a
+        whole chunk here: key reprs render through one C-level ``map``,
+        wire bytes sum column-wise (:func:`serialized_rows_size`) —
+        or arrive precomputed as ``row_bytes`` when the caller already
+        knows every row's memoized width — and the remaining
+        per-record loop (partition hash, sort-key decoration, append)
+        runs with every hot name pre-bound and the scalar
+        :func:`sort_key` cases inlined (reusing the already-rendered
+        repr for unranked types).  The resulting buffer state
+        (records, bytes, per-partition contents and order) is
+        value-identical to repeated :meth:`add` calls —
+        ``tests/test_shuffle.py`` pins the equivalence down.
+        """
+        if not rows:
+            return
+        self._branches_seen.add(branch)
+        partitions = self._partitions
+        n_partitions = self.n_partitions
+        reprs = list(map(repr, keys))
+        ranks = {_SCALAR_RANKS.get(kind) for kind in set(map(type, keys))}
+        if len(ranks) == 1 and None not in ranks:
+            # uniform scalar keys (the common chunk): decorate by one
+            # shared rank and assemble the records through C-level zip
+            rank = ranks.pop()
+            records = list(
+                zip(zip(repeat(rank), keys), keys, repeat(branch), rows)
+            )
+        else:
+            type_rank = _TYPE_RANK
+            make_sort_key = sort_key
+            records = []
+            append = records.append
+            for key, key_repr in zip(keys, reprs):
+                kind = type(key)
+                if kind is tuple:
+                    decorated = make_sort_key(key)
+                elif key is None:
+                    decorated = (0, 0)
+                else:
+                    unranked = type_rank.get(kind, 5)
+                    # rank 5 uses repr(key) — the rendered key_repr
+                    decorated = (
+                        (unranked, key) if unranked != 5 else (5, key_repr)
+                    )
+                append(decorated)
+            records = list(zip(records, keys, repeat(branch), rows))
+        crcs = map(zlib.crc32, map(str.encode, reprs))
+        if n_partitions == 1:
+            partitions[0].extend(records)
+        else:
+            for crc, record in zip(crcs, records):
+                partitions[crc % n_partitions].append(record)
+        if row_bytes is None:
+            row_bytes = serialized_rows_size(rows)
+        self.records += len(rows)
+        self.bytes += row_bytes + sum(map(len, reprs)) + 2 * len(reprs)
+
     def used_partitions(self) -> List[int]:
         return sorted(p for p, records in self._partitions.items() if records)
 
     def grouped(self, partition: int) -> Iterator[Tuple[object, Dict[int, List[Row]]]]:
-        """Yield (key, branch -> rows) groups in key-sorted order."""
+        """Yield (key, branch -> rows) groups in key-sorted order.
+
+        Group boundaries come from :func:`itertools.groupby` over the
+        precomputed sort keys (C-level comparisons); the single-branch
+        case — GROUP, DISTINCT, ORDER — extracts each group's rows in
+        one comprehension instead of a per-record branch dispatch.
+        """
         records = self._partitions.get(partition, [])
         records.sort(key=_by_sort_key)
-        index = 0
-        n_records = len(records)
-        while index < n_records:
-            group_sort_key, key = records[index][0], records[index][1]
+        if self._single_branch is not None:
+            branch = self._single_branch
+            for _, group in groupby(records, key=_by_sort_key):
+                group = list(group)
+                yield group[0][1], {branch: [record[3] for record in group]}
+            return
+        for _, group in groupby(records, key=_by_sort_key):
+            group = list(group)
             bags: Dict[int, List[Row]] = defaultdict(list)
-            while index < n_records and records[index][0] == group_sort_key:
-                _, _, branch, row = records[index]
+            for _, _, branch, row in group:
                 bags[branch].append(row)
-                index += 1
-            yield key, bags
+            yield group[0][1], bags
 
     def all_groups(self) -> Iterator[Tuple[object, Dict[int, List[Row]]]]:
         """All groups across partitions, partition-major order."""

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.costmodel.model import CostModel
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.events import ReStoreEvent
+from repro.execution.interpreter import DEFAULT_BATCH_SIZE
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.job import Workflow
 from repro.mapreduce.runner import HadoopSimulator, JobListener
@@ -73,13 +74,20 @@ class PigServer:
         optimize: bool = True,
         default_parallel: int = 28,
         fast_data_plane: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        payload_reuse: bool = True,
     ):
         self.dfs = dfs
         self.cluster = cluster or ClusterConfig()
         self.cost_model = cost_model or CostModel(cluster=self.cluster)
         self.fast_data_plane = fast_data_plane
         self.runner = HadoopSimulator(
-            dfs, self.cluster, self.cost_model, fast_data_plane=fast_data_plane
+            dfs,
+            self.cluster,
+            self.cost_model,
+            fast_data_plane=fast_data_plane,
+            batch_size=batch_size,
+            payload_reuse=payload_reuse,
         )
         self.restore = restore
         self.optimize = optimize

@@ -90,7 +90,9 @@ def _token_stream(source: str) -> Iterator[Token]:
                     chunks.append(source[end])
                     end += 1
             if end >= length:
-                raise PigParseError("unterminated string literal", start_line, start_col)
+                raise PigParseError(
+                    "unterminated string literal", start_line, start_col
+                )
             text = "".join(chunks)
             advance(end + 1 - index)
             yield Token(STRING, text, start_line, start_col)
@@ -107,10 +109,14 @@ def _token_stream(source: str) -> Iterator[Token]:
             yield Token(DOLLAR, text, start_line, start_col)
             continue
         # numbers (int or float, optional exponent)
-        if ch.isdigit() or (ch == "." and index + 1 < length and source[index + 1].isdigit()):
+        if ch.isdigit() or (
+            ch == "." and index + 1 < length and source[index + 1].isdigit()
+        ):
             end = index
             seen_dot = False
-            while end < length and (source[end].isdigit() or (source[end] == "." and not seen_dot)):
+            while end < length and (
+                source[end].isdigit() or (source[end] == "." and not seen_dot)
+            ):
                 if source[end] == ".":
                     seen_dot = True
                 end += 1

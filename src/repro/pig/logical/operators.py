@@ -38,7 +38,9 @@ class LogicalOperator:
 class LOLoad(LogicalOperator):
     kind = "load"
 
-    def __init__(self, alias: str, path: str, schema: Schema, loader: str = "PigStorage"):
+    def __init__(
+        self, alias: str, path: str, schema: Schema, loader: str = "PigStorage"
+    ):
         super().__init__([], alias, schema)
         self.path = path
         self.loader = loader
@@ -160,7 +162,9 @@ class LOLimit(LogicalOperator):
 class LOStore(LogicalOperator):
     kind = "store"
 
-    def __init__(self, input_node: LogicalOperator, path: str, storer: str = "PigStorage"):
+    def __init__(
+        self, input_node: LogicalOperator, path: str, storer: str = "PigStorage"
+    ):
         super().__init__([input_node], f"store:{path}", input_node.schema)
         self.path = path
         self.storer = storer

@@ -172,7 +172,9 @@ class Parser:
         schema: Tuple[ast.FieldDef, ...] = ()
         # Real Pig requires AS for a schema; the paper's Q1 writes
         # "load 'users' using (name, ...)" — accept both spellings.
-        if self.accept_keyword("as") or self.peek().kind == SYMBOL and self.peek().text == "(":
+        if self.accept_keyword("as") or (
+            self.peek().kind == SYMBOL and self.peek().text == "("
+        ):
             schema = self._parse_field_defs()
         return ast.LoadStmt(alias, path, schema, loader)
 
@@ -307,7 +309,9 @@ class Parser:
             inputs.append(self.expect_ident().text)
         if len(inputs) < 2:
             token = self.peek()
-            raise PigParseError("UNION needs at least two inputs", token.line, token.column)
+            raise PigParseError(
+                "UNION needs at least two inputs", token.line, token.column
+            )
         return ast.UnionStmt(alias, tuple(inputs))
 
     def _parse_order(self, alias: str) -> ast.OrderStmt:
@@ -465,7 +469,9 @@ class Parser:
         if token.kind == NUMBER:
             self.advance()
             text = token.text
-            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            value = (
+                float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            )
             return ast.ANumber(value)
         if token.kind == STRING:
             self.advance()

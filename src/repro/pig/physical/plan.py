@@ -253,6 +253,20 @@ class PhysicalPlan:
         (paper §4: the candidate sub-job ``J_P``); callers append a
         Store to complete it.
         """
+        return self.subplan_upto_mapped(op)[0]
+
+    def subplan_upto_mapped(
+        self, op: PhysicalOperator
+    ) -> Tuple["PhysicalPlan", Dict[int, PhysicalOperator]]:
+        """:meth:`subplan_upto` plus the old-id -> clone mapping.
+
+        The mapping is how callers locate a specific operator's twin
+        inside the extracted plan — matching clones by signature is
+        ambiguous the moment two operators compute the same thing
+        (two sinks with equal signatures would pick an arbitrary one).
+        A contracted pass-through split maps to the operator that
+        absorbed its edge.
+        """
         keep = self.upstream_closure(op)
         out = PhysicalPlan()
         mapping: Dict[int, PhysicalOperator] = {}
@@ -278,7 +292,7 @@ class PhysicalPlan:
                     if succs:
                         out.connect(pred, succs[0])
                     mapping[op_id] = pred
-        return out
+        return out, mapping
 
     # -- fingerprints / serialization ----------------------------------------------------------
 
@@ -388,7 +402,9 @@ class PhysicalPlan:
         parts = []
         for op in self.topo_order():
             preds = ",".join(str(p.op_id) for p in self.predecessors(op))
-            parts.append(f"#{op.op_id} {op.describe()}" + (f" <- [{preds}]" if preds else ""))
+            parts.append(
+                f"#{op.op_id} {op.describe()}" + (f" <- [{preds}]" if preds else "")
+            )
         return "\n".join(parts)
 
     def __repr__(self) -> str:

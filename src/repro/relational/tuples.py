@@ -8,6 +8,7 @@ caring about the underlying container.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Iterable, Iterator, List, Tuple
 
 from repro.relational.schema import Schema
@@ -55,7 +56,8 @@ class Bag:
 
     def project(self, index: int) -> List:
         """Extract one field from every row (used by aggregates)."""
-        return [row[index] for row in self._rows]
+        getter = _ITEMGETTERS[index] if 0 <= index < 16 else itemgetter(index)
+        return list(map(getter, self._rows))
 
 
 def serialize_row(row: Row) -> str:
@@ -82,11 +84,79 @@ def serialized_row_size(row: Row) -> int:
     for value in row:
         if value is None:
             continue
-        if type(value) is str:
+        kind = type(value)
+        # the scalar cases are inlined: this runs once per shuffle
+        # record and once per stored row, and the dispatch hop through
+        # _field_size/format_value_size was measurable in exec_sim
+        if kind is str:
             total += len(value)
+        elif kind is int:
+            total += len(str(value))
+        elif kind is float:
+            total += len(repr(value))
+        elif kind is bool:
+            total += 4 if value else 5
         else:
             total += _field_size(value)
     return total
+
+
+def serialized_rows_size(rows) -> int:
+    """``sum(serialized_row_size(r) for r in rows)`` — columnar.
+
+    The batched shuffle accounts a whole chunk's wire bytes at once:
+    when every row is a same-length tuple, each field is summed as a
+    column through C-level ``map``/``sum`` passes keyed by the exact
+    type set (the dispatch :func:`serialized_row_size` does per value,
+    hoisted to once per column); any mixed or nested column falls back
+    to the per-value dispatch just for that column.  Value-identical
+    to the per-row sum — ``tests/test_shuffle.py`` pins it down.
+    """
+    n_rows = len(rows)
+    if n_rows == 0:
+        return 0
+    lens = list(map(len, rows))
+    width = lens[0]
+    if set(map(type, rows)) != {tuple} or set(lens) != {width}:
+        return sum(map(serialized_row_size, rows))
+    total = n_rows * max(0, width - 1)  # tab separators
+    for index in range(width):
+        getter = _ITEMGETTERS[index] if index < 16 else itemgetter(index)
+        column = list(map(getter, rows))
+        types = set(map(type, column))
+        if _NoneType in types:
+            types.discard(_NoneType)
+            column = [value for value in column if value is not None]
+        if not types:
+            continue
+        if types == {str}:
+            total += sum(map(len, column))
+        elif types == {int}:
+            total += sum(map(len, map(str, column)))
+        elif types == {float}:
+            total += sum(map(len, map(repr, column)))
+        elif types == {bool}:
+            total += 5 * len(column) - sum(column)
+        else:
+            # mixed or nested column: per-value dispatch, same math
+            for value in column:
+                kind = type(value)
+                if kind is str:
+                    total += len(value)
+                elif kind is int:
+                    total += len(str(value))
+                elif kind is float:
+                    total += len(repr(value))
+                elif kind is bool:
+                    total += 4 if value else 5
+                else:
+                    total += _field_size(value)
+    return total
+
+
+_NoneType = type(None)
+#: pre-built getters for the first 16 columns (plenty for real plans)
+_ITEMGETTERS = tuple(itemgetter(i) for i in range(16))
 
 
 def _field_size(value) -> int:
@@ -192,12 +262,19 @@ def snapshot_rows(rows: Iterable[Row]) -> Tuple[Row, ...]:
     caller bags it may freely mutate.
     """
     out = []
+    append = out.append
     for row in rows:
-        if type(row) is tuple and any(type(value) is Bag for value in row):
-            row = tuple(
-                Bag(value.rows) if type(value) is Bag else value for value in row
-            )
-        out.append(row)
+        # plain inner scan: a generator per row is measurable on the
+        # write hot path, and bag-free rows (the common case) only pay
+        # the type checks
+        if type(row) is tuple:
+            for value in row:
+                if type(value) is Bag:
+                    row = tuple(
+                        Bag(v.rows) if type(v) is Bag else v for v in row
+                    )
+                    break
+        append(row)
     return tuple(out)
 
 

@@ -132,3 +132,88 @@ class TestCandidatePlans:
         for candidate in candidates:
             assert small_data.exists(candidate.store_path)
             assert small_data.file_size(candidate.store_path) > 0
+
+
+class TestAnchorTwinMapping:
+    """The anchor's clone comes from subplan_upto_mapped's op-id
+    mapping, never from scanning sinks for a matching signature."""
+
+    @staticmethod
+    def _duplicated_filter_job():
+        """load -> filter(a>5) -> project -> filter(a>5) -> store,
+        built physically so the optimizer cannot merge the equal
+        filters (the compiler would)."""
+        from repro.mapreduce.job import MapReduceJob
+        from repro.pig.physical.operators import POFilter, POForEach, POLoad
+        from repro.pig.physical.plan import linear_plan
+        from repro.relational.expressions import BinaryOp, Column, Const
+        from repro.relational.schema import Schema
+        from repro.relational.types import DataType
+
+        schema = Schema.of(
+            ("u", DataType.CHARARRAY),
+            ("a", DataType.INT),
+            ("r", DataType.DOUBLE),
+        )
+        predicate = lambda: BinaryOp(">", Column(1), Const(5))  # noqa: E731
+        def project():
+            return POForEach(
+                [Column(0), Column(1), Column(2)],
+                [False] * 3,
+                ["u", "a", "r"],
+                schema=schema,
+            )
+
+        plan = linear_plan(
+            POLoad("data/ev", schema),
+            POFilter(predicate(), schema=schema),
+            project(),
+            POFilter(predicate(), schema=schema),
+            project(),
+            POStore("out", schema=schema),
+        )
+        return MapReduceJob(plan, job_id="dup_filters")
+
+    def test_equal_signature_operators_get_distinct_twins(self):
+        from repro.pig.physical.operators import POFilter
+
+        job = self._duplicated_filter_job()
+        plan = job.plan
+        first, second = [
+            op for op in plan.topo_order() if isinstance(op, POFilter)
+        ]
+        assert first.signature() == second.signature()  # the ambiguous case
+        enumerator = SubJobEnumerator(ConservativeHeuristic())
+        candidates = enumerator.enumerate_and_inject(job)
+        by_len = sorted(len(c.plan) for c in candidates)
+        # the shallow filter's candidate stops at depth 3 (load ->
+        # filter -> store); the deep filter's candidate carries the
+        # whole equal-signature prefix and anchors at ITS clone, not
+        # an arbitrary same-signature twin
+        assert by_len == [3, 4, 5]
+
+    def test_subplan_upto_mapped_returns_the_anchors_clone(self):
+        job = self._duplicated_filter_job()
+        plan = job.plan
+        for anchor in plan.topo_order():
+            if isinstance(anchor, (POSplit, POStore)):
+                continue
+            sub_plan, mapping = plan.subplan_upto_mapped(anchor)
+            twin = mapping[anchor.op_id]
+            assert twin in sub_plan
+            assert twin.signature() == anchor.signature()
+            assert sub_plan.successors(twin) == []  # the extraction sink
+
+    def test_contracted_split_maps_to_its_predecessor(self, server):
+        job = compile_job(server)
+        enumerator = SubJobEnumerator(AggressiveHeuristic())
+        enumerator.enumerate_and_inject(job)  # splices tees into the plan
+        plan = job.plan
+        tees = [op for op in plan.operators if isinstance(op, POSplit)]
+        assert tees
+        tee = tees[0]
+        anchor = plan.predecessors(tee)[0]
+        sub_plan, mapping = plan.subplan_upto_mapped(tee)
+        # the tee contracts away in the clone; its mapping entry is the
+        # operator that absorbed the edge (the anchor's twin)
+        assert mapping[tee.op_id] is mapping[anchor.op_id]

@@ -1,15 +1,17 @@
 """Differential tests for the zero-copy data plane + exec_sim bench.
 
-The load-bearing guarantee: ``fast_data_plane`` changes wall time and
-nothing else.  A multi-job PigMix-style workflow run with the plane on
-and off must produce byte-identical DFS contents, identical
-``WorkflowStats``/``JobStats`` counters, identical DFS byte counters,
-and an identical rewrite/elimination decision log.
+The load-bearing guarantee: the data-plane tier (legacy / per-row fast
+/ batched) changes wall time and nothing else.  A multi-job
+PigMix-style workflow run on every tier must produce byte-identical
+DFS contents, identical ``WorkflowStats``/``JobStats`` counters,
+identical DFS byte counters, and an identical rewrite/elimination
+decision log.
 """
 
-import copy
+import pytest
 
 from repro.bench.exec_sim import (
+    BATCH_SPEEDUP_FLOOR,
     SPEEDUP_FLOOR,
     build_queries,
     check_exec_sim_gates,
@@ -49,10 +51,10 @@ def _job_counters(result):
     return out
 
 
-def _run_pigmix_stream(fast: bool):
+def _run_pigmix_stream(**config_kwargs):
     """A multi-job PigMix stream (L2/L3 share the join prefix, L5 is
     an anti-join, L3 again for whole-job reuse) through one session."""
-    config = ReStoreConfig(fast_data_plane=fast)
+    config = ReStoreConfig(**config_kwargs)
     with ReStoreSession(datanodes=4, config=config) as session:
         dataset = PigMixDataGenerator(
             PigMixConfig(n_page_views=150, n_users=30, n_widerow=40)
@@ -76,9 +78,18 @@ def _run_pigmix_stream(fast: bool):
 
 
 class TestDifferentialPigMix:
-    def test_fast_and_legacy_planes_are_equivalent(self):
-        fast = _run_pigmix_stream(fast=True)
-        legacy = _run_pigmix_stream(fast=False)
+    @pytest.mark.parametrize(
+        "config_kwargs",
+        [
+            {"fast_data_plane": True},  # batched (production default)
+            {"batch_size": 0},  # per-row fast plane
+            {"batch_size": 3},  # chunk boundaries mid-stream
+        ],
+        ids=["batched", "per-row", "batch-3"],
+    )
+    def test_fast_tiers_match_the_legacy_plane(self, config_kwargs):
+        fast = _run_pigmix_stream(**config_kwargs)
+        legacy = _run_pigmix_stream(fast_data_plane=False)
         snapshot_f, counters_f, decisions_f, dfs_f, outputs_f = fast
         snapshot_l, counters_l, decisions_l, dfs_l, outputs_l = legacy
         assert snapshot_f == snapshot_l  # byte-identical DFS contents
@@ -86,6 +97,32 @@ class TestDifferentialPigMix:
         assert decisions_f == decisions_l
         assert dfs_f == dfs_l
         assert outputs_f == outputs_l
+
+
+def _green_scale(n_rows=1000):
+    """A payload scale every gate accepts."""
+    return {
+        "n_rows": n_rows,
+        "speedup": SPEEDUP_FLOOR + 1.0,
+        "batch_speedup": BATCH_SPEEDUP_FLOOR + 0.5,
+        "outputs_identical": True,
+        "counters_identical": True,
+        "dfs_counters_identical": True,
+        "decisions_identical": True,
+        "modes": {
+            "batched": {
+                "workflow_wall_s": 0.05,
+                "copy_rewrites": 2,
+                "payload_reuses": 2,
+            },
+            "fast": {
+                "workflow_wall_s": 0.1,
+                "copy_rewrites": 2,
+                "payload_reuses": 2,
+            },
+            "legacy": {"workflow_wall_s": 0.5},
+        },
+    }
 
 
 class TestExecSimBench:
@@ -96,62 +133,67 @@ class TestExecSimBench:
         assert scale["dfs_counters_identical"]
         assert scale["decisions_identical"]
         assert scale["n_queries"] == len(build_queries())
-        for mode in ("fast", "legacy"):
+        for mode in ("batched", "fast", "legacy"):
             stats = scale["modes"][mode]
             assert stats["input_records"] > 0
             assert stats["jobs_run"] > 0
             assert stats["rows_per_sec"] > 0
-        # reuse actually happened: consumers were rewritten
-        assert scale["modes"]["fast"]["rewrites"] > 0
+        # reuse actually happened: consumers were rewritten, identical
+        # drill queries degraded to copy jobs, and on the fast tiers
+        # every copy store cloned its producer's payload
+        for mode in ("batched", "fast"):
+            stats = scale["modes"][mode]
+            assert stats["rewrites"] > 0
+            assert stats["copy_rewrites"] > 0
+            assert stats["payload_reuses"] >= stats["copy_rewrites"]
+        assert scale["modes"]["legacy"]["payload_reuses"] == 0
 
     def test_mode_result_shape(self):
         rows = generate_event_rows(120, seed=5)
         queries = build_queries()[:3]
-        result = run_exec_mode(rows, queries, fast=True)
+        result = run_exec_mode(rows, queries, mode="batched")
         assert result.jobs_run >= len(queries)
         assert len(result.snapshot) > 0
         assert result.dfs_counters[1] > 0  # bytes_written moved
 
     def test_gates_green_on_identical_fast_payload(self):
-        payload = {
-            "scales": [
-                {
-                    "n_rows": 1000,
-                    "speedup": SPEEDUP_FLOOR + 1.0,
-                    "outputs_identical": True,
-                    "counters_identical": True,
-                    "dfs_counters_identical": True,
-                    "decisions_identical": True,
-                    "modes": {
-                        "fast": {"workflow_wall_s": 0.1},
-                        "legacy": {"workflow_wall_s": 0.5},
-                    },
-                }
-            ]
-        }
+        payload = {"scales": [_green_scale()]}
         assert check_exec_sim_gates(payload) == []
         assert check_exec_sim_gates(None) == []
 
     def test_gates_trip_on_slow_or_divergent(self):
-        base = {
-            "n_rows": 1000,
-            "speedup": SPEEDUP_FLOOR + 1.0,
-            "outputs_identical": True,
-            "counters_identical": True,
-            "dfs_counters_identical": True,
-            "decisions_identical": True,
-            "modes": {
-                "fast": {"workflow_wall_s": 0.1},
-                "legacy": {"workflow_wall_s": 0.5},
-            },
-        }
-        slow = copy.deepcopy(base)
+        slow = _green_scale()
         slow["speedup"] = SPEEDUP_FLOOR - 0.5
-        divergent = copy.deepcopy(base)
+        divergent = _green_scale(n_rows=2000)
         divergent["outputs_identical"] = False
         failures = check_exec_sim_gates({"scales": [slow, divergent]})
         assert len(failures) == 2
-        assert "below" in failures[1] or "below" in failures[0]
+        assert any("below" in f for f in failures)
+
+    def test_gates_trip_on_batch_regression_at_largest_scale(self):
+        small = _green_scale(n_rows=1000)
+        small["batch_speedup"] = 1.0  # not the largest scale: ignored
+        large = _green_scale(n_rows=5000)
+        large["batch_speedup"] = BATCH_SPEEDUP_FLOOR - 0.2
+        failures = check_exec_sim_gates({"scales": [small, large]})
+        assert len(failures) == 1
+        assert "batch speedup" in failures[0]
+
+    def test_gates_trip_on_reserialized_copy_stores(self):
+        scale = _green_scale()
+        scale["modes"]["batched"]["payload_reuses"] = 0
+        failures = check_exec_sim_gates({"scales": [scale]})
+        assert len(failures) == 1
+        assert "re-serialized" in failures[0]
+
+    def test_gates_trip_when_no_copy_rewrites_happen(self):
+        scale = _green_scale()
+        for mode in ("batched", "fast"):
+            scale["modes"][mode]["copy_rewrites"] = 0
+            scale["modes"][mode]["payload_reuses"] = 0
+        failures = check_exec_sim_gates({"scales": [scale]})
+        assert len(failures) == 2
+        assert all("copy" in f for f in failures)
 
 
 class TestOutputsAreCallerOwned:
@@ -169,3 +211,22 @@ class TestOutputsAreCallerOwned:
             assert all(
                 ("poison", 99) not in list(row[1]) for row in second.outputs["o"]
             )
+
+
+class TestSubjobEnumBench:
+    def test_enumeration_counts_and_gate(self):
+        from repro.bench.subjob_enum import (
+            check_subjob_enum_gates,
+            run_subjob_enum_scale,
+        )
+
+        scale = run_subjob_enum_scale(40)
+        assert scale["n_jobs"] == 10
+        assert scale["n_anchors"] == 40
+        assert scale["candidates"] == scale["expected_candidates"] == 30
+        assert scale["candidates_per_sec"] > 0
+        assert check_subjob_enum_gates({"scales": [scale]}) == []
+        assert check_subjob_enum_gates(None) == []
+        broken = dict(scale, candidates=scale["candidates"] - 1)
+        failures = check_subjob_enum_gates({"scales": [broken]})
+        assert failures and "expected" in failures[0]

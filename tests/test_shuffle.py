@@ -190,3 +190,102 @@ class TestDecoratedRecordsRegression:
             buf.add(Unorderable(), 0, (i,))
         groups = list(buf.all_groups())
         assert sum(len(bags[0]) for _, bags in groups) == 6
+
+
+class TestAddBatchEquivalence:
+    """add_batch must leave the buffer byte-identical to repeated add."""
+
+    KEY_SETS = {
+        "uniform-str": ["b", "a", "b", "c", "a"],
+        "uniform-int": [3, 1, 2, 1, 3],
+        "uniform-float": [1.5, 0.25, 1.5, 2.0, -3.5],
+        "uniform-bool": [True, False, True, True, False],
+        "mixed-scalars": ["x", 2, 2.5, True, "y"],
+        "with-nones": [None, "a", None, "b", "a"],
+        "tuples": [("a", 1), ("a", 2), ("b", 1), ("a", 1), ("b", 2)],
+        "unranked": [complex(1, 2), complex(0, 1), complex(1, 2), 1j, 2j],
+    }
+    ROWS = [
+        ("alice", 1, 0.5),
+        (None, None, None),
+        ("bob", -7, 2.25),
+        ("carol", 44, None),
+        ("dave", 0, 1.0),
+    ]
+
+    def _snapshot(self, buf):
+        return (
+            buf.records,
+            buf.bytes,
+            {p: list(records) for p, records in buf._partitions.items()},
+            list(buf.all_groups()),
+        )
+
+    def test_add_batch_matches_add_for_every_key_shape(self):
+        for label, keys in self.KEY_SETS.items():
+            serial = ShuffleBuffer(n_partitions=4)
+            for key, row in zip(keys, self.ROWS):
+                serial.add(key, 0, row)
+            batched = ShuffleBuffer(n_partitions=4)
+            batched.add_batch(0, list(keys), list(self.ROWS))
+            assert self._snapshot(batched) == self._snapshot(serial), label
+
+    def test_add_batch_matches_add_across_chunks_and_branches(self):
+        serial = ShuffleBuffer(n_partitions=3)
+        batched = ShuffleBuffer(n_partitions=3)
+        for branch, keys in enumerate((["a", "b", "a"], ["b", "c", "a"])):
+            rows = self.ROWS[: len(keys)]
+            for key, row in zip(keys, rows):
+                serial.add(key, branch, row)
+            batched.add_batch(branch, keys[:2], rows[:2])
+            batched.add_batch(branch, keys[2:], rows[2:])
+        assert self._snapshot(batched) == self._snapshot(serial)
+
+    def test_single_partition_matches(self):
+        serial = ShuffleBuffer(n_partitions=1)
+        batched = ShuffleBuffer(n_partitions=1)
+        for key, row in zip(["b", "a", "c"], self.ROWS):
+            serial.add(key, 0, row)
+        batched.add_batch(0, ["b", "a", "c"], self.ROWS[:3])
+        assert self._snapshot(batched) == self._snapshot(serial)
+
+    def test_precomputed_row_bytes_trusted_verbatim(self):
+        from repro.relational.tuples import serialized_rows_size
+
+        rows = self.ROWS[:3]
+        want = serialized_rows_size(rows)
+        batched = ShuffleBuffer(n_partitions=2)
+        batched.add_batch(0, ["a", "b", "c"], rows, row_bytes=want)
+        serial = ShuffleBuffer(n_partitions=2)
+        for key, row in zip(["a", "b", "c"], rows):
+            serial.add(key, 0, row)
+        assert batched.bytes == serial.bytes
+
+    def test_empty_batch_registers_nothing(self):
+        buf = ShuffleBuffer(n_partitions=2)
+        buf.add_batch(0, [], [])
+        assert buf.records == 0 and buf.bytes == 0
+        assert buf._branches_seen == set()
+
+
+class TestSerializedRowsSize:
+    def test_columnar_sum_matches_per_row(self):
+        from repro.relational.tuples import (
+            Bag,
+            serialized_row_size,
+            serialized_rows_size,
+        )
+
+        cases = [
+            [],
+            [("a", 1, 0.5), ("bb", None, 2.25)],
+            [(None, None, None)] * 3,
+            [("x", True), ("y", False)],
+            [("mixed", 1), ("types", 2.5)],
+            [("bag", Bag([("i", 1)])), ("bag2", Bag([]))],
+            [("short",), ("rows", "differ", "in", "width")],
+            [("not-a-tuple")],  # a bare string "row"
+        ]
+        for rows in cases:
+            want = sum(serialized_row_size(r) for r in rows)
+            assert serialized_rows_size(rows) == want, rows
