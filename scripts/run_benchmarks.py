@@ -7,7 +7,8 @@ Usage::
         [--out BENCH_repo_scale.json] [--probes 20] [--seed 13]
         [--scales 10,100,1000] [--service-scales 1000,10000]
         [--service-workers 1,4,8] [--service-jobs 60]
-        [--exec-scales 6000,20000] [--no-gate]
+        [--exec-scales 6000,20000] [--persistence-entries 10000]
+        [--no-gate]
 
 This is the repo's perf trajectory: ``BENCH_repo_scale.json`` records
 match latency, candidates examined, and rewrites found for repository
@@ -17,9 +18,11 @@ repository), the ``exec_sim`` data-plane trajectory (end-to-end
 workflow wall time and rows/sec across the batched / per-row fast /
 legacy planes, over PigMix-style chains at two table sizes), and the
 ``subjob_enum`` enumeration trajectory (wall time and candidates/sec
-at N ∈ {100, 1000} heuristic anchors).  The process exits non-zero
-when a regression gate trips (CI's ``bench-smoke`` job relies on
-this):
+at N ∈ {100, 1000} heuristic anchors), and the ``repo_persistence``
+durability trajectory (snapshot cold-start vs rebuild-by-re-
+registration at a 10k-entry repository, plus torn-tail journal
+recovery).  The process exits non-zero when a regression gate trips
+(CI's ``bench-smoke`` job relies on this):
 
 * indexed and full-scan rewrite decisions must be byte-identical;
 * indexed matching must never examine more candidates than the
@@ -32,7 +35,11 @@ this):
   every scale and the per-row fast plane ≥1.5x at the largest scale,
   with byte-identical DFS contents, counters, and decisions across
   all three planes and zero copy-store re-serialization;
-* sub-job enumeration must inject every expected candidate.
+* sub-job enumeration must inject every expected candidate;
+* restoring from a snapshot must be ≥10x faster than rebuilding by
+  re-registration, with byte-identical rewrite decisions, zero
+  subsumption traversals spent on the restore, and every intact
+  journal record recovered past a torn tail.
 
 ``python -m repro bench`` accepts the same flags.
 """

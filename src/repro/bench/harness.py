@@ -2,9 +2,10 @@
 
 Assembles the full ``BENCH_repo_scale.json`` payload — the indexed vs
 full-scan matching trajectory, the ``service_throughput`` section, the
-``exec_sim`` data-plane section, and the ``subjob_enum`` enumeration
-section — runs the regression gates, writes the file, and prints the
-summary.  Both entry points (``python -m repro bench`` and
+``exec_sim`` data-plane section, the ``subjob_enum`` enumeration
+section, and the ``repo_persistence`` durability section — runs the
+regression gates, writes the file, and prints the summary.  Both
+entry points (``python -m repro bench`` and
 ``python scripts/run_benchmarks.py``) are thin argument parsers over
 :func:`run_benchmark_suite`.
 """
@@ -17,6 +18,7 @@ import sys
 from typing import Optional, Tuple
 
 from repro.bench.exec_sim import run_exec_sim_benchmark
+from repro.bench.repo_persistence import run_repo_persistence_benchmark
 from repro.bench.repo_scale import (
     check_gates,
     run_repo_scale_benchmark,
@@ -36,6 +38,7 @@ def run_benchmark_suite(
     service_workers: Optional[Tuple[int, ...]] = None,
     service_jobs: Optional[int] = None,
     exec_scales: Optional[Tuple[int, ...]] = None,
+    persistence_entries: Optional[int] = None,
     gate: bool = True,
 ) -> int:
     """Run everything, write *out*, print a summary; returns the
@@ -46,7 +49,7 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
-    payload["version"] = 4
+    payload["version"] = 5
     # exec_sim runs before the service benchmark: its wall-time gate is
     # the noise-sensitive one, so it gets the freshest process state
     payload["exec_sim"] = run_exec_sim_benchmark(
@@ -55,6 +58,12 @@ def run_benchmark_suite(
         quick=quick,
     )
     payload["subjob_enum"] = run_subjob_enum_benchmark()
+    payload["repo_persistence"] = run_repo_persistence_benchmark(
+        n_entries=persistence_entries,
+        n_probes=n_probes,
+        seed=seed,
+        quick=quick,
+    )
     payload["service_throughput"] = run_service_benchmark(
         scales=service_scales,
         n_jobs=service_jobs,
@@ -118,6 +127,16 @@ def run_benchmark_suite(
             f"{scale['candidates_per_sec']:,.0f} candidates/s "
             f"({scale['candidates']} injected)"
         )
+    for scale in payload["repo_persistence"]["scales"]:
+        print(
+            f"  persistence N={scale['n_entries']:>5}: "
+            f"restore={scale['restore_s']:.3f}s vs "
+            f"rebuild={scale['rebuild_s']:.3f}s "
+            f"({scale['cold_start_speedup']}x cold start), "
+            f"decisions identical={scale['decisions_identical']}, "
+            f"torn tail recovered="
+            f"{scale['torn_tail']['torn_tail_recovered']}"
+        )
 
     if failures:
         for failure in failures:
@@ -178,6 +197,14 @@ def add_benchmark_arguments(parser) -> None:
         "applies there)",
     )
     parser.add_argument(
+        "--persistence-entries",
+        type=int,
+        default=None,
+        help="repository size for the repo_persistence cold-start "
+        "benchmark (default 10000; kept at full scale even with "
+        "--quick because the ≥10x gate applies there)",
+    )
+    parser.add_argument(
         "--no-gate",
         action="store_true",
         help="record results without failing on gate regressions",
@@ -196,5 +223,6 @@ def run_from_args(args, out: pathlib.Path) -> int:
         service_workers=args.service_workers,
         service_jobs=args.service_jobs,
         exec_scales=args.exec_scales,
+        persistence_entries=args.persistence_entries,
         gate=not args.no_gate,
     )

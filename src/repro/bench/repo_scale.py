@@ -530,15 +530,24 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
       :func:`repro.bench.exec_sim.check_exec_sim_gates`);
     * when a ``subjob_enum`` section is present: enumeration must
       inject every expected candidate (see
-      :func:`repro.bench.subjob_enum.check_subjob_enum_gates`).
+      :func:`repro.bench.subjob_enum.check_subjob_enum_gates`);
+    * when a ``repo_persistence`` section is present: snapshot cold
+      start must be ≥10x faster than rebuild-by-re-registration with
+      byte-identical rewrite decisions, zero subsumption traversals
+      spent restoring, and clean torn-tail journal recovery (see
+      :func:`repro.bench.repo_persistence.check_repo_persistence_gates`).
     """
     from repro.bench.exec_sim import check_exec_sim_gates
+    from repro.bench.repo_persistence import check_repo_persistence_gates
     from repro.bench.subjob_enum import check_subjob_enum_gates
 
     failures = []
     failures.extend(_service_gate_failures(payload.get("service_throughput")))
     failures.extend(check_exec_sim_gates(payload.get("exec_sim")))
     failures.extend(check_subjob_enum_gates(payload.get("subjob_enum")))
+    failures.extend(
+        check_repo_persistence_gates(payload.get("repo_persistence"))
+    )
     for scale in payload["scales"]:
         n = scale["n_entries"]
         indexed = scale["modes"]["indexed"]

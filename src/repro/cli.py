@@ -12,6 +12,16 @@ Usage::
 disable with ``--no-restore``), copy the given local files into the
 DFS, and execute the script.  ReStore policies are pluggable by name:
 ``--heuristic conservative --selector rules --evict time-window:4``.
+
+``--snapshot``/``--journal`` make the repository durable across
+invocations: the session recovers from the named local files before
+running, journals every mutation, and rotates a fresh snapshot on
+exit.  Kept output files travel in a ``<snapshot>.files/`` sidecar
+directory so a later process's DFS can serve the stored results::
+
+    python -m repro run q1.pig --data pv.tsv=data/pv --snapshot state.snap
+    python -m repro run q2.pig --data pv.tsv=data/pv --snapshot state.snap
+    # q2's overlapping sub-jobs are answered from q1's stored results
 """
 
 from __future__ import annotations
@@ -22,6 +32,72 @@ import sys
 from typing import List, Optional
 
 from repro.session import ReStoreSession
+
+
+def _persistence_config(args):
+    """Turn ``--snapshot``/``--journal`` into a local-backend config.
+
+    Either flag implies the other: a lone ``--snapshot state.snap``
+    journals to ``state.snap.journal``; a lone ``--journal`` derives
+    the snapshot path the same way in reverse.
+    """
+    snapshot, journal = args.snapshot, args.journal
+    if snapshot is None and journal is None:
+        return None
+    if args.no_restore:
+        raise SystemExit("--snapshot/--journal require ReStore "
+                         "(drop --no-restore)")
+    if snapshot is None:
+        snapshot = (journal[: -len(".journal")]
+                    if journal.endswith(".journal")
+                    else journal + ".snapshot")
+    if journal is None:
+        journal = snapshot + ".journal"
+    from repro.persistence.durability import PersistenceConfig
+
+    return PersistenceConfig(
+        snapshot_path=snapshot, journal_path=journal, backend="local"
+    )
+
+
+def _sidecar_dir(config) -> pathlib.Path:
+    return pathlib.Path(config.snapshot_path + ".files")
+
+
+def _load_kept_files(session: ReStoreSession, config) -> None:
+    """Seed the fresh DFS with the kept files a previous invocation
+    dumped, so restored repository entries point at real data."""
+    root = _sidecar_dir(config)
+    if not root.is_dir():
+        return
+    for local in sorted(root.rglob("*")):
+        if local.is_file():
+            dfs_path = local.relative_to(root).as_posix()
+            session.write_file(dfs_path, local.read_bytes())
+
+
+def _dump_kept_files(session: ReStoreSession, config) -> None:
+    """Mirror every stored DFS file into the sidecar directory so the
+    next invocation can reuse the repository's results.  That is the
+    kept temporary outputs plus every entry's output path — whole-job
+    entries anchor on user outputs, which ``kept_paths`` never holds."""
+    root = _sidecar_dir(config)
+    paths = set(session.manager.kept_paths) if session.manager else set()
+    if session.repository is not None:
+        paths.update(e.output_path for e in session.repository.entries())
+    kept = sorted(paths)
+    for dfs_path in kept:
+        if not session.dfs.exists(dfs_path):
+            continue
+        local = root / dfs_path
+        local.parent.mkdir(parents=True, exist_ok=True)
+        local.write_bytes(session.dfs.read_file(dfs_path))
+    # drop sidecar files for paths that are no longer kept (evicted)
+    kept_set = set(kept)
+    if root.is_dir():
+        for local in root.rglob("*"):
+            if local.is_file() and local.relative_to(root).as_posix() not in kept_set:
+                local.unlink()
 
 
 def _load_data(session: ReStoreSession, mappings: List[str]) -> None:
@@ -37,12 +113,15 @@ def _load_data(session: ReStoreSession, mappings: List[str]) -> None:
 
 def _build_session(args) -> ReStoreSession:
     builder = ReStoreSession.builder().datanodes(args.datanodes)
+    persistence = _persistence_config(args)
     if args.no_restore:
         builder.without_restore()
     else:
         builder.heuristic(args.heuristic).selector(args.selector)
         if args.evict:
             builder.evict(*args.evict)
+        if persistence is not None:
+            builder.persistence(persistence)
     try:
         session = builder.build()
     except ValueError as exc:
@@ -50,6 +129,8 @@ def _build_session(args) -> ReStoreSession:
         # valid registry entries
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
+    if persistence is not None:
+        _load_kept_files(session, persistence)
     _load_data(session, args.data or [])
     return session
 
@@ -58,6 +139,11 @@ def cmd_run(args) -> int:
     source = pathlib.Path(args.script).read_text()
     session = _build_session(args)
     result = session.run(source, name=pathlib.Path(args.script).stem)
+    if session.persister is not None:
+        # rotate a fresh snapshot + mirror the kept files so the next
+        # invocation starts warm
+        session.persister.take_snapshot()
+        _dump_kept_files(session, _persistence_config(args))
 
     for path, rows in result.outputs.items():
         print(f"== {path} ({len(rows)} rows) ==")
@@ -176,6 +262,19 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="NAME[:ARG]",
             help="eviction policy plugin, repeatable (e.g. "
                  "time-window:4, input-modified, capacity:1048576)",
+        )
+        p.add_argument(
+            "--snapshot",
+            metavar="PATH",
+            help="persist the repository to a local snapshot file and "
+                 "recover from it on the next run (journals to "
+                 "PATH.journal unless --journal overrides)",
+        )
+        p.add_argument(
+            "--journal",
+            metavar="PATH",
+            help="append-only journal file for repository mutations "
+                 "(implies --snapshot with a derived path)",
         )
 
     run_p = sub.add_parser("run", help="execute a Pig script")

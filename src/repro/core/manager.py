@@ -229,6 +229,9 @@ class ReStoreManager(JobListener):
         self.eviction_policies = self.config.resolve_eviction_policies()
         #: typed event fan-out; subscribe for live reuse telemetry
         self.events = event_bus or EventBus()
+        #: attached :class:`repro.persistence.RepositoryPersister`
+        #: (None = nothing durable; the persister sets and clears this)
+        self.persistence = None
         #: DFS paths the engine must not delete during temp cleanup
         self.kept_paths: Set[str] = set()
         #: logical clock: one tick per workflow (drives eviction Rule 3)
@@ -263,6 +266,14 @@ class ReStoreManager(JobListener):
         self.elimination_count = 0
         #: cumulative index/pruning telemetry (reporting, benchmarks)
         self.match_totals = MatchPipelineTotals()
+
+    @contextmanager
+    def locked(self):
+        """Hold the manager lock across a multi-step read (snapshot
+        capture pairs kept paths + clock + repository state
+        atomically).  Lock order stays manager → repository → shard."""
+        with self._lock:
+            yield self
 
     # -- session scoping ---------------------------------------------------------------
 
@@ -324,6 +335,10 @@ class ReStoreManager(JobListener):
             self._deferred_deletes -= ready
         for path in ready:
             self._discard_file(path)
+        if self.persistence is not None:
+            # workflow boundary: drain the journal buffer, persist
+            # moved counters, rotate the snapshot if due
+            self.persistence.note_workflow_end()
 
     def _pin(self, workflow: Workflow, output_path: str) -> None:
         """Protect *output_path* from eviction until *workflow* ends."""
@@ -581,6 +596,8 @@ class ReStoreManager(JobListener):
                 # eviction until this workflow (whose rescan passes may
                 # re-match it) is over
                 self._pin(workflow, candidate.store_path)
+                if self.persistence is not None:
+                    self.persistence.note_kept_path(candidate.store_path, True)
         if not added:
             self._discard_file(candidate.store_path)
             self._emit(
@@ -651,6 +668,8 @@ class ReStoreManager(JobListener):
                 # a concurrent tenant's eviction must not delete it
                 # out from under them mid-run
                 self._pin(workflow, primary.path)
+                if self.persistence is not None:
+                    self.persistence.note_kept_path(primary.path, True)
         if not added:
             # A concurrent worker stored the same computation first;
             # like the sequential duplicate probe above, keep theirs.
@@ -715,6 +734,11 @@ class ReStoreManager(JobListener):
         # promises they can do so without lock-order deadlocks)
         for event in events:
             self._emit(event)
+        if evicted and self.persistence is not None:
+            # evictions must hit the journal before their files are
+            # reclaimed: a crash after the deletes but before a flush
+            # would otherwise resurrect entries for vanished files
+            self.persistence.flush()
         return evicted
 
     def _evict(
@@ -736,6 +760,8 @@ class ReStoreManager(JobListener):
             owned = entry.output_path in self.kept_paths
             if owned:
                 self.kept_paths.discard(entry.output_path)
+                if self.persistence is not None:
+                    self.persistence.note_kept_path(entry.output_path, False)
                 if defer_delete:
                     self._deferred_deletes.add(entry.output_path)
         if owned and not defer_delete:

@@ -55,10 +55,12 @@ from __future__ import annotations
 import json
 import re
 import threading
+import warnings
 import zlib
 from bisect import insort
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.matcher import PlanMatcher
 from repro.exceptions import RepositoryError
@@ -243,6 +245,48 @@ class Repository:
         #: ordering-free workloads never pay for matcher calls; flushed
         #: as one amortized batch by the next ordered scan)
         self._pending: List[str] = []
+        #: durability hooks: called as ``listener(kind, entry)`` with
+        #: kind "added"/"removed", *under the repository lock*, right
+        #: after the mutation commits (see subscribe_mutations)
+        self._mutation_listeners: List[Callable[[str, RepositoryEntry], None]] = []
+
+    @contextmanager
+    def locked(self):
+        """Hold the repository lock across a multi-step read (snapshot
+        capture pairs :meth:`snapshot_state` with :meth:`entries`
+        atomically).  Reentrant; honor the manager → repository →
+        shard lock order when combining with manager state."""
+        with self._lock:
+            yield self
+
+    def subscribe_mutations(
+        self, listener: Callable[[str, "RepositoryEntry"], None]
+    ) -> Callable[[], None]:
+        """Register a durability listener; returns an unsubscribe
+        function.
+
+        The listener runs under the repository lock, synchronously
+        with the mutation — that is the point: a journaling listener
+        serializes the entry *exactly* as committed, with no window
+        for a concurrent re-add or eviction to slip between commit and
+        record.  Listeners must not call back into entry-level
+        repository methods (the lock is held) and must never fire
+        during :meth:`from_persisted_state` — restored entries are
+        already persisted.
+        """
+        with self._lock:
+            self._mutation_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if listener in self._mutation_listeners:
+                    self._mutation_listeners.remove(listener)
+
+        return unsubscribe
+
+    def _notify_mutation(self, kind: str, entry: "RepositoryEntry") -> None:
+        for listener in self._mutation_listeners:
+            listener(kind, entry)
 
     # -- basic operations ---------------------------------------------------------
 
@@ -306,6 +350,7 @@ class Repository:
         self._entries[eid] = entry
         self._index_entry(entry)
         self._pending.append(eid)
+        self._notify_mutation("added", entry)
         return entry
 
     def add_batch(self, entries: Iterable[RepositoryEntry]) -> List[RepositoryEntry]:
@@ -345,6 +390,7 @@ class Repository:
                 self._pending.remove(entry_id)
             else:
                 self._retire_from_order(entry_id)
+            self._notify_mutation("removed", entry)
             return entry
 
     def flush(self) -> None:
@@ -689,9 +735,161 @@ class Repository:
 
     # -- persistence --------------------------------------------------------------
 
+    def snapshot_state(self) -> dict:
+        """Everything beyond the entries themselves that a faithful
+        restore needs: the id/sequence counters, configuration, the
+        per-entry insertion sequence, and the full incremental §3
+        ordering state (scores keep zero-valued members — membership
+        in ``scores`` is what marks an entry as *integrated*, which
+        pending-batch subsumption computation relies on)."""
+        with self._lock:
+            return {
+                "id_counter": self._id_counter,
+                "seq_counter": self._seq_counter,
+                "ordering_enabled": self.ordering_enabled,
+                "n_shards": self.n_shards,
+                "seq": dict(self._seq),
+                "order": {
+                    "scores": dict(self._scores),
+                    "subsumes": {
+                        a: sorted(bs) for a, bs in self._subsumes.items() if bs
+                    },
+                    "sorted": list(self._sorted),
+                    "pending": list(self._pending),
+                },
+            }
+
+    @classmethod
+    def from_persisted_state(
+        cls,
+        entries: Iterable[RepositoryEntry],
+        seqs: Mapping[str, int],
+        state: Mapping,
+        *,
+        matcher: Optional[PlanMatcher] = None,
+        n_shards: Optional[int] = None,
+    ) -> "Repository":
+        """Install persisted entries and ordering state directly —
+        O(entries) index rebuild, zero matcher traversals, zero
+        re-registration.
+
+        Mutation listeners deliberately never fire here: restored
+        entries are already persisted, and the persister attaches only
+        after recovery completes.
+        """
+        repo = cls(
+            matcher=matcher,
+            ordering_enabled=bool(state.get("ordering_enabled", True)),
+            n_shards=n_shards or int(state.get("n_shards", 8)),
+        )
+        with repo._lock:
+            max_seq = -1
+            max_id = 0
+            for entry in sorted(entries, key=lambda e: seqs[e.entry_id]):
+                eid = entry.entry_id
+                if not eid:
+                    raise RepositoryError("persisted entry without an id")
+                seq = int(seqs[eid])
+                repo._seq[eid] = seq
+                repo._entries[eid] = entry
+                repo._index_entry(entry)
+                max_seq = max(max_seq, seq)
+                match = _ENTRY_ID_PATTERN.match(eid)
+                if match:
+                    max_id = max(max_id, int(match.group(1)))
+            # counters resume past everything persisted, so new
+            # registrations can never collide with restored ids
+            repo._id_counter = max(int(state.get("id_counter", 1)), max_id + 1)
+            repo._seq_counter = max(int(state.get("seq_counter", 0)), max_seq + 1)
+            order = state.get("order")
+            if order is None:
+                # no recorded order (minimal/legacy payload): entries
+                # integrate lazily, in insertion-sequence order
+                repo._pending = sorted(repo._entries, key=repo._seq.__getitem__)
+            else:
+                repo._scores = {
+                    eid: int(score) for eid, score in order.get("scores", {}).items()
+                }
+                repo._subsumes = {
+                    a: set(bs) for a, bs in order.get("subsumes", {}).items()
+                }
+                for a_id, subsumed in repo._subsumes.items():
+                    for b_id in subsumed:
+                        repo._subsumed_by.setdefault(b_id, set()).add(a_id)
+                repo._sorted = list(order.get("sorted", []))
+                repo._pending = list(order.get("pending", []))
+        return repo
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot,
+        journal=None,
+        *,
+        matcher: Optional[PlanMatcher] = None,
+        n_shards: Optional[int] = None,
+    ) -> "Repository":
+        """Rebuild a repository from a persisted snapshot plus the
+        post-snapshot journal — the crash-recovery entry point.
+
+        *snapshot* is a :class:`~repro.persistence.snapshot.RepositorySnapshot`
+        or its encoded bytes; *journal* is raw journal bytes or an
+        iterable of decoded records.  All inverted indexes and the
+        incremental §3 order come back in O(entries read) without
+        re-registering any plan, and the entry-id counter resumes past
+        every persisted id.  (For full-system recovery — kept paths,
+        clock, DFS id floors — use :func:`repro.persistence.recover`.)
+        """
+        from repro.persistence.durability import ReplayTarget
+        from repro.persistence.journal import decode_journal
+        from repro.persistence.snapshot import RepositorySnapshot
+
+        if isinstance(snapshot, (bytes, bytearray, memoryview)):
+            snapshot = RepositorySnapshot.from_bytes(bytes(snapshot))
+        repo = snapshot.restore_repository(matcher=matcher, n_shards=n_shards)
+        if journal:
+            if isinstance(journal, (bytes, bytearray, memoryview)):
+                records = decode_journal(bytes(journal)).records
+            else:
+                records = journal
+            ReplayTarget(repo).apply_all(records)
+        return repo
+
     def to_json(self) -> str:
+        """Deprecated: serialize through the snapshot codec instead
+        (:class:`repro.persistence.RepositorySnapshot`).
+
+        Emits a full-fidelity JSON snapshot payload (entries with
+        derived match metadata, ordering state, counters) that
+        :meth:`from_json` fast-restores without re-registration.
+        """
+        warnings.warn(
+            "Repository.to_json() is deprecated; use "
+            "repro.persistence.RepositorySnapshot.capture(repo).to_bytes()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.persistence.snapshot import (
+            SNAPSHOT_FORMAT,
+            SNAPSHOT_VERSION,
+            entry_record,
+        )
+
+        with self._lock:
+            state = self.snapshot_state()
+            seq = state.pop("seq")
+            records = []
+            for entry in self.entries():
+                record = entry_record(entry)
+                record["seq"] = seq[entry.entry_id]
+                records.append(record)
+        state["entries"] = records
         return json.dumps(
-            {"entries": [e.to_dict() for e in self.entries()]},
+            {
+                "format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_VERSION,
+                "repository": state,
+            },
             indent=2,
         )
 
@@ -699,8 +897,34 @@ class Repository:
     def from_json(
         cls, text: str, matcher: Optional[PlanMatcher] = None
     ) -> "Repository":
-        repo = cls(matcher=matcher)
+        """Deprecated: load through the snapshot codec instead.
+
+        Accepts both the snapshot-payload JSON :meth:`to_json` now
+        emits (fast direct restore) and the legacy entries-only shape
+        (restored via batched re-registration, as before).
+        """
+        warnings.warn(
+            "Repository.from_json() is deprecated; use Repository.restore() "
+            "with repro.persistence.RepositorySnapshot bytes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         data = json.loads(text)
+        from repro.persistence.snapshot import SNAPSHOT_FORMAT, entry_from_record
+
+        if data.get("format") == SNAPSHOT_FORMAT:
+            state = dict(data.get("repository", {}))
+            records = state.pop("entries", [])
+            entries = []
+            seqs: Dict[str, int] = {}
+            for index, record in enumerate(records):
+                entry = entry_from_record(record)
+                entries.append(entry)
+                seqs[entry.entry_id] = int(record.get("seq", index))
+            return cls.from_persisted_state(
+                entries, seqs, state, matcher=matcher
+            )
+        repo = cls(matcher=matcher)
         repo.add_batch(
             RepositoryEntry.from_dict(entry_data)
             for entry_data in data.get("entries", [])

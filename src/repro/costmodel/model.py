@@ -38,7 +38,9 @@ class CostModel:
 
     # -- Equation 2 ---------------------------------------------------------------
 
-    def job_time(self, stats: JobStats, n_reducers_requested: int = 8) -> TimeBreakdown:
+    def job_time(
+        self, stats: JobStats, n_reducers_requested: int = 8
+    ) -> TimeBreakdown:
         p = self.params
         cluster = self.cluster
 
@@ -115,7 +117,9 @@ class CostModel:
             if job_id in memo:
                 return memo[job_id]
             et = job_times.get(job_id, 0.0)
-            upstream = [total(d) for d in deps.get(job_id, ()) if d in job_times or d in deps]
+            upstream = [
+                total(d) for d in deps.get(job_id, ()) if d in job_times or d in deps
+            ]
             value = et + (max(upstream) if upstream else 0.0)
             memo[job_id] = value
             return value

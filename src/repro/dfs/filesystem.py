@@ -10,7 +10,6 @@ the cost model.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from typing import Iterable, List, Optional, Tuple
 
@@ -67,8 +66,8 @@ class DistributedFileSystem:
         #: PigStorage renders actually performed for row writes (eager
         #: builds plus lazy payloads something genuinely byte-read)
         self.serializations = 0
-        self._script_ids = itertools.count(1)
-        self._subjob_ids = itertools.count(1)
+        self._script_id_next = 1
+        self._subjob_id_next = 1
         #: one filesystem is shared by every concurrent service worker;
         #: this lock makes namespace mutations (block allocation, the
         #: mtime clock, delete-if-exists) atomic — without it two
@@ -85,7 +84,10 @@ class DistributedFileSystem:
         across managers sharing one DFS so kept sub-job outputs can
         never overwrite each other.
         """
-        return next(self._subjob_ids)
+        with self._lock:
+            value = self._subjob_id_next
+            self._subjob_id_next += 1
+            return value
 
     def next_script_id(self) -> int:
         """Allocate a script id unique within this filesystem.
@@ -97,7 +99,40 @@ class DistributedFileSystem:
         A fresh DFS restarts at 1, keeping paths deterministic per
         test/session.
         """
-        return next(self._script_ids)
+        with self._lock:
+            value = self._script_id_next
+            self._script_id_next += 1
+            return value
+
+    def ensure_id_floor(
+        self,
+        next_script_id: Optional[int] = None,
+        next_subjob_id: Optional[int] = None,
+    ) -> None:
+        """Advance the id counters so future allocations start at or
+        past the given values.
+
+        Crash recovery calls this: a restored repository references
+        ``tmp/s<id>`` and ``restore/subjob/sj<id>`` paths that new
+        allocations must never collide with, so the counters resume
+        past the highest persisted id instead of restarting at 1.
+        Floors only move forward — a stale floor can never rewind a
+        live counter.
+        """
+        with self._lock:
+            if next_script_id is not None:
+                self._script_id_next = max(self._script_id_next, next_script_id)
+            if next_subjob_id is not None:
+                self._subjob_id_next = max(self._subjob_id_next, next_subjob_id)
+
+    def id_state(self) -> dict:
+        """The next script/sub-job ids this filesystem would allocate
+        (snapshotted into repository checkpoints for id hygiene)."""
+        with self._lock:
+            return {
+                "next_script_id": self._script_id_next,
+                "next_subjob_id": self._subjob_id_next,
+            }
 
     # -- writes -------------------------------------------------------------------
 

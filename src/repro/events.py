@@ -165,6 +165,39 @@ class EntryEvicted(ReStoreEvent):
         return f"evicted {self.entry_id} ({self.policy}): {self.output_path}"
 
 
+@dataclass
+class SnapshotTaken(ReStoreEvent):
+    """The persister wrote a repository snapshot and reset the journal.
+
+    Emitted on the *persister's* bus (not the manager bus): standby
+    replicas and durability tooling subscribe there, keeping the
+    manager bus a pure reuse-decision channel.
+    """
+
+    path: str = ""
+    entries: int = 0
+    bytes: int = 0
+
+    def render(self) -> str:
+        return (
+            f"snapshot: {self.entries} entries ({self.bytes} bytes) "
+            f"to {self.path}"
+        )
+
+
+@dataclass
+class JournalAppended(ReStoreEvent):
+    """The persister flushed buffered mutation records to the journal
+    (emitted on the persister's bus; standby replicas tail on it)."""
+
+    path: str = ""
+    records: int = 0
+    bytes: int = 0
+
+    def render(self) -> str:
+        return f"journal: {self.records} record(s) ({self.bytes} bytes) to {self.path}"
+
+
 EventTypes = Union[Type[ReStoreEvent], Tuple[Type[ReStoreEvent], ...]]
 
 

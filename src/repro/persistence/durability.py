@@ -1,0 +1,423 @@
+"""Live durability wiring: the persister, replay, and crash recovery.
+
+:class:`RepositoryPersister` attaches to a running
+:class:`~repro.core.manager.ReStoreManager` and journals every
+repository mutation as it commits (entry add/evict via the
+repository's mutation listeners, reuse statistics via the manager
+bus, kept-path commits via manager hooks), rotating snapshots at a
+configurable interval.  :func:`recover` is the other half: load the
+snapshot, replay the clean journal prefix, truncate any torn tail,
+and push the restored id floors back into the DFS so nothing ever
+collides with persisted state.
+
+Crash-safety argument, in one place:
+
+* the journal is written *before* the crash window matters — default
+  ``flush_every=1`` is write-through, so a mutation is durable the
+  moment the repository lock that committed it is released;
+* a snapshot commits (capture + write + journal reset) while holding
+  the manager and repository locks, so no mutation can fall between
+  "folded into the snapshot" and "journaled for replay";
+* a crash *between* snapshot write and journal reset merely leaves
+  already-folded records in the journal — replay is idempotent (a
+  same-id re-add replaces and re-integrates to the identical order,
+  a remove of a missing entry is a no-op, usage stats and counter
+  floors merge by max), so applying them twice equals applying them
+  once.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.repository import Repository
+from repro.events import (
+    EventBus,
+    JobEliminated,
+    JournalAppended,
+    RewriteApplied,
+    SnapshotTaken,
+)
+from repro.persistence.journal import Journal, JournalRecord
+from repro.persistence.snapshot import (
+    RepositorySnapshot,
+    entry_from_record,
+    entry_record,
+)
+from repro.persistence.storage import DFSStorage, LocalStorage
+
+
+@dataclass
+class PersistenceConfig:
+    """Where and how repository state is persisted.
+
+    The default backend is the simulated DFS (repository metadata is
+    just another replicated file on the cluster it indexes, as in the
+    paper's deployment); ``backend="local"`` writes real files so the
+    CLI can carry state across process invocations.
+    """
+
+    snapshot_path: str = "restore/repository.snapshot"
+    journal_path: str = "restore/repository.journal"
+    #: "dfs" or "local"
+    backend: str = "dfs"
+    #: journal records between automatic snapshot rotations
+    #: (0 = snapshot only when explicitly requested)
+    snapshot_interval: int = 0
+    #: buffered records per journal write; 1 (default) is write-through
+    flush_every: int = 1
+
+    def _storage(self, path: str, dfs):
+        if self.backend == "local":
+            return LocalStorage(path)
+        if self.backend != "dfs":
+            raise ValueError(f"unknown persistence backend: {self.backend!r}")
+        if dfs is None:
+            raise ValueError("the 'dfs' persistence backend needs a filesystem")
+        return DFSStorage(dfs, path)
+
+    def snapshot_storage(self, dfs=None):
+        return self._storage(self.snapshot_path, dfs)
+
+    def journal_storage(self, dfs=None):
+        return self._storage(self.journal_path, dfs)
+
+
+@dataclass
+class RecoveredState:
+    """Everything :func:`recover` (or a standby promotion) hands back."""
+
+    repository: Repository
+    kept_paths: Set[str] = field(default_factory=set)
+    clock: int = 0
+    #: DFS id floors ({"next_script_id": ..., "next_subjob_id": ...})
+    id_floors: Dict[str, int] = field(default_factory=dict)
+    #: entries that came from the snapshot itself
+    snapshot_entries: int = 0
+    #: clean journal records replayed on top
+    journal_records: int = 0
+    #: bytes of torn journal tail truncated (0 = clean shutdown)
+    journal_torn_bytes: int = 0
+
+
+class ReplayTarget:
+    """Mutable state a journal replay folds records into.
+
+    Used by crash recovery and by the standby replica; both need the
+    same semantics, so they live in one place.  Replay is idempotent:
+    every handler is a no-op or a max-merge when its effect is already
+    present.
+    """
+
+    def __init__(
+        self,
+        repository: Repository,
+        kept_paths=None,
+        clock: int = 0,
+        id_floors: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.repository = repository
+        self.kept_paths: Set[str] = set(kept_paths or ())
+        self.clock = int(clock)
+        self.id_floors: Dict[str, int] = {"next_script_id": 1, "next_subjob_id": 1}
+        for key, value in (id_floors or {}).items():
+            self.id_floors[key] = max(self.id_floors.get(key, 1), int(value))
+
+    def apply(self, record: JournalRecord) -> None:
+        data = record.data
+        if record.type == "entry_added":
+            self.repository.add(entry_from_record(data["entry"]))
+        elif record.type == "entry_removed":
+            entry_id = data["entry_id"]
+            if self.repository.has_entry(entry_id):
+                self.repository.remove(entry_id)
+        elif record.type == "entry_used":
+            entry_id = data["entry_id"]
+            if self.repository.has_entry(entry_id):
+                entry = self.repository.get(entry_id)
+                entry.use_count = max(entry.use_count, data.get("use_count", 0))
+                entry.last_used_at = max(
+                    entry.last_used_at, data.get("last_used_at", 0)
+                )
+            self.clock = max(self.clock, data.get("clock", 0))
+        elif record.type == "kept_path_added":
+            self.kept_paths.add(data["path"])
+        elif record.type == "kept_path_removed":
+            self.kept_paths.discard(data["path"])
+        elif record.type == "counters":
+            for key in ("next_script_id", "next_subjob_id"):
+                if key in data:
+                    self.id_floors[key] = max(self.id_floors[key], int(data[key]))
+            self.clock = max(self.clock, data.get("clock", 0))
+        # unknown types: skipped (journals from newer writers)
+
+    def apply_all(self, records) -> int:
+        count = 0
+        for record in records:
+            self.apply(record)
+            count += 1
+        return count
+
+
+#: id-bearing paths a repository entry can reference: enumerator
+#: sub-job outputs and script-scoped temp outputs
+_SUBJOB_PATH = re.compile(r"(?:^|/)sj(\d+)$")
+_SCRIPT_PREFIX = re.compile(r"^tmp/s(\d+)(?:/|$)")
+
+
+def derive_id_floors(repository: Repository) -> Dict[str, int]:
+    """Id floors recoverable from restored entry paths alone — the
+    belt-and-braces path when no ``counters`` record survived the
+    crash (the floors only ever max-merge, so over-approximating from
+    paths is always safe)."""
+    script, subjob = 0, 0
+    for entry in repository.entries():
+        match = _SUBJOB_PATH.search(entry.output_path)
+        if match:
+            subjob = max(subjob, int(match.group(1)))
+        match = _SCRIPT_PREFIX.match(entry.output_path)
+        if match:
+            script = max(script, int(match.group(1)))
+    return {"next_script_id": script + 1, "next_subjob_id": subjob + 1}
+
+
+def recover(
+    config: PersistenceConfig, dfs=None, *, matcher=None
+) -> RecoveredState:
+    """Rebuild repository + manager state from snapshot and journal.
+
+    Loads the snapshot (if any), replays every intact journal record
+    on top, truncates a torn tail in place, and derives/merges the id
+    and clock floors.  When *dfs* is given the id floors are pushed
+    into it immediately via :meth:`ensure_id_floor`.
+    """
+    snapshot_storage = config.snapshot_storage(dfs)
+    journal = Journal(config.journal_storage(dfs))
+    snapshot_entries = 0
+    if snapshot_storage.exists() and snapshot_storage.size() > 0:
+        snapshot = RepositorySnapshot.from_bytes(snapshot_storage.read())
+        repository = snapshot.restore_repository(matcher=matcher)
+        snapshot_entries = len(snapshot)
+        manager_state = snapshot.manager_state
+        target = ReplayTarget(
+            repository,
+            kept_paths=manager_state.get("kept_paths", ()),
+            clock=manager_state.get("clock", 0),
+            id_floors=snapshot.dfs_state,
+        )
+    else:
+        target = ReplayTarget(Repository(matcher=matcher))
+    scan = journal.scan()
+    replayed = target.apply_all(scan.records)
+    if scan.torn:
+        journal.repair(scan)
+    for key, value in derive_id_floors(target.repository).items():
+        target.id_floors[key] = max(target.id_floors.get(key, 1), value)
+    for entry in target.repository.entries():
+        target.clock = max(target.clock, entry.created_at, entry.last_used_at)
+    if dfs is not None:
+        dfs.ensure_id_floor(**target.id_floors)
+    return RecoveredState(
+        repository=target.repository,
+        kept_paths=target.kept_paths,
+        clock=target.clock,
+        id_floors=target.id_floors,
+        snapshot_entries=snapshot_entries,
+        journal_records=replayed,
+        journal_torn_bytes=scan.torn_bytes,
+    )
+
+
+class RepositoryPersister:
+    """Journals live mutations and rotates snapshots for one manager.
+
+    Wiring (all detachable via :meth:`close`):
+
+    * repository mutation listeners — ``entry_added``/``entry_removed``
+      records are built *under the repository lock* (correctness over
+      cost: the entry cannot change or vanish mid-serialization) and
+      buffered; with the default write-through config the buffer
+      drains to storage before the mutating call returns;
+    * the manager bus — ``RewriteApplied``/``JobEliminated`` update an
+      entry's reuse statistics, journaled as ``entry_used`` records
+      (max-merged on replay);
+    * manager hooks — kept-path commits journal inline, and workflow
+      boundaries flush + write a ``counters`` record when the DFS id
+      state or clock moved + rotate the snapshot when the configured
+      interval has elapsed.
+
+    Lock order: manager → repository → buffer → io → dfs.  The
+    persister's own :class:`EventBus` (``events``) carries
+    :class:`JournalAppended`/:class:`SnapshotTaken` so standby
+    replicas never touch the manager bus.
+    """
+
+    def __init__(self, manager, config: PersistenceConfig, *, dfs=None) -> None:
+        self.manager = manager
+        self.repository = manager.repository
+        self.config = config
+        self.dfs = dfs if dfs is not None else manager.dfs
+        #: persister-scoped bus: JournalAppended / SnapshotTaken
+        self.events = EventBus()
+        self.snapshot_storage = config.snapshot_storage(self.dfs)
+        self.journal = Journal(config.journal_storage(self.dfs))
+        self._buffer: List[dict] = []
+        self._buffer_lock = threading.Lock()
+        #: serializes journal writes so flushed batches stay in order
+        self._io_lock = threading.Lock()
+        self._records_since_snapshot = 0
+        self._last_counters: Optional[dict] = None
+        self._closed = False
+        self._unsubscribes = [
+            self.repository.subscribe_mutations(self._on_mutation),
+            self.manager.events.subscribe(
+                self._on_usage, event_types=(RewriteApplied, JobEliminated)
+            ),
+        ]
+        manager.persistence = self
+
+    # -- record sources -----------------------------------------------------------
+
+    def _on_mutation(self, kind: str, entry) -> None:
+        if kind == "added":
+            payload = {"type": "entry_added", "entry": entry_record(entry)}
+        elif kind == "removed":
+            payload = {"type": "entry_removed", "entry_id": entry.entry_id}
+        else:
+            return
+        self._enqueue(payload)
+
+    def _on_usage(self, event) -> None:
+        entry_id = event.entry_id
+        if not entry_id or not self.repository.has_entry(entry_id):
+            return
+        entry = self.repository.get(entry_id)
+        self._enqueue(
+            {
+                "type": "entry_used",
+                "entry_id": entry_id,
+                "use_count": entry.use_count,
+                "last_used_at": entry.last_used_at,
+                "clock": self.manager.clock,
+            }
+        )
+
+    def note_kept_path(self, path: str, added: bool) -> None:
+        """Called by the manager (under its lock) when a stored output
+        enters or leaves the kept-path set."""
+        self._enqueue(
+            {
+                "type": "kept_path_added" if added else "kept_path_removed",
+                "path": path,
+            }
+        )
+
+    def note_workflow_end(self) -> None:
+        """Workflow boundary: persist moved counters, drain the buffer,
+        rotate the snapshot if the interval has elapsed."""
+        self._journal_counters_if_moved()
+        self.flush()
+        self.maybe_snapshot()
+
+    def _journal_counters_if_moved(self) -> None:
+        counters = dict(self.dfs.id_state())
+        counters["clock"] = self.manager.clock
+        if counters != self._last_counters:
+            self._last_counters = counters
+            self._enqueue({"type": "counters", **counters})
+
+    # -- writing ------------------------------------------------------------------
+
+    def _enqueue(self, payload: dict) -> None:
+        if self._closed:
+            return
+        with self._buffer_lock:
+            self._buffer.append(payload)
+            due = len(self._buffer) >= max(1, self.config.flush_every)
+        if due:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write buffered records to the journal; returns the number
+        of records written."""
+        with self._io_lock:
+            with self._buffer_lock:
+                batch, self._buffer = self._buffer, []
+                if not batch:
+                    return 0
+                self._records_since_snapshot += len(batch)
+            nbytes = self.journal.append_payloads(batch)
+        self.events.emit(
+            JournalAppended(
+                path=self.journal.location, records=len(batch), bytes=nbytes
+            )
+        )
+        return len(batch)
+
+    @property
+    def records_since_snapshot(self) -> int:
+        return self._records_since_snapshot
+
+    def maybe_snapshot(self) -> bool:
+        interval = self.config.snapshot_interval
+        if interval > 0 and self._records_since_snapshot >= interval:
+            self.take_snapshot()
+            return True
+        return False
+
+    def take_snapshot(self) -> SnapshotTaken:
+        """Capture + write a snapshot and reset the journal, atomically
+        with respect to mutations (manager and repository locks held
+        through the whole rotation).
+
+        A crash after the snapshot write but before the reset leaves
+        already-folded records in the journal; replay is idempotent,
+        so the next recovery converges to the same state.
+        """
+        with self.manager.locked():
+            with self.repository.locked():
+                snapshot = RepositorySnapshot.capture(
+                    self.repository,
+                    kept_paths=self.manager.kept_paths,
+                    clock=self.manager.clock,
+                    dfs_ids=self.dfs.id_state(),
+                )
+                data = snapshot.to_bytes()
+                self.snapshot_storage.write(data)
+                with self._buffer_lock:
+                    # buffered records were captured in the snapshot
+                    self._buffer.clear()
+                    self._records_since_snapshot = 0
+                self.journal.reset()
+                entries = len(snapshot)
+        event = SnapshotTaken(
+            path=self.snapshot_storage.location, entries=entries, bytes=len(data)
+        )
+        self.events.emit(event)
+        return event
+
+    def close(self, *, snapshot: bool = False) -> None:
+        """Detach from the manager, flushing (and optionally
+        snapshotting) first; idempotent."""
+        if self._closed:
+            return
+        self._journal_counters_if_moved()
+        self.flush()
+        if snapshot:
+            self.take_snapshot()
+        self._closed = True
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes = []
+        if getattr(self.manager, "persistence", None) is self:
+            self.manager.persistence = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RepositoryPersister(journal={self.journal.location!r}, "
+            f"snapshot={self.snapshot_storage.location!r}, "
+            f"pending={len(self._buffer)})"
+        )

@@ -1,0 +1,160 @@
+"""The append-only mutation journal.
+
+Every repository mutation after the last snapshot lands here as one
+framed record::
+
+    length u32 | crc32 u32 | payload (compact JSON, ``length`` bytes)
+
+The framing makes a mid-flush crash recoverable by construction: a
+torn tail — an incomplete frame header, a payload shorter than its
+declared length, or a payload whose checksum disagrees — stops the
+scan at the last complete record.  Everything before the tear is
+intact (appends never rewrite earlier bytes), so recovery replays the
+clean prefix and truncates the tear instead of guessing at it.
+
+Record payloads are JSON objects with a ``type`` field; the types the
+persister writes (``entry_added``, ``entry_removed``, ``entry_used``,
+``kept_path_added``, ``kept_path_removed``, ``counters``) are applied
+by :class:`repro.persistence.durability.ReplayTarget`.  Unknown types
+are preserved by the scan and skipped by replay, so old readers
+tolerate journals written by newer code.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Mapping
+
+from repro.exceptions import ReproError
+
+#: payload length, crc32(payload)
+_FRAME = struct.Struct(">II")
+
+
+class JournalError(ReproError):
+    """A journal could not be written or scanned."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record: its ``type`` plus the remaining
+    payload fields."""
+
+    type: str
+    data: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        payload = dict(self.data)
+        payload["type"] = self.type
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "JournalRecord":
+        data = dict(payload)
+        rtype = data.pop("type", "")
+        return cls(type=rtype, data=data)
+
+
+def encode_record(payload: Mapping) -> bytes:
+    """Frame one record payload (length-prefixed + checksummed)."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+@dataclass
+class JournalScan:
+    """The result of decoding a journal byte string.
+
+    ``clean_bytes`` is the length of the longest prefix made of intact
+    records; anything past it is a torn tail from a crash mid-append.
+    """
+
+    records: List[JournalRecord]
+    clean_bytes: int
+    total_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        return self.clean_bytes < self.total_bytes
+
+    @property
+    def torn_bytes(self) -> int:
+        return self.total_bytes - self.clean_bytes
+
+
+def decode_journal(data: bytes) -> JournalScan:
+    """Decode every intact record; stop (never raise) at a torn tail."""
+    records: List[JournalRecord] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _FRAME.size:
+            break  # torn frame header
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            break  # torn payload
+        body = data[start:end]
+        if zlib.crc32(body) != crc:
+            break  # corrupted tail
+        try:
+            payload = json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break  # checksummed garbage can only be a torn rewrite
+        records.append(JournalRecord.from_payload(payload))
+        offset = end
+    return JournalScan(records, offset, total)
+
+
+def read_journal(source) -> JournalScan:
+    """Scan a journal from raw bytes or a storage backend."""
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return decode_journal(bytes(source))
+    data = source.read() if source.exists() else b""
+    return decode_journal(data)
+
+
+class Journal:
+    """An append-only record log over one storage backend."""
+
+    def __init__(self, storage) -> None:
+        self.storage = storage
+
+    @property
+    def location(self) -> str:
+        return self.storage.location
+
+    def append_payloads(self, payloads) -> int:
+        """Append framed records for *payloads* in order; returns the
+        bytes written (one storage append, so records from a single
+        flush are contiguous)."""
+        data = b"".join(encode_record(payload) for payload in payloads)
+        if data:
+            self.storage.append(data)
+        return len(data)
+
+    def scan(self) -> JournalScan:
+        return read_journal(self.storage)
+
+    def repair(self, scan: JournalScan = None) -> int:
+        """Truncate a torn tail in place; returns the bytes dropped."""
+        if scan is None:
+            scan = self.scan()
+        if scan.torn:
+            self.storage.truncate(scan.clean_bytes)
+        return scan.torn_bytes
+
+    def reset(self) -> None:
+        """Start a fresh epoch (called right after a snapshot commits:
+        every journaled mutation is now folded into the snapshot)."""
+        self.storage.truncate(0)
+
+    def size(self) -> int:
+        return self.storage.size()
+
+    def __repr__(self) -> str:
+        return f"Journal({self.location!r}, bytes={self.size()})"

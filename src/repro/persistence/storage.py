@@ -1,0 +1,109 @@
+"""Byte-blob storage backends for snapshots and journals.
+
+The codec layers above (:mod:`repro.persistence.snapshot`,
+:mod:`repro.persistence.journal`) work on opaque byte strings; this
+module supplies the two places those bytes can live:
+
+* :class:`DFSStorage` — a file inside the simulated DFS, mirroring the
+  paper's deployment where the repository metadata is just another
+  replicated file on the cluster it indexes;
+* :class:`LocalStorage` — a real file on the local filesystem, so the
+  CLI can carry repository state across separate ``python -m repro``
+  process invocations.
+
+Both expose the same small surface: ``exists``/``size``/``read`` for
+recovery, ``write`` for snapshot rotation (full replace), ``append``
+for journal records, and ``truncate`` for repairing a torn journal
+tail.  Individual operations are atomic at the backend's granularity
+(one DFS call under its lock; one file syscall), which is all the
+framing layers need — they tolerate torn *tails*, not torn records.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+class LocalStorage:
+    """Snapshot/journal bytes in a real file on the local filesystem."""
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+
+    @property
+    def location(self) -> str:
+        return str(self.path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def size(self) -> int:
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def read(self) -> bytes:
+        return self.path.read_bytes()
+
+    def write(self, data: bytes) -> None:
+        """Replace the whole file (write-temp-then-rename, so a crash
+        mid-write never leaves a half-written snapshot in place)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_bytes(data)
+        tmp.replace(self.path)
+
+    def append(self, data: bytes) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            handle.write(data)
+
+    def truncate(self, length: int) -> None:
+        if not self.path.exists():
+            if length == 0:
+                return
+            raise FileNotFoundError(str(self.path))
+        with open(self.path, "r+b") as handle:
+            handle.truncate(length)
+
+    def delete(self) -> None:
+        self.path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return f"LocalStorage({str(self.path)!r})"
+
+
+class DFSStorage:
+    """Snapshot/journal bytes as a file in the simulated DFS."""
+
+    def __init__(self, dfs, path: str) -> None:
+        self.dfs = dfs
+        self.path = path
+
+    @property
+    def location(self) -> str:
+        return self.path
+
+    def exists(self) -> bool:
+        return self.dfs.exists(self.path)
+
+    def size(self) -> int:
+        return self.dfs.file_size(self.path) if self.exists() else 0
+
+    def read(self) -> bytes:
+        return self.dfs.read_file(self.path)
+
+    def write(self, data: bytes) -> None:
+        self.dfs.write_file(self.path, data, overwrite=True)
+
+    def append(self, data: bytes) -> None:
+        self.dfs.append(self.path, data)
+
+    def truncate(self, length: int) -> None:
+        # the DFS has no in-place truncate: rewrite the clean prefix
+        current = self.read() if self.exists() else b""
+        self.dfs.write_file(self.path, current[:length], overwrite=True)
+
+    def delete(self) -> None:
+        self.dfs.delete_if_exists(self.path)
+
+    def __repr__(self) -> str:
+        return f"DFSStorage({self.path!r})"

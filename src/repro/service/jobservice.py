@@ -59,6 +59,11 @@ from repro.dfs.filesystem import DistributedFileSystem
 from repro.events import ReStoreEvent
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.job import Workflow
+from repro.persistence.durability import (
+    PersistenceConfig,
+    RepositoryPersister,
+    recover,
+)
 from repro.pig.engine import PigRunResult
 from repro.session import ReStoreSession
 
@@ -181,6 +186,7 @@ class JobService:
         cost_model: Optional[CostModel] = None,
         repository: Optional[Repository] = None,
         config: Optional[ReStoreConfig] = None,
+        persistence: Optional[PersistenceConfig] = None,
         max_workers: int = 4,
         optimize: bool = True,
         default_parallel: int = 28,
@@ -193,12 +199,30 @@ class JobService:
         )
         self.cost_model = cost_model or CostModel(cluster=self.cluster)
         self.config = config or ReStoreConfig()
+        #: the attached RepositoryPersister when persistence= is given
+        self.persister: Optional[RepositoryPersister] = None
+        recovered = None
+        if persistence is not None:
+            if repository is not None:
+                raise ValueError(
+                    "persistence= recovers its own repository from the "
+                    "snapshot/journal; don't also pass repository="
+                )
+            # recover before the manager exists: the restored
+            # repository becomes the shared repository, and the id
+            # floors land in the DFS before any tenant's job allocates
+            recovered = recover(persistence, self.dfs)
+            repository = recovered.repository
         self.manager = ReStoreManager(
             self.dfs,
             cost_model=self.cost_model,
             repository=repository,
             config=self.config,
         )
+        if recovered is not None:
+            self.manager.kept_paths.update(recovered.kept_paths)
+            self.manager.clock = max(self.manager.clock, recovered.clock)
+            self.persister = RepositoryPersister(self.manager, persistence)
         self.max_workers = max_workers
         self._optimize = optimize
         self._default_parallel = default_parallel
@@ -337,7 +361,9 @@ class JobService:
         they must not run against closed sessions) and the currently
         running jobs complete in the background with their sessions
         left open.  The DFS, repository, and manager stay readable so
-        state can be inspected or persisted afterwards.
+        state can be inspected or persisted afterwards.  A durable
+        service flushes its journal and detaches the persister once
+        the last job has drained.
         """
         with self._lock:
             self._closed = True
@@ -346,6 +372,8 @@ class JobService:
         if wait:
             for handle in handles:
                 handle.session.close()
+            if self.persister is not None:
+                self.persister.close()
 
     def __enter__(self) -> "JobService":
         return self

@@ -42,6 +42,11 @@ from repro.costmodel.model import CostModel
 from repro.dfs.filesystem import DistributedFileSystem
 from repro.events import EventBus
 from repro.mapreduce.cluster import ClusterConfig
+from repro.persistence.durability import (
+    PersistenceConfig,
+    RepositoryPersister,
+    recover,
+)
 from repro.pig.engine import PigRunResult, PigServer
 
 
@@ -66,6 +71,7 @@ class ReStoreSession:
         repository: Optional[Repository] = None,
         config: Optional[ReStoreConfig] = None,
         manager: Optional[ReStoreManager] = None,
+        persistence: Optional[PersistenceConfig] = None,
         restore_enabled: bool = True,
         optimize: bool = True,
         default_parallel: int = 28,
@@ -98,6 +104,28 @@ class ReStoreSession:
                 n_datanodes=datanodes or self.cluster.n_worker_nodes
             )
         self.dfs = dfs
+        #: the attached RepositoryPersister when persistence= is given
+        self.persister: Optional[RepositoryPersister] = None
+        recovered = None
+        if persistence is not None:
+            if manager is not None:
+                raise ValueError(
+                    "persistence= builds its own durable manager state; "
+                    "attach a RepositoryPersister to the manager directly "
+                    "instead of passing both"
+                )
+            if repository is not None:
+                raise ValueError(
+                    "persistence= recovers its own repository from the "
+                    "snapshot/journal; don't also pass repository="
+                )
+            if not restore_enabled:
+                raise ValueError("persistence= requires restore_enabled=True")
+            # recover before the manager exists: the restored
+            # repository becomes the manager's repository, and the id
+            # floors land in the DFS before any job allocates
+            recovered = recover(persistence, self.dfs)
+            repository = recovered.repository
         if manager is not None:
             self.cost_model = cost_model or manager.cost_model
             self.config = manager.config
@@ -115,6 +143,10 @@ class ReStoreSession:
                 if restore_enabled
                 else None
             )
+        if recovered is not None and self.manager is not None:
+            self.manager.kept_paths.update(recovered.kept_paths)
+            self.manager.clock = max(self.manager.clock, recovered.clock)
+            self.persister = RepositoryPersister(self.manager, persistence)
         self.server = PigServer(
             self.dfs,
             cluster=self.cluster,
@@ -206,7 +238,10 @@ class ReStoreSession:
     def close(self) -> None:
         """End the session.  Subsequent ``run``/``explain`` calls
         raise; the DFS and repository objects stay readable so state
-        can be inspected or persisted after closing."""
+        can be inspected or persisted after closing.  A durable
+        session flushes its journal and detaches the persister."""
+        if self.persister is not None:
+            self.persister.close()
         self._closed = True
 
     def _check_open(self) -> None:
@@ -286,6 +321,7 @@ class SessionBuilder:
         self._cluster: Optional[ClusterConfig] = None
         self._cost_model: Optional[CostModel] = None
         self._repository: Optional[Repository] = None
+        self._persistence: Optional[PersistenceConfig] = None
         self._config: Optional[ReStoreConfig] = None
         self._config_kwargs: dict = {}
         self._eviction: List[Union[str, EvictionPolicy]] = []
@@ -314,6 +350,12 @@ class SessionBuilder:
 
     def repository(self, repository: Repository) -> "SessionBuilder":
         self._repository = repository
+        return self
+
+    def persistence(self, config: PersistenceConfig) -> "SessionBuilder":
+        """Make the repository durable: recover from the configured
+        snapshot/journal at build time and journal every mutation."""
+        self._persistence = config
         return self
 
     def optimizer(self, enabled: bool) -> "SessionBuilder":
@@ -408,6 +450,7 @@ class SessionBuilder:
             cost_model=self._cost_model,
             repository=self._repository,
             config=config,
+            persistence=self._persistence,
             restore_enabled=self._restore_enabled,
             optimize=self._optimize,
             default_parallel=self._default_parallel,

@@ -15,8 +15,10 @@ to amortize upkeep — it must be observationally equivalent:
 
 from __future__ import annotations
 
+import json
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -143,15 +145,34 @@ class TestBatchAmortization:
         repo.ordered_entries()
         assert repo.index_stats.subsume_checks == checks
 
-    def test_from_json_restores_via_batch(self):
+    def test_legacy_json_restores_via_batch(self):
+        # the pre-snapshot entries-only JSON shape still loads, paying
+        # one batched re-registration pass
         repo = Repository()
         repo.add_batch(self._random_entries(6))
         repo.flush()
-        restored = Repository.from_json(repo.to_json())
+        legacy = json.dumps({"entries": [e.to_dict() for e in repo.entries()]})
+        with pytest.deprecated_call():
+            restored = Repository.from_json(legacy)
         assert [e.entry_id for e in restored.ordered_entries()] == [
             e.entry_id for e in repo.ordered_entries()
         ]
         assert restored.index_stats.batch_flushes == 1
+        assert_index_consistent(restored)
+
+    def test_snapshot_json_restores_without_matcher_work(self):
+        # the snapshot-format payload to_json now emits fast-restores
+        # the recorded order directly: no flush, no traversals
+        repo = Repository()
+        repo.add_batch(self._random_entries(6))
+        repo.flush()
+        with pytest.deprecated_call():
+            restored = Repository.from_json(repo.to_json())
+        assert [e.entry_id for e in restored.ordered_entries()] == [
+            e.entry_id for e in repo.ordered_entries()
+        ]
+        assert restored.index_stats.batch_flushes == 0
+        assert restored.index_stats.subsume_checks == 0
         assert_index_consistent(restored)
 
     def test_ordering_disabled_batches_never_pay_matcher(self):

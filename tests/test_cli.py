@@ -135,3 +135,50 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "Figure 9" in out
         assert "paper:" in out
+
+
+class TestPersistenceFlags:
+    def test_second_invocation_starts_warm(self, script_and_data, capsys):
+        script, data = script_and_data
+        snap = script.parent / "state" / "repo.snapshot"
+        args = [
+            "run", str(script), "--data", f"{data}=pv",
+            "--snapshot", str(snap),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "repository:" in first
+        assert snap.exists()
+        assert (script.parent / "state" / "repo.snapshot.journal").exists()
+
+        # a brand-new process would see exactly these files; the second
+        # invocation recovers the repository and reuses the stored job
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "ReStore rewrites:" in second
+        assert "already stored" in second  # whole job eliminated
+        assert "0 job(s) executed" in second
+        assert "alice\t4.0" in second  # same answer, from stored bytes
+
+    def test_journal_flag_alone_derives_snapshot_path(
+        self, script_and_data, capsys
+    ):
+        script, data = script_and_data
+        journal = script.parent / "repo.journal"
+        args = [
+            "run", str(script), "--data", f"{data}=pv",
+            "--journal", str(journal),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert journal.exists()
+        assert main(args) == 0
+        assert "already stored" in capsys.readouterr().out
+
+    def test_snapshot_requires_restore(self, script_and_data, tmp_path):
+        script, data = script_and_data
+        with pytest.raises(SystemExit):
+            main([
+                "run", str(script), "--data", f"{data}=pv", "--no-restore",
+                "--snapshot", str(tmp_path / "s"),
+            ])

@@ -322,9 +322,13 @@ class TestEntryIdScoping:
         )
 
     def test_loaded_ids_never_collide_with_generated(self):
+        from repro.persistence.snapshot import RepositorySnapshot
+
         repo = Repository()
         repo.add(make_entry([], "ds0", "stored/a"))
-        restored = Repository.from_json(repo.to_json())
+        restored = RepositorySnapshot.from_bytes(
+            RepositorySnapshot.capture(repo).to_bytes()
+        ).restore_repository()
         fresh = restored.add(make_entry([("filter", 1)], "ds0", "stored/b"))
         assert fresh.entry_id != "entry_000001"
         assert len(restored) == 2

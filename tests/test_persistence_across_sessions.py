@@ -2,14 +2,24 @@
 
 ReStore's value compounds across submissions that may be days apart
 (§1: Facebook keeps results for seven days), so the repository must
-survive engine restarts.  These tests serialize the repository to
-JSON — storable in the DFS itself — and verify a *fresh* manager
-reloaded from it still rewrites new queries against the stored files.
+survive engine restarts.  These tests persist through the snapshot +
+journal subsystem — the snapshot is just another replicated file on
+the DFS it indexes — and verify a *fresh* manager recovered from it
+still rewrites new queries against the stored files, with the same
+decisions a never-restarted manager would have made.
 """
 
+from __future__ import annotations
+
+import pytest
 
 from repro.core.manager import ReStoreConfig, ReStoreManager
 from repro.core.repository import Repository
+from repro.persistence.durability import (
+    PersistenceConfig,
+    RepositoryPersister,
+    recover,
+)
 from repro.pig.engine import PigServer
 
 PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
@@ -26,23 +36,26 @@ E = foreach D generate group, SUM(C.est_revenue);
 store E into 'OUT';
 """
 
-REPO_PATH = "restore/repository.json"
+CONFIG = PersistenceConfig()  # dfs backend, default restore/ paths
 
 
 def first_session(dfs):
-    """Run a query, then persist the repository into the DFS."""
+    """Run a query under a live persister, then snapshot into the DFS."""
     manager = ReStoreManager(dfs)
+    persister = RepositoryPersister(manager, CONFIG)
     server = PigServer(dfs, restore=manager)
     result = server.run(Q2.replace("OUT", "out/session1"))
-    dfs.write_file(REPO_PATH, manager.repository.to_json(), overwrite=True)
+    persister.close(snapshot=True)
     return result, manager
 
 
 def second_session(dfs):
-    """A brand-new manager bootstrapped from the persisted repository."""
-    repository = Repository.from_json(dfs.read_text(REPO_PATH))
-    manager = ReStoreManager(dfs, repository=repository)
-    manager.kept_paths.update(e.output_path for e in repository)
+    """A brand-new manager recovered from the persisted snapshot."""
+    recovered = recover(CONFIG, dfs)
+    manager = ReStoreManager(dfs, repository=recovered.repository)
+    manager.kept_paths.update(recovered.kept_paths)
+    manager.kept_paths.update(e.output_path for e in recovered.repository.entries())
+    manager.clock = max(manager.clock, recovered.clock)
     server = PigServer(dfs, restore=manager)
     return server, manager
 
@@ -50,7 +63,7 @@ def second_session(dfs):
 class TestCrossSessionReuse:
     def test_repository_round_trips_through_dfs(self, small_data):
         _, manager = first_session(small_data)
-        restored = Repository.from_json(small_data.read_text(REPO_PATH))
+        restored = recover(CONFIG, small_data).repository
         assert len(restored) == len(manager.repository)
         for entry in manager.repository:
             twin = restored.get(entry.entry_id)
@@ -81,10 +94,8 @@ class TestCrossSessionReuse:
 
     def test_restored_statistics_preserve_ordering(self, small_data):
         _, manager = first_session(small_data)
-        order_before = [
-            e.entry_id for e in manager.repository.ordered_entries()
-        ]
-        restored = Repository.from_json(small_data.read_text(REPO_PATH))
+        order_before = [e.entry_id for e in manager.repository.ordered_entries()]
+        restored = recover(CONFIG, small_data).repository
         order_after = [e.entry_id for e in restored.ordered_entries()]
         assert order_before == order_after
 
@@ -92,19 +103,15 @@ class TestCrossSessionReuse:
         from repro.core.eviction import InputModifiedEviction
 
         first_session(small_data)
-        repository = Repository.from_json(small_data.read_text(REPO_PATH))
+        repository = recover(CONFIG, small_data).repository
         manager = ReStoreManager(
             small_data,
             repository=repository,
-            config=ReStoreConfig(
-                eviction_policies=[InputModifiedEviction()]
-            ),
+            config=ReStoreConfig(eviction_policies=[InputModifiedEviction()]),
         )
         # restored entries own their stored files, as in a live session
         manager.kept_paths.update(e.output_path for e in repository)
-        small_data.write_file(
-            "data/page_views", "z\t1\t1\t1.0\ti\tl\n", overwrite=True
-        )
+        small_data.write_file("data/page_views", "z\t1\t1\t1.0\ti\tl\n", overwrite=True)
         small_data.write_file("data/users", "z\tp\ta\tc\n", overwrite=True)
         manager.clock = 1
         evicted = manager.run_evictions()
@@ -112,3 +119,66 @@ class TestCrossSessionReuse:
         # the cascade clears entries whose inputs were other (now
         # evicted) stored results, transitively
         assert len(manager.repository) == 0
+
+
+class TestSessionWarmRestart:
+    """The full ``ReStoreSession(persistence=...)`` lifecycle: the
+    session recovers, journals, and its successor starts warm."""
+
+    def test_session_restart_reuses_results(self, small_data):
+        from repro.session import ReStoreSession
+
+        first = ReStoreSession(dfs=small_data, persistence=CONFIG)
+        result1 = first.run(Q2.replace("OUT", "out/s1"))
+        first.persister.take_snapshot()
+        first.close()
+
+        second = ReStoreSession(dfs=small_data, persistence=CONFIG)
+        assert len(second.repository) == len(first.repository)
+        result2 = second.run(Q2.replace("OUT", "out/s2"))
+        second.close()
+        assert sorted(result2.outputs["out/s2"]) == sorted(result1.outputs["out/s1"])
+        assert second.manager.rewrite_count + second.manager.elimination_count >= 1
+
+    def test_session_validates_conflicting_arguments(self, small_data):
+        from repro.session import ReStoreSession
+
+        with pytest.raises(ValueError, match="repository"):
+            ReStoreSession(dfs=small_data, persistence=CONFIG, repository=Repository())
+        with pytest.raises(ValueError, match="restore_enabled"):
+            ReStoreSession(dfs=small_data, persistence=CONFIG, restore_enabled=False)
+
+    def test_service_restart_reuses_results(self, small_data):
+        from repro.service import JobService
+
+        with JobService(dfs=small_data, persistence=CONFIG) as service:
+            tenant = service.open_session("alice")
+            tenant.run(Q2.replace("OUT", "out/svc1"))
+            service.persister.take_snapshot()
+            entries_before = len(service.repository)
+
+        with JobService(dfs=small_data, persistence=CONFIG) as successor:
+            assert len(successor.repository) == entries_before
+            tenant = successor.open_session("bob")
+            result = tenant.run(Q2.replace("OUT", "out/svc2"))
+            stats = successor.manager
+            assert stats.rewrite_count + stats.elimination_count >= 1
+        assert result.outputs["out/svc2"]
+
+
+class TestDeprecatedJsonShim:
+    """The old public helpers survive one deprecation cycle: they now
+    delegate to the snapshot-format JSON but keep working."""
+
+    def test_to_json_from_json_round_trip_warns(self, small_data):
+        manager = ReStoreManager(small_data)
+        server = PigServer(small_data, restore=manager)
+        server.run(Q2.replace("OUT", "out/shim"))
+        with pytest.deprecated_call():
+            text = manager.repository.to_json()
+        with pytest.deprecated_call():
+            restored = Repository.from_json(text)
+        assert len(restored) == len(manager.repository)
+        assert [e.entry_id for e in restored.ordered_entries()] == [
+            e.entry_id for e in manager.repository.ordered_entries()
+        ]
