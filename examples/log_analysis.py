@@ -12,7 +12,7 @@ a live subscription on the typed event bus.
 Run:  python examples/log_analysis.py
 """
 
-from repro import EntryEvicted, ReStoreSession, RewriteApplied
+from repro import EntryEvicted, JobEliminated, ReStoreSession, RewriteApplied
 
 LOG_SCHEMA = (
     "ip, user, timestamp:int, url, status:int, bytes:int, referrer, agent"
@@ -77,16 +77,17 @@ def main() -> None:
         write_logs(session.dfs, day)
         for name, query in analyst_queries(day).items():
             result = session.run(query, name=name)
-            reused_any = any(
-                isinstance(e, RewriteApplied) or "whole job" in str(e)
+            decisions = [
+                e
                 for e in result.events
-            )
-            reuse = "reused" if reused_any else "computed"
+                if isinstance(e, (RewriteApplied, JobEliminated))
+            ]
+            reuse = "reused" if decisions else "computed"
             print(
                 f"  {name:22s} {result.sim_minutes:6.2f} sim-min  [{reuse}]"
             )
-            for event in result.rewrites:
-                print(f"      {event}")
+            for event in decisions:
+                print(f"      {event.render()}")
         print(
             f"  repository: {len(session.repository)} entries, "
             f"{session.repository.total_stored_bytes} stored bytes"

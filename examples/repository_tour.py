@@ -2,14 +2,14 @@
 
 Shows the machinery the paper describes in §2.2-§5: what an entry
 stores, how the §3 ordering rules (subsumption first, then I/O ratio
-and execution time) arrange the scan order, plan rendering, and JSON
-persistence across engine restarts.
+and execution time) arrange the scan order, plan rendering, and
+snapshot persistence across engine restarts.
 
 Run:  python examples/repository_tour.py
 """
 
 from repro import ReStoreSession
-from repro.core.repository import Repository
+from repro.persistence.snapshot import RepositorySnapshot
 
 PV = "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
 
@@ -59,8 +59,8 @@ def main() -> None:
                 print(f"{a.entry_id} subsumes {b.entry_id}")
 
     print("\n=== persistence round trip ===")
-    payload = session.repository.to_json()
-    restored = Repository.from_json(payload)
+    payload = RepositorySnapshot.capture(session.repository).to_bytes()
+    restored = RepositorySnapshot.from_bytes(payload).restore_repository()
     print(
         f"serialized {len(payload)} bytes; restored "
         f"{len(restored)} entries with matching fingerprints: "

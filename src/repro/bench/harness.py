@@ -49,7 +49,7 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
-    payload["version"] = 5
+    payload["version"] = 6
     # exec_sim runs before the service benchmark: its wall-time gate is
     # the noise-sensitive one, so it gets the freshest process state
     payload["exec_sim"] = run_exec_sim_benchmark(
@@ -99,6 +99,24 @@ def run_benchmark_suite(
             f"  service N={scale['n_entries']:>5}: "
             f"serial={scale['serial']['jobs_per_sec']:.0f}/s, {runs}, "
             f"1-worker identical={scale['one_worker_decisions_identical']}"
+        )
+    process_lane = payload["service_throughput"].get("process_lane") or {}
+    for scale in process_lane.get("scales", []):
+        runs = ", ".join(
+            f"{run['workers']}w={run['jobs_per_sec']:.0f}/s"
+            for run in scale["workers"]
+        )
+        speedup = scale["speedup_4v1"]
+        scaling = (
+            f"{speedup}x 4v1" if speedup is not None else "4v1 not measured"
+        )
+        if scale["cpus"] < 4:
+            scaling += f" (gate off: {scale['cpus']} cpu)"
+        print(
+            f"  processes N={scale['n_entries']:>5}: "
+            f"serial={scale['serial']['jobs_per_sec']:.0f}/s, {runs}, "
+            f"{scaling}, 1-worker-process identical="
+            f"{scale['one_worker_decisions_identical']}"
         )
     for scale in payload["exec_sim"]["scales"]:
         batched = scale["modes"]["batched"]

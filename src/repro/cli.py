@@ -13,6 +13,12 @@ disable with ``--no-restore``), copy the given local files into the
 DFS, and execute the script.  ReStore policies are pluggable by name:
 ``--heuristic conservative --selector rules --evict time-window:4``.
 
+``run --workers N`` (or ``--executor threads|processes``) routes the
+script through the shared :class:`~repro.service.JobService` instead
+of a private session — the deployment shape the paper's §1 shared
+service describes.  ``--executor processes`` executes on the
+spawn-based worker-process pool.
+
 ``--snapshot``/``--journal`` make the repository durable across
 invocations: the session recovers from the named local files before
 running, journals every mutation, and rotates a fresh snapshot on
@@ -64,34 +70,37 @@ def _sidecar_dir(config) -> pathlib.Path:
     return pathlib.Path(config.snapshot_path + ".files")
 
 
-def _load_kept_files(session: ReStoreSession, config) -> None:
+def _load_kept_files(target, config) -> None:
     """Seed the fresh DFS with the kept files a previous invocation
-    dumped, so restored repository entries point at real data."""
+    dumped, so restored repository entries point at real data.
+    ``target`` is anything carrying a ``dfs`` (session or service)."""
     root = _sidecar_dir(config)
     if not root.is_dir():
         return
     for local in sorted(root.rglob("*")):
         if local.is_file():
             dfs_path = local.relative_to(root).as_posix()
-            session.write_file(dfs_path, local.read_bytes())
+            target.dfs.write_file(dfs_path, local.read_bytes(), overwrite=True)
 
 
-def _dump_kept_files(session: ReStoreSession, config) -> None:
+def _dump_kept_files(target, config) -> None:
     """Mirror every stored DFS file into the sidecar directory so the
     next invocation can reuse the repository's results.  That is the
     kept temporary outputs plus every entry's output path — whole-job
-    entries anchor on user outputs, which ``kept_paths`` never holds."""
+    entries anchor on user outputs, which ``kept_paths`` never holds.
+    ``target`` is a session or a service (``dfs``/``manager``/
+    ``repository`` attributes)."""
     root = _sidecar_dir(config)
-    paths = set(session.manager.kept_paths) if session.manager else set()
-    if session.repository is not None:
-        paths.update(e.output_path for e in session.repository.entries())
+    paths = set(target.manager.kept_paths) if target.manager else set()
+    if target.repository is not None:
+        paths.update(e.output_path for e in target.repository.entries())
     kept = sorted(paths)
     for dfs_path in kept:
-        if not session.dfs.exists(dfs_path):
+        if not target.dfs.exists(dfs_path):
             continue
         local = root / dfs_path
         local.parent.mkdir(parents=True, exist_ok=True)
-        local.write_bytes(session.dfs.read_file(dfs_path))
+        local.write_bytes(target.dfs.read_file(dfs_path))
     # drop sidecar files for paths that are no longer kept (evicted)
     kept_set = set(kept)
     if root.is_dir():
@@ -100,7 +109,7 @@ def _dump_kept_files(session: ReStoreSession, config) -> None:
                 local.unlink()
 
 
-def _load_data(session: ReStoreSession, mappings: List[str]) -> None:
+def _load_data(target, mappings: List[str]) -> None:
     for mapping in mappings:
         if "=" not in mapping:
             raise SystemExit(
@@ -108,7 +117,7 @@ def _load_data(session: ReStoreSession, mappings: List[str]) -> None:
             )
         local, dfs_path = mapping.split("=", 1)
         payload = pathlib.Path(local).read_bytes()
-        session.write_file(dfs_path, payload)
+        target.dfs.write_file(dfs_path, payload, overwrite=True)
 
 
 def _build_session(args) -> ReStoreSession:
@@ -135,15 +144,70 @@ def _build_session(args) -> ReStoreSession:
     return session
 
 
+def _run_via_service(args, source: str, name: str):
+    """Route the script through a :class:`~repro.service.JobService`
+    worker pool — the shared multi-tenant deployment — instead of a
+    private session.  Returns ``(outcome, repository_size)``."""
+    from repro.core.manager import ReStoreConfig
+    from repro.service import JobService, ServiceConfig
+
+    if args.no_restore:
+        raise SystemExit(
+            "--workers/--executor run the shared ReStore JobService "
+            "(drop --no-restore, or drop the service flags)"
+        )
+    persistence = _persistence_config(args)
+    service_config = ServiceConfig(
+        executor=args.executor or "threads", max_workers=args.workers
+    )
+    config = ReStoreConfig(
+        heuristic=args.heuristic,
+        selector=args.selector,
+        eviction_policies=list(args.evict or []),
+    )
+    try:
+        service = JobService(
+            datanodes=args.datanodes,
+            config=config,
+            persistence=persistence,
+            service=service_config,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    try:
+        if persistence is not None:
+            _load_kept_files(service, persistence)
+        _load_data(service, args.data or [])
+        outcome = service.open_session("cli").run(source, name=name)
+        if service.persister is not None:
+            # rotate a fresh snapshot + mirror the kept files so the
+            # next invocation starts warm
+            service.persister.take_snapshot()
+            _dump_kept_files(service, persistence)
+        return outcome, len(service.repository)
+    finally:
+        service.shutdown(wait=True)
+
+
 def cmd_run(args) -> int:
+    from repro.core.manager import ReStoreManager
+
     source = pathlib.Path(args.script).read_text()
-    session = _build_session(args)
-    result = session.run(source, name=pathlib.Path(args.script).stem)
-    if session.persister is not None:
-        # rotate a fresh snapshot + mirror the kept files so the next
-        # invocation starts warm
-        session.persister.take_snapshot()
-        _dump_kept_files(session, _persistence_config(args))
+    name = pathlib.Path(args.script).stem
+    if args.executor is not None or args.workers > 1:
+        result, repo_entries = _run_via_service(args, source, name)
+    else:
+        session = _build_session(args)
+        result = session.run(source, name=name)
+        if session.persister is not None:
+            # rotate a fresh snapshot + mirror the kept files so the
+            # next invocation starts warm
+            session.persister.take_snapshot()
+            _dump_kept_files(session, _persistence_config(args))
+        repo_entries = (
+            len(session.repository) if session.repository is not None else None
+        )
 
     for path, rows in result.outputs.items():
         print(f"== {path} ({len(rows)} rows) ==")
@@ -153,12 +217,13 @@ def cmd_run(args) -> int:
             print(f"... {len(rows) - args.max_rows} more rows")
     print(f"\nsimulated time: {result.sim_minutes:.2f} min "
           f"({result.stats.n_jobs_executed} job(s) executed)")
-    if result.rewrites:
+    decisions = ReStoreManager.legacy_strings(result.events)
+    if decisions:
         print("ReStore rewrites:")
-        for event in result.rewrites:
-            print(f"  {event}")
-    if session.repository is not None:
-        print(f"repository: {len(session.repository)} entries")
+        for line in decisions:
+            print(f"  {line}")
+    if repo_entries is not None:
+        print(f"repository: {repo_entries} entries")
     return 0
 
 
@@ -280,6 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="execute a Pig script")
     add_engine_args(run_p)
     run_p.add_argument("--max-rows", type=int, default=20)
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run through the shared JobService with this many pool "
+             "workers (default 1 = private session)",
+    )
+    run_p.add_argument(
+        "--executor",
+        choices=("threads", "processes"),
+        default=None,
+        help="JobService execution substrate (implies the service "
+             "path even with --workers 1)",
+    )
     run_p.set_defaults(func=cmd_run)
 
     explain_p = sub.add_parser("explain", help="show the compiled workflow")

@@ -12,8 +12,9 @@ and eviction policies run between workflows.
 Every decision is published as a typed :class:`repro.events.ReStoreEvent`
 on ``manager.events`` (an :class:`repro.events.EventBus`); the engine
 collects them through the :class:`repro.mapreduce.runner.JobListener`
-protocol's ``drain()``.  The legacy string channel
-(:meth:`ReStoreManager.drain_events`) remains as a deprecated shim.
+protocol's ``drain()``.  Reports that want the pre-1.1 log lines can
+project any typed event list through
+:meth:`ReStoreManager.legacy_strings`.
 
 The manager is **multi-tenant and concurrency-safe**: many sessions
 (threads) may drive jobs through one manager against one shared
@@ -30,7 +31,6 @@ is stamped with its session id and lands in a per-session drain buffer
 from __future__ import annotations
 
 import threading
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Union
@@ -795,17 +795,6 @@ class ReStoreManager(JobListener):
             for event in events
             if isinstance(event, cls._LEGACY_EVENT_TYPES)
         ]
-
-    def drain_events(self) -> List[str]:
-        """Deprecated: use ``drain()`` for typed events, or subscribe
-        to ``manager.events``."""
-        warnings.warn(
-            "ReStoreManager.drain_events() is deprecated; use drain() for "
-            "typed events or subscribe to manager.events",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.legacy_strings(self.drain())
 
     def __repr__(self) -> str:
         return (

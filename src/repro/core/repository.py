@@ -55,7 +55,6 @@ from __future__ import annotations
 import json
 import re
 import threading
-import warnings
 import zlib
 from bisect import insort
 from contextlib import contextmanager
@@ -855,75 +854,20 @@ class Repository:
             ReplayTarget(repo).apply_all(records)
         return repo
 
-    def to_json(self) -> str:
-        """Deprecated: serialize through the snapshot codec instead
-        (:class:`repro.persistence.RepositorySnapshot`).
-
-        Emits a full-fidelity JSON snapshot payload (entries with
-        derived match metadata, ordering state, counters) that
-        :meth:`from_json` fast-restores without re-registration.
-        """
-        warnings.warn(
-            "Repository.to_json() is deprecated; use "
-            "repro.persistence.RepositorySnapshot.capture(repo).to_bytes()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.persistence.snapshot import (
-            SNAPSHOT_FORMAT,
-            SNAPSHOT_VERSION,
-            entry_record,
-        )
-
-        with self._lock:
-            state = self.snapshot_state()
-            seq = state.pop("seq")
-            records = []
-            for entry in self.entries():
-                record = entry_record(entry)
-                record["seq"] = seq[entry.entry_id]
-                records.append(record)
-        state["entries"] = records
-        return json.dumps(
-            {
-                "format": SNAPSHOT_FORMAT,
-                "version": SNAPSHOT_VERSION,
-                "repository": state,
-            },
-            indent=2,
-        )
-
     @classmethod
-    def from_json(
+    def from_legacy_json(
         cls, text: str, matcher: Optional[PlanMatcher] = None
     ) -> "Repository":
-        """Deprecated: load through the snapshot codec instead.
+        """The one legacy-JSON loader: rebuild a repository from the
+        pre-snapshot ``{"entries": [...]}`` dump shape via batched
+        re-registration.
 
-        Accepts both the snapshot-payload JSON :meth:`to_json` now
-        emits (fast direct restore) and the legacy entries-only shape
-        (restored via batched re-registration, as before).
+        Everything else goes through the snapshot codec —
+        :meth:`restore` for snapshot/journal bytes, or
+        :class:`repro.persistence.RepositorySnapshot` to capture and
+        encode live state.
         """
-        warnings.warn(
-            "Repository.from_json() is deprecated; use Repository.restore() "
-            "with repro.persistence.RepositorySnapshot bytes",
-            DeprecationWarning,
-            stacklevel=2,
-        )
         data = json.loads(text)
-        from repro.persistence.snapshot import SNAPSHOT_FORMAT, entry_from_record
-
-        if data.get("format") == SNAPSHOT_FORMAT:
-            state = dict(data.get("repository", {}))
-            records = state.pop("entries", [])
-            entries = []
-            seqs: Dict[str, int] = {}
-            for index, record in enumerate(records):
-                entry = entry_from_record(record)
-                entries.append(entry)
-                seqs[entry.entry_id] = int(record.get("seq", index))
-            return cls.from_persisted_state(
-                entries, seqs, state, matcher=matcher
-            )
         repo = cls(matcher=matcher)
         repo.add_batch(
             RepositoryEntry.from_dict(entry_data)

@@ -7,9 +7,9 @@ every decision a dataclass — ``RewriteApplied``, ``JobEliminated``,
 through an :class:`EventBus` that supports subscription with type and
 predicate filters.
 
-``render()`` on each event reproduces the legacy log line, so the
-deprecated string channels (``ReStoreManager.drain_events()``,
-``PigRunResult.rewrites``) keep emitting byte-identical text.
+``render()`` on each event reproduces the legacy log line;
+``ReStoreManager.legacy_strings(events)`` projects a typed event list
+onto that byte-identical text for reports that still want it.
 """
 
 from __future__ import annotations

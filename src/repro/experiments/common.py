@@ -264,7 +264,7 @@ def measure_subjob_reuse(
         sandbox, sandbox.query(query_name, f"out/{query_name}_reuse"), manager
     )
     measurement.t_reusing = reusing.sim_seconds
-    measurement.events = reusing.rewrites
+    measurement.events = ReStoreManager.legacy_strings(reusing.events)
     return measurement
 
 
@@ -286,7 +286,7 @@ def measure_whole_job_reuse(
     )
     measurement.t_generating = measurement.t_no_reuse  # no injection overhead
     measurement.t_reusing = reusing.sim_seconds
-    measurement.events = reusing.rewrites
+    measurement.events = ReStoreManager.legacy_strings(reusing.events)
     return measurement
 
 

@@ -77,6 +77,42 @@ class MapReduceJob:
     def validate(self) -> None:
         self.plan.validate()
 
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Wire form of this job: the snapshot codec's plan JSON plus
+        execution configuration.  ``from_dict`` rebuilds a job whose
+        plan fingerprint is identical to the original's — the property
+        the multi-process service relies on for coordinator-side
+        matching against worker-side execution."""
+        data = {
+            "job_id": self.job_id,
+            "plan": self.plan.to_dict(),
+            "conf": {"name": self.conf.name, "n_reducers": self.conf.n_reducers},
+            "temporary": self.temporary,
+        }
+        if self._output_path is not None:
+            data["output_path"] = self._output_path
+        if self.eliminated_by is not None:
+            data["eliminated_by"] = self.eliminated_by
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MapReduceJob":
+        conf = data.get("conf", {})
+        job = cls(
+            PhysicalPlan.from_dict(data["plan"]),
+            conf=JobConf(
+                name=conf.get("name", ""),
+                n_reducers=int(conf.get("n_reducers", 28)),
+            ),
+            output_path=data.get("output_path"),
+            temporary=bool(data.get("temporary", False)),
+            job_id=data["job_id"],
+        )
+        job.eliminated_by = data.get("eliminated_by")
+        return job
+
     def __repr__(self) -> str:
         kind = "MR" if self.has_shuffle else "map-only"
         return (
@@ -151,6 +187,20 @@ class Workflow:
             for job in self.jobs
             if not any(p in consumed for p in job.store_paths)
         ]
+
+    def to_dict(self) -> dict:
+        """Wire form: job list (each via :meth:`MapReduceJob.to_dict`)
+        plus the workflow name.  Dependencies are not serialized —
+        they are derived from load/store paths, so the rebuilt
+        workflow's DAG is identical by construction."""
+        return {"name": self.name, "jobs": [job.to_dict() for job in self.jobs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Workflow":
+        return cls(
+            jobs=[MapReduceJob.from_dict(j) for j in data.get("jobs", [])],
+            name=data.get("name", "workflow"),
+        )
 
     def job_by_id(self, job_id: str) -> MapReduceJob:
         for job in self.jobs:

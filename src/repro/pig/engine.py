@@ -39,14 +39,6 @@ class PigRunResult:
     events: List[ReStoreEvent] = field(default_factory=list)
 
     @property
-    def rewrites(self) -> List[str]:
-        """Deprecated string view of :attr:`events` (the pre-1.1 log
-        lines: rewrites, eliminations, discards, evictions)."""
-        from repro.core.manager import ReStoreManager
-
-        return ReStoreManager.legacy_strings(self.events)
-
-    @property
     def sim_seconds(self) -> float:
         return self.stats.sim_seconds
 
@@ -95,7 +87,9 @@ class PigServer:
 
     # -- compilation ------------------------------------------------------------
 
-    def compile(self, source: str, name: str = "") -> Workflow:
+    def compile(
+        self, source: str, name: str = "", script_id: Optional[int] = None
+    ) -> Workflow:
         """Parse + analyze + optimize + cut into a MapReduce workflow.
 
         Script ids (and thus ``tmp/s<id>`` temp prefixes) are allocated
@@ -103,8 +97,12 @@ class PigServer:
         with every fresh filesystem (deterministic tests/sessions) but
         can never collide between servers sharing one DFS, which would
         overwrite temp outputs the ReStore repository kept alive.
+        ``script_id=`` overrides the allocation — the multi-process
+        service passes the coordinator-allocated id so worker-side
+        compilation names temps exactly as a serial run would.
         """
-        script_id = self.dfs.next_script_id()
+        if script_id is None:
+            script_id = self.dfs.next_script_id()
         script = parse(source)
         plan = build_logical_plan(script)
         if self.optimize:

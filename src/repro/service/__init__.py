@@ -1,10 +1,14 @@
 """The shared-service deployment of ReStore (§1, Figure 1).
 
-``JobService`` runs many tenants' jobs on a worker pool against one
-sharded repository; ``WorkloadDriver`` is the load/differential
-harness that drives job streams through it.
+``JobService`` runs many tenants' jobs against one sharded repository
+on either a thread pool or a spawn-based worker-process pool; every
+submission travels as a typed, serializable ``JobRequest`` and comes
+back as a ``JobOutcome`` (see :mod:`repro.service.api`).
+``WorkloadDriver`` is the load/differential harness that drives job
+streams through it.
 """
 
+from repro.service.api import JobOutcome, JobRequest, ServiceConfig
 from repro.service.driver import (
     DriverResult,
     WorkloadDriver,
@@ -12,13 +16,24 @@ from repro.service.driver import (
     decision_log,
 )
 from repro.service.jobservice import JobService, ServiceSession, ServiceStats
+from repro.service.procpool import (
+    ProcessWorkerPool,
+    WorkerCrashed,
+    WorkerJobError,
+)
 
 __all__ = [
     "DriverResult",
+    "JobOutcome",
+    "JobRequest",
     "JobService",
+    "ProcessWorkerPool",
+    "ServiceConfig",
     "ServiceSession",
     "ServiceStats",
     "WorkloadDriver",
     "WorkloadItem",
+    "WorkerCrashed",
+    "WorkerJobError",
     "decision_log",
 ]

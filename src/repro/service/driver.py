@@ -44,7 +44,8 @@ class DriverResult:
     per_session: Dict[str, int] = field(default_factory=dict)
     #: per job (submission order): rendered rewrite/elimination lines
     decisions: List[Tuple[str, ...]] = field(default_factory=list)
-    results: List[PigRunResult] = field(default_factory=list)
+    #: JobOutcome per driven job (PigRunResult from ``run_serial``)
+    results: List = field(default_factory=list)
 
     @property
     def jobs_per_sec(self) -> float:
@@ -67,8 +68,9 @@ class DriverResult:
         }
 
 
-def decision_log(result: PigRunResult) -> Tuple[str, ...]:
-    """The byte-comparable reuse decisions of one job's run."""
+def decision_log(result) -> Tuple[str, ...]:
+    """The byte-comparable reuse decisions of one job's run (accepts
+    anything with typed ``events`` — JobOutcome or PigRunResult)."""
     return tuple(
         event.render()
         for event in result.events

@@ -7,22 +7,32 @@ answer another tenant's queries.  This module is that deployment
 shape: a :class:`JobService` owns one DFS, one thread-safe
 :class:`~repro.core.manager.ReStoreManager`, and one sharded
 :class:`~repro.core.repository.Repository`, and executes job
-submissions from many :class:`~repro.session.ReStoreSession` tenants
-on a worker thread pool.
+submissions from many :class:`~repro.session.ReStoreSession` tenants.
 
-Guarantees:
+Every submission path — ``submit``/``submit_workflow``/``run`` here,
+``run``/``run_workflow`` on a session — converges on the typed
+:class:`~repro.service.api.JobRequest` /
+:class:`~repro.service.api.JobOutcome` pair, and
+:class:`~repro.service.api.ServiceConfig` selects the execution
+substrate: ``executor="threads"`` (shared address space) or
+``executor="processes"`` (a spawn-based worker-process pool —
+coordinator keeps the repository/manager/DFS, workers execute plans;
+see :mod:`repro.service.procpool` for the wire protocol).
+
+Guarantees (both executors):
 
 * **per-session FIFO** — each tenant's submissions execute in exact
   submission order (a ticket taken at enqueue time gates execution),
-  while different tenants' jobs run concurrently on the pool;
-* **event isolation** — every tenant session runs inside its own
+  while different tenants' jobs run concurrently;
+* **event isolation** — every tenant's work runs inside its own
   ``manager.session_scope``, so its typed events are stamped with its
   session id and drained without cross-talk;
-* **1-worker determinism** — with ``max_workers=1`` the pool executes
-  all submissions in global FIFO order, producing byte-identical
-  rewrite decisions and an identical final repository to a serial run
-  of the same stream (the differential tests and the
-  ``service_throughput`` benchmark gate assert exactly this).
+* **1-worker determinism** — with ``max_workers=1`` all submissions
+  execute in global FIFO order, producing byte-identical rewrite
+  decisions and an identical final repository to a serial run of the
+  same stream, for one worker *thread* and one worker *process* alike
+  (the differential tests and the ``service_throughput`` benchmark
+  gates assert exactly this).
 
 Quick start::
 
@@ -50,7 +60,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.manager import ReStoreConfig, ReStoreManager
 from repro.core.repository import Repository
@@ -65,6 +75,13 @@ from repro.persistence.durability import (
     recover,
 )
 from repro.pig.engine import PigRunResult
+from repro.service.api import JobOutcome, JobRequest, ServiceConfig
+from repro.service.procpool import (
+    ProcessJobRunner,
+    ProcessWorkerPool,
+    WorkerCrashed,
+    WorkerJobError,
+)
 from repro.session import ReStoreSession
 
 
@@ -76,6 +93,8 @@ class ServiceStats:
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
+    #: process mode: extra attempts spent replaying crashed workers
+    retried: int = 0
     #: session id -> jobs completed for that tenant
     per_session: Dict[str, int] = field(default_factory=dict)
 
@@ -88,7 +107,7 @@ class ServiceSession:
     """One tenant's handle on the service.
 
     Wraps a real :class:`ReStoreSession` (sharing the service's DFS,
-    manager, and repository) and turns its synchronous ``run`` into
+    manager, and repository) and turns its synchronous execution into
     pool-scheduled ``submit`` calls.  Submissions from one session are
     serialized FIFO by *ticket*: each submission takes the session's
     next ticket number at enqueue time, and a worker only runs it when
@@ -144,15 +163,23 @@ class ServiceSession:
     def session_id(self) -> str:
         return self.session.session_id
 
-    def submit(self, source: str, name: str = "") -> "Future[PigRunResult]":
-        """Queue a Pig Latin script; returns a future of its result."""
-        return self._service._submit(self, lambda: self.session.run(source, name=name))
+    def submit(self, source: str, name: str = "") -> "Future[JobOutcome]":
+        """Queue a Pig Latin script; returns a future of its outcome."""
+        return self._service._submit(
+            self,
+            JobRequest.from_source(
+                source, session_id=self.session_id, name=name
+            ),
+        )
 
-    def submit_workflow(self, workflow: Workflow) -> "Future[PigRunResult]":
+    def submit_workflow(self, workflow: Workflow) -> "Future[JobOutcome]":
         """Queue a pre-compiled workflow (benchmark/driver path)."""
-        return self._service._submit(self, lambda: self.session.run_workflow(workflow))
+        return self._service._submit(
+            self,
+            JobRequest.from_workflow(workflow, session_id=self.session_id),
+        )
 
-    def run(self, source: str, name: str = "") -> PigRunResult:
+    def run(self, source: str, name: str = "") -> JobOutcome:
         """Submit and wait (convenience for interactive tenants)."""
         return self.submit(source, name=name).result()
 
@@ -171,10 +198,14 @@ class ServiceSession:
 class JobService:
     """Shared ReStore deployment: one repository, many tenants, a pool.
 
-    Parameters mirror :class:`ReStoreSession`; the service builds the
-    shared infrastructure once and every :meth:`open_session` tenant is
-    wired onto it.  ``max_workers`` sizes the execution pool — with 1
-    worker the service degenerates to a deterministic serial executor.
+    Infrastructure parameters mirror :class:`ReStoreSession`; the
+    service builds the shared state once and every
+    :meth:`open_session` tenant is wired onto it.  Execution knobs
+    live in a :class:`~repro.service.api.ServiceConfig` passed as
+    ``service=`` — or via the ``max_workers``/``executor``/
+    ``optimize``/``default_parallel`` shorthands, which are mutually
+    exclusive with it.  With 1 worker (thread or process) the service
+    degenerates to a deterministic serial executor.
     """
 
     def __init__(
@@ -187,12 +218,37 @@ class JobService:
         repository: Optional[Repository] = None,
         config: Optional[ReStoreConfig] = None,
         persistence: Optional[PersistenceConfig] = None,
-        max_workers: int = 4,
-        optimize: bool = True,
-        default_parallel: int = 28,
+        service: Optional[ServiceConfig] = None,
+        max_workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        optimize: Optional[bool] = None,
+        default_parallel: Optional[int] = None,
     ):
-        if max_workers < 1:
-            raise ValueError("need at least one worker")
+        if service is not None:
+            shorthands = {
+                "max_workers": max_workers,
+                "executor": executor,
+                "optimize": optimize,
+                "default_parallel": default_parallel,
+            }
+            clashing = sorted(k for k, v in shorthands.items() if v is not None)
+            if clashing:
+                raise ValueError(
+                    "service= already fixes the execution knobs; don't "
+                    f"also pass {', '.join(clashing)} (set them on the "
+                    "ServiceConfig instead)"
+                )
+        else:
+            service = ServiceConfig(
+                executor=executor if executor is not None else "threads",
+                max_workers=max_workers if max_workers is not None else 4,
+                optimize=optimize if optimize is not None else True,
+                default_parallel=(
+                    default_parallel if default_parallel is not None else 28
+                ),
+            )
+        service.validate()
+        self.service_config = service
         self.cluster = cluster or ClusterConfig()
         self.dfs = dfs or DistributedFileSystem(
             n_datanodes=datanodes or self.cluster.n_worker_nodes
@@ -223,11 +279,40 @@ class JobService:
             self.manager.kept_paths.update(recovered.kept_paths)
             self.manager.clock = max(self.manager.clock, recovered.clock)
             self.persister = RepositoryPersister(self.manager, persistence)
-        self.max_workers = max_workers
-        self._optimize = optimize
-        self._default_parallel = default_parallel
+        self._optimize = service.optimize
+        self._default_parallel = service.default_parallel
+        self._pool: Optional[ProcessWorkerPool] = None
+        reserved_paths: tuple = ()
+        if service.executor == "processes":
+            # persistence= + processes: the persister and any standby
+            # stay coordinator-side by construction (recovery happened
+            # above, before a single worker spawned) — and when the
+            # journal lives on the shared DFS, its paths are reserved
+            # so no worker store can ever clobber them
+            if persistence is not None and persistence.backend == "dfs":
+                reserved_paths = (
+                    persistence.snapshot_path,
+                    persistence.journal_path,
+                )
+            self._pool = ProcessWorkerPool(
+                service.max_workers,
+                {
+                    "cluster": self.cluster,
+                    "cost_model": self.cost_model,
+                    "datanodes": len(self.dfs.datanodes),
+                    "optimize": service.optimize,
+                    "default_parallel": service.default_parallel,
+                    "fast_data_plane": self.config.fast_data_plane,
+                    "batch_size": self.config.batch_size,
+                    "payload_reuse": self.config.payload_reuse,
+                },
+            )
+        self._runner = ProcessJobRunner(
+            self.manager, self.dfs, reserved_paths=reserved_paths
+        )
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="restore-worker"
+            max_workers=service.max_workers,
+            thread_name_prefix="restore-worker",
         )
         self._lock = threading.RLock()
         self._sessions: Dict[str, ServiceSession] = {}
@@ -236,6 +321,14 @@ class JobService:
         self.stats = ServiceStats()
 
     # -- tenants -----------------------------------------------------------------
+
+    @property
+    def max_workers(self) -> int:
+        return self.service_config.max_workers
+
+    @property
+    def executor(self) -> str:
+        return self.service_config.executor
 
     @property
     def repository(self) -> Repository:
@@ -287,7 +380,7 @@ class JobService:
 
     def submit(
         self, session_id: str, source: str, name: str = ""
-    ) -> "Future[PigRunResult]":
+    ) -> "Future[JobOutcome]":
         """Queue a script for the named tenant (opened on demand).
 
         The get-or-open is atomic (the service lock is reentrant), so
@@ -299,9 +392,18 @@ class JobService:
                 handle = self.open_session(session_id)
         return handle.submit(source, name=name)
 
+    def execute(self, request: JobRequest) -> "Future[JobOutcome]":
+        """The single submission surface: queue a typed request for its
+        ``session_id`` tenant (opened on demand)."""
+        with self._lock:
+            handle = self._sessions.get(request.session_id)
+            if handle is None:
+                handle = self.open_session(request.session_id or None)
+        return self._submit(handle, request)
+
     def _submit(
-        self, handle: ServiceSession, run: Callable[[], PigRunResult]
-    ) -> "Future[PigRunResult]":
+        self, handle: ServiceSession, request: JobRequest
+    ) -> "Future[JobOutcome]":
         # Ticket-take and enqueue happen under one lock, so the pool's
         # FIFO queue order always agrees with ticket order — the
         # worker holding a session's lowest outstanding ticket was
@@ -310,7 +412,9 @@ class JobService:
             self._check_open()
             self.stats.submitted += 1
             ticket = handle._take_ticket()
-            future = self._executor.submit(self._execute, handle, run, ticket)
+            future = self._executor.submit(
+                self._execute, handle, request, ticket
+            )
 
         # A cancelled future never reaches _execute, so its turn must
         # still be released (or the tenant's ticket chain wedges and
@@ -326,14 +430,17 @@ class JobService:
         return future
 
     def _execute(
-        self, handle: ServiceSession, run: Callable[[], PigRunResult], ticket: int
-    ):
+        self, handle: ServiceSession, request: JobRequest, ticket: int
+    ) -> JobOutcome:
         # Per-session FIFO: wait for this submission's turn, so a
         # tenant's own submissions never interleave or reorder (and
-        # drain() inside the run attributes events unambiguously).
+        # the event drain attributes decisions unambiguously).
         handle._await_turn(ticket)
         try:
-            result = run()
+            if self.service_config.executor == "threads":
+                outcome = handle.session.execute(request)
+            else:
+                outcome = self._run_on_workers(handle, request)
         except BaseException:
             with self._lock:
                 self.stats.failed += 1
@@ -344,7 +451,64 @@ class JobService:
             self.stats.completed += 1
             sid = handle.session_id
             self.stats.per_session[sid] = self.stats.per_session.get(sid, 0) + 1
-        return result
+        return outcome
+
+    def _run_on_workers(
+        self, handle: ServiceSession, request: JobRequest
+    ) -> JobOutcome:
+        """Process mode: drive *request* through the worker pool.
+
+        Script ids are allocated coordinator-side at execution turn —
+        the same DFS counter a serial run would consume, in the same
+        order — and the whole conversation runs inside the tenant's
+        session scope so decisions land in its event bucket.  A
+        crashed worker is discarded (its partial decision events with
+        it) and the request replays on a fresh worker within the
+        configured retry budget.
+        """
+        sid = handle.session_id
+        script_id = (
+            self.dfs.next_script_id() if request.source is not None else None
+        )
+        attempts = 0
+        with self.manager.session_scope(sid):
+            while True:
+                attempts += 1
+                worker = self._pool.acquire()
+                try:
+                    workflow, stats, outputs = self._runner.run_conversation(
+                        worker, request, script_id
+                    )
+                except WorkerCrashed:
+                    self._pool.discard(worker)
+                    # the crashed attempt's partial decisions must not
+                    # leak into the retry's (or a later drain's) log
+                    self.manager.drain_session(sid)
+                    if attempts > self.service_config.retries:
+                        raise
+                    with self._lock:
+                        self.stats.retried += 1
+                    continue
+                except WorkerJobError:
+                    # the job failed but the worker completed the error
+                    # protocol cleanly — it is healthy and stays pooled
+                    self._pool.release(worker)
+                    raise
+                except BaseException:
+                    # coordinator-side failure mid-conversation: the
+                    # pipe is desynced and must never re-enter the pool
+                    self._pool.discard(worker)
+                    raise
+                self._pool.release(worker)
+                break
+            events = self.manager.drain()
+        result = PigRunResult(
+            workflow=workflow, stats=stats, outputs=outputs, events=events
+        )
+        handle.session.results.append(result)
+        return JobOutcome.from_result(
+            result, session_id=sid, executor="processes", attempts=attempts
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -356,14 +520,16 @@ class JobService:
         """Stop accepting submissions.
 
         With ``wait=True`` (default) every queued and running job
-        finishes, then the tenant sessions close.  With ``wait=False``
-        queued jobs are cancelled (their futures report cancelled —
-        they must not run against closed sessions) and the currently
-        running jobs complete in the background with their sessions
-        left open.  The DFS, repository, and manager stay readable so
-        state can be inspected or persisted afterwards.  A durable
-        service flushes its journal and detaches the persister once
-        the last job has drained.
+        finishes, then the tenant sessions close and the worker pool
+        stops.  With ``wait=False`` queued jobs are cancelled (their
+        futures report cancelled — they must not run against closed
+        sessions) and the currently running jobs complete in the
+        background with their sessions left open; worker processes are
+        daemons, so an abandoned pool dies with the coordinator.  The
+        DFS, repository, and manager stay readable so state can be
+        inspected or persisted afterwards.  A durable service flushes
+        its journal and detaches the persister once the last job has
+        drained.
         """
         with self._lock:
             self._closed = True
@@ -372,6 +538,8 @@ class JobService:
         if wait:
             for handle in handles:
                 handle.session.close()
+            if self._pool is not None:
+                self._pool.stop()
             if self.persister is not None:
                 self.persister.close()
 
@@ -383,7 +551,7 @@ class JobService:
 
     def __repr__(self) -> str:
         return (
-            f"JobService(workers={self.max_workers}, "
+            f"JobService({self.executor}, workers={self.max_workers}, "
             f"sessions={len(self._sessions)}, "
             f"entries={len(self.repository)}, "
             f"completed={self.stats.completed})"

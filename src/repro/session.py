@@ -263,21 +263,44 @@ class ReStoreSession:
         else:
             yield
 
+    def execute(self, request) -> "JobOutcome":
+        """Run one typed :class:`~repro.service.api.JobRequest`
+        in-process — the single submission surface every ``run`` /
+        ``run_workflow`` call (and the thread-mode service) converges
+        on.  Returns a :class:`~repro.service.api.JobOutcome`."""
+        from repro.service.api import JobOutcome
+
+        self._check_open()
+        if request.session_id and request.session_id != self.session_id:
+            raise ValueError(
+                f"request is addressed to session {request.session_id!r} "
+                f"but this session is {self.session_id!r}"
+            )
+        with self._scope():
+            if request.source is not None:
+                result = self.server.run(request.source, name=request.name)
+            else:
+                result = self.server.run_workflow(request.workflow)
+        self.results.append(result)
+        return JobOutcome.from_result(result, session_id=self.session_id)
+
     def run(self, source: str, name: str = "") -> PigRunResult:
         """Compile and execute a Pig Latin script."""
-        self._check_open()
-        with self._scope():
-            result = self.server.run(source, name=name)
-        self.results.append(result)
-        return result
+        from repro.service.api import JobRequest
+
+        return self.execute(
+            JobRequest.from_source(
+                source, session_id=self.session_id, name=name
+            )
+        ).to_result()
 
     def run_workflow(self, workflow) -> PigRunResult:
         """Execute a pre-compiled workflow (service/benchmark path)."""
-        self._check_open()
-        with self._scope():
-            result = self.server.run_workflow(workflow)
-        self.results.append(result)
-        return result
+        from repro.service.api import JobRequest
+
+        return self.execute(
+            JobRequest.from_workflow(workflow, session_id=self.session_id)
+        ).to_result()
 
     def explain(self, source: str) -> str:
         """Render the compiled workflow like Pig's EXPLAIN."""
@@ -321,6 +344,7 @@ class SessionBuilder:
         self._cluster: Optional[ClusterConfig] = None
         self._cost_model: Optional[CostModel] = None
         self._repository: Optional[Repository] = None
+        self._manager: Optional[ReStoreManager] = None
         self._persistence: Optional[PersistenceConfig] = None
         self._config: Optional[ReStoreConfig] = None
         self._config_kwargs: dict = {}
@@ -350,6 +374,12 @@ class SessionBuilder:
 
     def repository(self, repository: Repository) -> "SessionBuilder":
         self._repository = repository
+        return self
+
+    def manager(self, manager: ReStoreManager) -> "SessionBuilder":
+        """Adopt a pre-built manager (e.g. a JobService's): the session
+        inherits its DFS, cost model, repository, and config."""
+        self._manager = manager
         return self
 
     def persistence(self, config: PersistenceConfig) -> "SessionBuilder":
@@ -432,11 +462,7 @@ class SessionBuilder:
     # -- terminal ----------------------------------------------------------------
 
     def build(self) -> ReStoreSession:
-        if self._config is not None and (self._config_kwargs or self._eviction):
-            raise ValueError(
-                "pass either a complete config() or individual "
-                "heuristic()/selector()/evict()/... setters, not both"
-            )
+        self._validate()
         config = self._config
         if config is None and (self._config_kwargs or self._eviction):
             kwargs = dict(self._config_kwargs)
@@ -449,6 +475,7 @@ class SessionBuilder:
             cluster=self._cluster,
             cost_model=self._cost_model,
             repository=self._repository,
+            manager=self._manager,
             config=config,
             persistence=self._persistence,
             restore_enabled=self._restore_enabled,
@@ -457,3 +484,61 @@ class SessionBuilder:
             session_id=self._session_id,
         )
         return session
+
+    def _validate(self) -> None:
+        """Reject conflicting setter combinations here, at build time,
+        with messages naming both offending builder calls."""
+        if self._config is not None and (self._config_kwargs or self._eviction):
+            raise ValueError(
+                "pass either a complete config() or individual "
+                "heuristic()/selector()/evict()/... setters, not both"
+            )
+        if self._persistence is not None:
+            if self._repository is not None:
+                raise ValueError(
+                    "persistence() and repository() conflict: "
+                    "persistence() recovers its own repository from the "
+                    "snapshot/journal, so a repository() it would "
+                    "silently discard is a configuration error — drop "
+                    "one of the two calls"
+                )
+            if self._manager is not None:
+                raise ValueError(
+                    "persistence() and manager() conflict: the adopted "
+                    "manager already owns live repository state; attach "
+                    "a RepositoryPersister to that manager directly "
+                    "instead of calling persistence()"
+                )
+            if not self._restore_enabled:
+                raise ValueError(
+                    "persistence() and without_restore() conflict: a "
+                    "durable repository needs the ReStore manager that "
+                    "owns it — drop one of the two calls"
+                )
+        if self._manager is not None:
+            if self._repository is not None:
+                raise ValueError(
+                    "manager() and repository() conflict: the adopted "
+                    "manager already carries its repository — drop one "
+                    "of the two calls"
+                )
+            if self._config is not None or self._config_kwargs or self._eviction:
+                raise ValueError(
+                    "manager() and config()/heuristic()/selector()/"
+                    "evict()/... conflict: the adopted manager already "
+                    "carries its ReStoreConfig — configure that manager "
+                    "instead"
+                )
+            if self._dfs is not None and self._dfs is not self._manager.dfs:
+                raise ValueError(
+                    "dfs() and manager() conflict: the dfs() instance "
+                    "differs from manager().dfs, and a session must "
+                    "share its manager's filesystem — drop the dfs() "
+                    "call or pass the manager's own filesystem"
+                )
+            if not self._restore_enabled:
+                raise ValueError(
+                    "manager() and without_restore() conflict: adopting "
+                    "a manager turns ReStore on — drop one of the two "
+                    "calls"
+                )

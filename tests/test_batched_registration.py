@@ -152,22 +152,25 @@ class TestBatchAmortization:
         repo.add_batch(self._random_entries(6))
         repo.flush()
         legacy = json.dumps({"entries": [e.to_dict() for e in repo.entries()]})
-        with pytest.deprecated_call():
-            restored = Repository.from_json(legacy)
+        restored = Repository.from_legacy_json(legacy)
         assert [e.entry_id for e in restored.ordered_entries()] == [
             e.entry_id for e in repo.ordered_entries()
         ]
         assert restored.index_stats.batch_flushes == 1
         assert_index_consistent(restored)
 
-    def test_snapshot_json_restores_without_matcher_work(self):
-        # the snapshot-format payload to_json now emits fast-restores
-        # the recorded order directly: no flush, no traversals
+    def test_snapshot_restores_without_matcher_work(self):
+        # the snapshot codec fast-restores the recorded order
+        # directly: no flush, no traversals
+        from repro.persistence.snapshot import RepositorySnapshot
+
         repo = Repository()
         repo.add_batch(self._random_entries(6))
         repo.flush()
-        with pytest.deprecated_call():
-            restored = Repository.from_json(repo.to_json())
+        snapshot = RepositorySnapshot.capture(repo)
+        restored = RepositorySnapshot.from_bytes(
+            snapshot.to_bytes()
+        ).restore_repository()
         assert [e.entry_id for e in restored.ordered_entries()] == [
             e.entry_id for e in repo.ordered_entries()
         ]

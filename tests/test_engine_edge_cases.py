@@ -166,7 +166,8 @@ class TestReuseEdgeCases:
         result = server.run(
             base + "D = group C by u; E = foreach D generate group, AVG(C.v); store E into 'o2';"
         )
-        assert result.rewrites  # reused at least the group sub-job
+        # reused at least the group sub-job
+        assert ReStoreManager.legacy_strings(result.events)
         fresh = PigServer(dfs).run(
             base + "D = group C by u; E = foreach D generate group, AVG(C.v); store E into 'o3';"
         )
@@ -188,7 +189,9 @@ class TestReuseEdgeCases:
             store B into 'f2';
         """)
         reuse_events = [
-            e for e in result.rewrites if "reused" in e or "whole job" in e
+            line
+            for line in ReStoreManager.legacy_strings(result.events)
+            if "reused" in line or "whole job" in line
         ]
         assert not reuse_events  # different predicate: no reuse
         fresh = [r for r in result.outputs["f2"]]
@@ -214,6 +217,8 @@ class TestReuseEdgeCases:
             store C into 's2';
         """)
         reuse_events = [
-            e for e in result.rewrites if "reused" in e or "whole job" in e
+            line
+            for line in ReStoreManager.legacy_strings(result.events)
+            if "reused" in line or "whole job" in line
         ]
         assert not reuse_events

@@ -179,36 +179,32 @@ class TestManagerEmitsTypedEvents:
         session.run(Q2)
         assert live  # delivered during run, before drain
 
-    def test_rewrites_property_matches_legacy_strings(self, small_data):
+    def test_legacy_strings_projects_typed_events(self, small_data):
         session = ReStoreSession(dfs=small_data)
         session.run(Q1)
         result = session.run(Q2)
-        assert result.rewrites == [
+        assert ReStoreManager.legacy_strings(result.events) == [
             e.render() for e in result.events
             if not isinstance(e, SubJobStored)
         ]
 
 
-class TestDrainEventsShim:
-    def test_drain_events_warns_and_renders(self, small_data):
+class TestLegacyStringProjection:
+    def test_legacy_strings_renders(self, small_data):
         manager = ReStoreManager(small_data)
         manager._emit(RewriteApplied(
             job_id="job_1", entry_id="entry_000001",
             anchor_kind="group", output_path="tmp/s1/t2",
         ))
-        with pytest.warns(DeprecationWarning):
-            events = manager.drain_events()
-        assert events == [
+        assert ReStoreManager.legacy_strings(manager.drain()) == [
             "job_1: reused sub-job entry_000001 (group) from tmp/s1/t2"
         ]
-        with pytest.warns(DeprecationWarning):
-            assert manager.drain_events() == []  # drained
+        assert manager.drain() == []  # drained
 
-    def test_drain_events_hides_store_events(self, small_data):
+    def test_legacy_strings_hide_store_events(self, small_data):
         manager = ReStoreManager(small_data)
         manager._emit(SubJobStored(entry_id="e", output_path="p"))
-        with pytest.warns(DeprecationWarning):
-            assert manager.drain_events() == []
+        assert ReStoreManager.legacy_strings(manager.drain()) == []
 
     def test_typed_drain_returns_everything(self, small_data):
         manager = ReStoreManager(small_data)

@@ -52,7 +52,8 @@ class TestPaperExample:
         result = server.run(Q2)
         assert sorted(result.outputs["q2_out"]) == Q2_EXPECTED
         assert manager.elimination_count == 1
-        assert any("whole job" in e for e in result.rewrites)
+        decisions = ReStoreManager.legacy_strings(result.events)
+        assert any("whole job" in line for line in decisions)
 
     def test_q2_correct_without_priming(self, small_data):
         server, manager = make(small_data)
@@ -79,7 +80,8 @@ class TestPaperExample:
         assert sorted(result.outputs["q2avg_out"]) == [
             ("alice", 1.5), ("bob", 4.0), ("carol", 8.0),
         ]
-        assert any("group" in e for e in result.rewrites)
+        decisions = ReStoreManager.legacy_strings(result.events)
+        assert any("group" in line for line in decisions)
 
     def test_resubmission_same_output_eliminated(self, small_data):
         server, manager = make(small_data)
@@ -219,8 +221,8 @@ class TestEvents:
         server, manager = make(small_data)
         server.run(Q1)
         result = server.run(Q2)
-        assert result.rewrites
-        assert manager.drain_events() == []  # drained by the engine
+        assert result.events
+        assert manager.drain() == []  # drained by the engine
 
     def test_repr(self, small_data):
         _, manager = make(small_data)

@@ -90,7 +90,8 @@ class TestCrossSessionReuse:
         assert sorted(result.outputs["out/vmax"]) == sorted(
             fresh.outputs["out/vfresh"]
         )
-        assert any("group" in e for e in result.rewrites)
+        decisions = ReStoreManager.legacy_strings(result.events)
+        assert any("group" in line for line in decisions)
 
     def test_restored_statistics_preserve_ordering(self, small_data):
         _, manager = first_session(small_data)
@@ -166,18 +167,21 @@ class TestSessionWarmRestart:
         assert result.outputs["out/svc2"]
 
 
-class TestDeprecatedJsonShim:
-    """The old public helpers survive one deprecation cycle: they now
-    delegate to the snapshot-format JSON but keep working."""
+class TestLegacyJsonLoader:
+    """The one surviving legacy loader: the pre-snapshot entries-only
+    JSON dump still rebuilds a repository (via batched re-registration);
+    everything else goes through the snapshot codec."""
 
-    def test_to_json_from_json_round_trip_warns(self, small_data):
+    def test_from_legacy_json_round_trip(self, small_data):
+        import json
+
         manager = ReStoreManager(small_data)
         server = PigServer(small_data, restore=manager)
         server.run(Q2.replace("OUT", "out/shim"))
-        with pytest.deprecated_call():
-            text = manager.repository.to_json()
-        with pytest.deprecated_call():
-            restored = Repository.from_json(text)
+        legacy = json.dumps(
+            {"entries": [e.to_dict() for e in manager.repository.entries()]}
+        )
+        restored = Repository.from_legacy_json(legacy)
         assert len(restored) == len(manager.repository)
         assert [e.entry_id for e in restored.ordered_entries()] == [
             e.entry_id for e in manager.repository.ordered_entries()

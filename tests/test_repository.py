@@ -133,14 +133,21 @@ class TestOrdering:
         assert len(first) == 1
 
 
+def _snapshot_round_trip(repo: Repository) -> Repository:
+    from repro.persistence.snapshot import RepositorySnapshot
+
+    snapshot = RepositorySnapshot.capture(repo)
+    return RepositorySnapshot.from_bytes(snapshot.to_bytes()).restore_repository()
+
+
 class TestPersistence:
-    def test_json_round_trip(self):
+    def test_snapshot_round_trip(self):
         repo = Repository()
         entry = make_entry()
         entry.use_count = 3
         entry.input_mtimes = {"pv": 17}
         repo.add(entry)
-        restored = Repository.from_json(repo.to_json())
+        restored = _snapshot_round_trip(repo)
         assert len(restored) == 1
         restored_entry = restored.entries()[0]
         assert restored_entry.entry_id == entry.entry_id
@@ -152,7 +159,7 @@ class TestPersistence:
     def test_restored_plans_still_match(self):
         repo = Repository()
         repo.add(make_entry())
-        restored = Repository.from_json(repo.to_json())
+        restored = _snapshot_round_trip(repo)
         matcher = PlanMatcher()
         fresh = make_entry()
         assert (
