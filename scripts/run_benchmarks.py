@@ -18,11 +18,13 @@ repository), the ``exec_sim`` data-plane trajectory (end-to-end
 workflow wall time and rows/sec across the batched / per-row fast /
 legacy planes, over PigMix-style chains at two table sizes), and the
 ``subjob_enum`` enumeration trajectory (wall time and candidates/sec
-at N ∈ {100, 1000} heuristic anchors), and the ``repo_persistence``
+at N ∈ {100, 1000} heuristic anchors), the ``repo_persistence``
 durability trajectory (snapshot cold-start vs rebuild-by-re-
 registration at a 10k-entry repository, plus torn-tail journal
-recovery).  The process exits non-zero when a regression gate trips
-(CI's ``bench-smoke`` job relies on this):
+recovery), and the ``incremental`` delta-recomputation trajectory
+(delta refresh over an appended tail vs a full no-reuse rerun).  The
+process exits non-zero when a regression gate trips (CI's
+``bench-smoke`` job relies on this):
 
 * indexed and full-scan rewrite decisions must be byte-identical;
 * indexed matching must never examine more candidates than the
@@ -39,7 +41,10 @@ recovery).  The process exits non-zero when a regression gate trips
 * restoring from a snapshot must be ≥10x faster than rebuilding by
   re-registration, with byte-identical rewrite decisions, zero
   subsumption traversals spent on the restore, and every intact
-  journal record recovered past a torn tail.
+  journal record recovered past a torn tail;
+* the delta probe over an appended input must be ≥3x faster than the
+  full-rerun oracle with byte-identical outputs, and a shuffle probe
+  must fall back (typed ``DeltaFallback``) yet recompute correctly.
 
 ``python -m repro bench`` accepts the same flags.
 """

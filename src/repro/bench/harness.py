@@ -3,7 +3,8 @@
 Assembles the full ``BENCH_repo_scale.json`` payload — the indexed vs
 full-scan matching trajectory, the ``service_throughput`` section, the
 ``exec_sim`` data-plane section, the ``subjob_enum`` enumeration
-section, and the ``repo_persistence`` durability section — runs the
+section, the ``repo_persistence`` durability section, and the
+``incremental`` delta-recomputation section — runs the
 regression gates, writes the file, and prints the summary.  Both
 entry points (``python -m repro bench`` and
 ``python scripts/run_benchmarks.py``) are thin argument parsers over
@@ -18,6 +19,7 @@ import sys
 from typing import Optional, Tuple
 
 from repro.bench.exec_sim import run_exec_sim_benchmark
+from repro.bench.incremental import run_incremental_benchmark
 from repro.bench.repo_persistence import run_repo_persistence_benchmark
 from repro.bench.repo_scale import (
     check_gates,
@@ -49,7 +51,7 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
-    payload["version"] = 6
+    payload["version"] = 7
     # exec_sim runs before the service benchmark: its wall-time gate is
     # the noise-sensitive one, so it gets the freshest process state
     payload["exec_sim"] = run_exec_sim_benchmark(
@@ -61,6 +63,10 @@ def run_benchmark_suite(
     payload["repo_persistence"] = run_repo_persistence_benchmark(
         n_entries=persistence_entries,
         n_probes=n_probes,
+        seed=seed,
+        quick=quick,
+    )
+    payload["incremental"] = run_incremental_benchmark(
         seed=seed,
         quick=quick,
     )
@@ -154,6 +160,18 @@ def run_benchmark_suite(
             f"decisions identical={scale['decisions_identical']}, "
             f"torn tail recovered="
             f"{scale['torn_tail']['torn_tail_recovered']}"
+        )
+
+    for scale in payload["incremental"]["scales"]:
+        print(
+            f"  incremental N={scale['n_rows']:>6} rows "
+            f"(+{scale['tail_rows']}): "
+            f"delta={scale['delta_s']:.3f}s vs "
+            f"full={scale['full_s']:.3f}s "
+            f"({scale['delta_speedup']}x), "
+            f"{scale['delta_refreshes']} refresh(es), "
+            f"outputs identical={scale['outputs_identical']}, "
+            f"shuffle fallback ok={scale['group_fallbacks'] >= 1}"
         )
 
     if failures:

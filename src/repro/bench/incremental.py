@@ -1,0 +1,214 @@
+"""Incremental-recomputation benchmark: delta refresh vs full rerun.
+
+The delta path's claim (see :mod:`repro.core.freshness` and the
+manager's ``_try_delta_rewrite``) is that when a registered input
+merely *grows*, re-answering the same query costs O(tail) instead of
+O(file): the matcher reruns the identity-preserving chain over the
+appended bytes only and UNION-merges with the stored output.  This
+section measures that claim end to end and gates it in CI:
+
+* ``delta`` — a warm manager re-probes a registered filter chain
+  after an append; the rewrite runs over the tail alone and the
+  refreshed entry absorbs the delta;
+* ``full`` — the no-reuse oracle: a fresh engine over the identically
+  grown input recomputes everything.
+
+Gates (see :func:`check_incremental_gates`):
+
+* the delta probe must be **≥3x faster** than the full rerun at the
+  measured scale;
+* both sides must produce **byte-identical** output files (the
+  stored-prefix ++ tail-suffix merge is exact, not approximate);
+* the delta probe must actually refresh (one ``EntryRefreshed``, no
+  silent fall-through to a full recomputation);
+* a shuffle probe (GROUP) over an appended input must **fall back**
+  with a typed ``DeltaFallback`` and still recompute correctly —
+  the fast path never buys speed with wrong answers.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.core.manager import ReStoreManager
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.events import DeltaFallback, EntryRefreshed
+from repro.pig.engine import PigServer
+
+DEFAULT_INCREMENTAL_ROWS = 60_000
+#: quick mode keeps enough rows that the O(tail)-vs-O(file) gap
+#: dominates fixed per-run costs; the ≥3x gate applies there too
+QUICK_INCREMENTAL_ROWS = 20_000
+#: appended tail, in rows — small relative to the base on purpose
+TAIL_ROWS = 200
+
+_EVENTS_SCHEMA = (
+    "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"
+)
+
+_FILTER_SCRIPT = f"""
+A = load 'data/events' as ({_EVENTS_SCHEMA});
+B = filter A by action == 1;
+store B into 'bench_out';
+"""
+
+_GROUP_SCRIPT = f"""
+A = load 'data/events' as ({_EVENTS_SCHEMA});
+G = group A by user;
+C = foreach G generate group, COUNT(A);
+store C into 'bench_group_out';
+"""
+
+
+@contextmanager
+def _quiesced_gc():
+    """Keep the collector out of the timed region (same reasoning as
+    the persistence section: a collection landing inside one side but
+    not the other would skew the speedup either way)."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _event_row(i: int) -> str:
+    return (
+        f"user{i % 97}\t{i % 3}\t{100 + i}\t{(i % 10) / 2}"
+        f"\tinfo{i}\tlinks{i}"
+    )
+
+
+def _event_rows(start: int, count: int) -> str:
+    return "".join(_event_row(i) + "\n" for i in range(start, start + count))
+
+
+def _fresh_engine(with_reuse: bool):
+    dfs = DistributedFileSystem(n_datanodes=4, block_size=64 * 1024)
+    manager = ReStoreManager(dfs) if with_reuse else None
+    server = (
+        PigServer(dfs, restore=manager) if with_reuse else PigServer(dfs)
+    )
+    return dfs, manager, server
+
+
+def run_incremental_scale(n_rows: int, tail_rows: int, seed: int = 13) -> Dict:
+    """Measure one input size: delta refresh vs full-rerun oracle,
+    byte identity, and shuffle-fallback behaviour."""
+    base = _event_rows(0, n_rows)
+    tail = _event_rows(n_rows, tail_rows)
+
+    # -- delta side: register, append, timed re-probe --------------------------
+    dfs, manager, server = _fresh_engine(with_reuse=True)
+    dfs.write_file("data/events", base)
+    refreshes: List[EntryRefreshed] = []
+    fallbacks: List[DeltaFallback] = []
+    manager.events.subscribe(refreshes.append, event_types=(EntryRefreshed,))
+    manager.events.subscribe(fallbacks.append, event_types=(DeltaFallback,))
+    server.run(_FILTER_SCRIPT)
+    dfs.append("data/events", tail)
+    with _quiesced_gc():
+        tick = time.perf_counter()
+        server.run(_FILTER_SCRIPT)
+        delta_s = time.perf_counter() - tick
+    delta_bytes = dfs.read_file("bench_out")
+    delta_refreshes = len(refreshes)
+
+    # -- oracle side: fresh engine over the identically grown input ------------
+    oracle_dfs, _, oracle_server = _fresh_engine(with_reuse=False)
+    oracle_dfs.write_file("data/events", base + tail)
+    with _quiesced_gc():
+        tick = time.perf_counter()
+        oracle_server.run(_FILTER_SCRIPT)
+        full_s = time.perf_counter() - tick
+    full_bytes = oracle_dfs.read_file("bench_out")
+
+    # -- fallback headroom: a shuffle probe must decline the delta path --------
+    server.run(_GROUP_SCRIPT)
+    dfs.append("data/events", _event_rows(n_rows + tail_rows, tail_rows))
+    server.run(_GROUP_SCRIPT)
+    group_bytes = dfs.read_file("bench_group_out")
+    group_oracle_dfs, _, group_oracle_server = _fresh_engine(with_reuse=False)
+    group_oracle_dfs.write_file(
+        "data/events", base + tail + _event_rows(n_rows + tail_rows, tail_rows)
+    )
+    group_oracle_server.run(_GROUP_SCRIPT)
+    group_oracle_bytes = group_oracle_dfs.read_file("bench_group_out")
+
+    speedup = full_s / delta_s if delta_s > 0 else float("inf")
+    return {
+        "n_rows": n_rows,
+        "tail_rows": tail_rows,
+        "input_bytes": len(base) + len(tail),
+        "tail_bytes": len(tail),
+        "delta_s": round(delta_s, 4),
+        "full_s": round(full_s, 4),
+        "delta_speedup": round(speedup, 2),
+        "delta_refreshes": delta_refreshes,
+        "delta_fallbacks": manager.delta_fallback_count,
+        "outputs_identical": delta_bytes == full_bytes,
+        "group_fallbacks": len(
+            [f for f in fallbacks if f.reason == "ineligible-chain"]
+        ),
+        "group_outputs_identical": group_bytes == group_oracle_bytes,
+    }
+
+
+def run_incremental_benchmark(
+    n_rows: Optional[int] = None,
+    tail_rows: int = TAIL_ROWS,
+    seed: int = 13,
+    quick: bool = False,
+) -> Dict:
+    """The incremental-recomputation section of the benchmark payload."""
+    if n_rows is None:
+        n_rows = QUICK_INCREMENTAL_ROWS if quick else DEFAULT_INCREMENTAL_ROWS
+    return {
+        "seed": seed,
+        "scales": [run_incremental_scale(n_rows, tail_rows, seed)],
+    }
+
+
+def check_incremental_gates(section: Optional[Dict]) -> List[str]:
+    """CI gates over an ``incremental`` payload section."""
+    if not section:
+        return []
+    failures = []
+    for scale in section["scales"]:
+        n = scale["n_rows"]
+        if scale["delta_speedup"] < 3.0:
+            failures.append(
+                f"incremental N={n}: delta probe is only "
+                f"{scale['delta_speedup']}x faster than the full rerun "
+                f"({scale['delta_s']}s vs {scale['full_s']}s) — below "
+                f"the 3x target"
+            )
+        if not scale["outputs_identical"]:
+            failures.append(
+                f"incremental N={n}: delta-merged output diverges from "
+                f"the full-rerun oracle"
+            )
+        if scale["delta_refreshes"] < 1:
+            failures.append(
+                f"incremental N={n}: the delta probe never refreshed "
+                f"(no EntryRefreshed observed); the timing measured a "
+                f"silent full recomputation"
+            )
+        if scale["group_fallbacks"] < 1:
+            failures.append(
+                f"incremental N={n}: the shuffle probe did not emit a "
+                f"typed DeltaFallback; an ineligible chain took the "
+                f"delta path"
+            )
+        if not scale["group_outputs_identical"]:
+            failures.append(
+                f"incremental N={n}: the shuffle probe's fallback rerun "
+                f"diverges from the oracle"
+            )
+    return failures

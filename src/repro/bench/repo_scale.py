@@ -694,9 +694,17 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
       start must be ≥10x faster than rebuild-by-re-registration with
       byte-identical rewrite decisions, zero subsumption traversals
       spent restoring, and clean torn-tail journal recovery (see
-      :func:`repro.bench.repo_persistence.check_repo_persistence_gates`).
+      :func:`repro.bench.repo_persistence.check_repo_persistence_gates`);
+    * when an ``incremental`` section is present: the delta probe over
+      an appended input must be ≥3x faster than the full-rerun oracle
+      with byte-identical outputs, must actually refresh (one
+      ``EntryRefreshed``), and a shuffle probe must decline the delta
+      path with a typed ``DeltaFallback`` while still recomputing
+      correctly (see
+      :func:`repro.bench.incremental.check_incremental_gates`).
     """
     from repro.bench.exec_sim import check_exec_sim_gates
+    from repro.bench.incremental import check_incremental_gates
     from repro.bench.repo_persistence import check_repo_persistence_gates
     from repro.bench.subjob_enum import check_subjob_enum_gates
 
@@ -707,6 +715,7 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
     failures.extend(
         check_repo_persistence_gates(payload.get("repo_persistence"))
     )
+    failures.extend(check_incremental_gates(payload.get("incremental")))
     for scale in payload["scales"]:
         n = scale["n_entries"]
         indexed = scale["modes"]["indexed"]

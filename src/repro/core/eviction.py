@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.freshness import APPENDED, FRESH, classify_input, delta_upgradeable
 from repro.core.registry import PluginRegistry
 from repro.core.repository import Repository, RepositoryEntry
 from repro.dfs.filesystem import DistributedFileSystem
@@ -73,11 +74,18 @@ class TimeWindowEviction(EvictionPolicy):
 
 @EVICTION_POLICIES.register("input-modified", aliases=("stale",))
 class InputModifiedEviction(EvictionPolicy):
-    """Rule 4: a source dataset was deleted or has a newer mtime.
+    """Rule 4: a source dataset was deleted or rewritten in place.
 
     Walks the repository's input-path index instead of every entry:
     each distinct source dataset is stat'ed exactly once, and only the
-    entries registered under it are checked against its current mtime.
+    entries registered under it are classified against its live
+    extent (:mod:`repro.core.freshness`).  An input that merely *grew*
+    by an append keeps the entry alive when its sub-plan is
+    delta-upgradeable — the stored output is still an exact prefix of
+    the recomputation and the matcher refreshes it incrementally on
+    the next probe; evicting it would throw that prefix away.  Legacy
+    entries without recorded extents classify any mtime movement as
+    rewritten, preserving the old (conservative) behaviour.
     """
 
     name = "input-modified"
@@ -87,13 +95,16 @@ class InputModifiedEviction(EvictionPolicy):
     ) -> List[RepositoryEntry]:
         victim_ids = set()
         for path in repository.input_paths():
-            exists = dfs.exists(path)
-            current_mtime = dfs.mtime(path) if exists else None
+            live = dfs.input_extent(path)
             for entry in repository.entries_with_input(path):
                 if entry.entry_id in victim_ids:
                     continue
-                if not exists or current_mtime > entry.input_mtimes[path]:
-                    victim_ids.add(entry.entry_id)
+                kind = classify_input(entry, path, live, dfs)
+                if kind == FRESH:
+                    continue
+                if kind == APPENDED and delta_upgradeable(entry):
+                    continue
+                victim_ids.add(entry.entry_id)
         # report in repository (insertion) order, like the full scan did
         return [e for e in repository if e.entry_id in victim_ids]
 

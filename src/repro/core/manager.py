@@ -31,12 +31,14 @@ is stamped with its session id and lands in a per-session drain buffer
 from __future__ import annotations
 
 import threading
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.enumerator import CandidateSubJob, SubJobEnumerator
 from repro.core.eviction import EvictionPolicy, eviction_by_name
+from repro.core.freshness import EntryFreshness, classify_entry, delta_chain
 from repro.core.heuristics import Heuristic, heuristic_by_name
 from repro.core.matcher import PlanMatcher
 from repro.core.repository import EntryStats, Repository, RepositoryEntry
@@ -44,9 +46,12 @@ from repro.core.rewriter import PlanRewriter
 from repro.core.selector import Selector, selector_by_name
 from repro.costmodel.model import CostModel, estimate_standalone_time
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.namenode import InputExtent
 from repro.execution.interpreter import DEFAULT_BATCH_SIZE
 from repro.events import (
+    DeltaFallback,
     EntryEvicted,
+    EntryRefreshed,
     EventBus,
     JobEliminated,
     MatchScanned,
@@ -59,6 +64,12 @@ from repro.mapreduce.job import MapReduceJob, Workflow
 from repro.mapreduce.runner import JobListener
 from repro.mapreduce.stats import JobStats
 from repro.pig.physical.operators import POLoad
+
+#: scratch prefix for delta-refresh temporaries: the appended tail of
+#: a grown input (``tail-<n>``) and the side-stored delta rows
+#: (``out-<n>``).  Both files die when the refresh is applied, so no
+#: plan loading from under this prefix is ever registered.
+DELTA_TMP_PREFIX = "restore/delta/"
 
 
 @dataclass
@@ -74,6 +85,14 @@ class ReStoreConfig:
 
     heuristic: Union[str, Heuristic] = "aggressive"
     rewrite_enabled: bool = True
+    #: when True (default) a matched entry whose inputs only grew by
+    #: appends is refreshed in place: identity-preserving sub-plans
+    #: (single Load -> FILTER/FOREACH/SPLIT chain) rerun over just the
+    #: appended tail, UNION-merged with the stored output, and the
+    #: entry's recorded extents advance.  False condemns append-grown
+    #: entries like rewritten ones (full rerun + re-registration) —
+    #: correct either way, only the recomputation volume differs
+    delta_enabled: bool = True
     inject_enabled: bool = True
     #: when True (default) the repository's fingerprint index prunes
     #: match candidates before the pairwise traversal; False restores
@@ -152,6 +171,7 @@ class ReStoreConfig:
         known = {
             "heuristic",
             "rewrite_enabled",
+            "delta_enabled",
             "inject_enabled",
             "indexed_matching",
             "fast_data_plane",
@@ -200,6 +220,26 @@ class MatchPipelineTotals:
         if not self.entries_seen:
             return 0.0
         return self.candidates_pruned / self.entries_seen
+
+
+@dataclass
+class _PendingDeltaRefresh:
+    """A delta rewrite whose merge is deferred until after the job.
+
+    The rewrite side-stores the tail branch's rows at ``delta_path``;
+    once the job succeeds, ``after_job`` appends them onto the entry's
+    stored output and advances its recorded input extents (the values
+    captured here, at classification time — a racing further append
+    simply classifies as appended again on the next probe).
+    """
+
+    entry_id: str
+    output_path: str
+    delta_path: str
+    tail_path: str
+    input_mtimes: Dict[str, int]
+    input_extents: Dict[str, InputExtent]
+    input_bytes_delta: int
 
 
 class ReStoreManager(JobListener):
@@ -264,6 +304,17 @@ class ReStoreManager(JobListener):
         # counters for reporting / tests
         self.rewrite_count = 0
         self.elimination_count = 0
+        #: delta refreshes merged / delta attempts that fell back to a
+        #: full rerun (the ``incremental`` bench reads both)
+        self.delta_refresh_count = 0
+        self.delta_fallback_count = 0
+        #: entry ids with a delta refresh in flight: a second probe
+        #: matching the same append-grown entry before the first merge
+        #: lands must fall back — two merges would double the tail
+        self._refreshing: Set[str] = set()
+        #: live job object -> delta refreshes to apply in after_job
+        #: (keyed by id(job) like ``_pending``, for the same reason)
+        self._pending_refresh: Dict[int, List[_PendingDeltaRefresh]] = {}
         #: cumulative index/pruning telemetry (reporting, benchmarks)
         self.match_totals = MatchPipelineTotals()
 
@@ -319,20 +370,33 @@ class ReStoreManager(JobListener):
             self._pinned.pop(id(workflow), None)
             # jobs that failed mid-workflow never reached after_job;
             # drop their enumerated candidates or a long-lived shared
-            # manager leaks them on every failure
+            # manager leaks them on every failure.  Ditto their queued
+            # delta refreshes: release the entry claims (the entry is
+            # untouched, so the next probe just classifies appended
+            # again) and reclaim the scratch files
+            orphaned: List[_PendingDeltaRefresh] = []
             for job in workflow.jobs:
                 self._pending.pop(id(job), None)
+                orphaned.extend(self._pending_refresh.pop(id(job), []))
+            for refresh in orphaned:
+                self._refreshing.discard(refresh.entry_id)
             # condemned entries whose files were kept alive for this
-            # workflow: delete once no other workflow reads them (and
-            # the path was not re-registered by a fresh entry, which
-            # would have re-claimed it into kept_paths)
+            # workflow: delete once no other workflow reads them and
+            # the path is not claimed again — either re-kept, or
+            # re-registered as a live entry's output (a condemned
+            # whole-job entry's rerun recreates the very same path)
             still_pinned = self._pinned_paths()
             ready = {
                 path
                 for path in self._deferred_deletes
-                if path not in still_pinned and path not in self.kept_paths
+                if path not in still_pinned
+                and path not in self.kept_paths
+                and self.repository.find_by_output_path(path) is None
             }
             self._deferred_deletes -= ready
+        for refresh in orphaned:
+            self._discard_file(refresh.delta_path)
+            self._discard_file(refresh.tail_path)
         for path in ready:
             self._discard_file(path)
         if self.persistence is not None:
@@ -345,21 +409,29 @@ class ReStoreManager(JobListener):
         with self._lock:
             self._pinned.setdefault(id(workflow), set()).add(output_path)
 
-    def _pin_live_entry(self, workflow: Workflow, entry: RepositoryEntry) -> bool:
-        """Atomically validate-and-pin a matched entry.
+    def _pin_live_entry(
+        self, workflow: Workflow, entry: RepositoryEntry
+    ) -> Optional[EntryFreshness]:
+        """Atomically validate-and-pin a matched entry, then classify
+        its inputs against the live DFS.
 
         The match loop traverses a candidate *snapshot*, so an entry
         can be evicted (and its file deleted) between the scan and the
         rewrite.  Eviction runs under the manager lock, so checking
         liveness and pinning under the same lock closes that window:
-        either the eviction already removed the entry (we return False
+        either the eviction already removed the entry (we return None
         and the match is skipped) or it runs later and sees the pin.
+
+        The freshness verdict decides what the caller may do with the
+        match: rewrite normally (fresh), refresh incrementally
+        (appended), or condemn and rerun (rewritten/dead) — see
+        :mod:`repro.core.freshness`.
         """
         with self._lock:
             if not self.repository.has_entry(entry.entry_id):
-                return False
+                return None
             self._pin(workflow, entry.output_path)
-            return True
+        return classify_entry(entry, self.dfs)
 
     def _pinned_paths(self) -> Set[str]:
         with self._lock:
@@ -378,7 +450,12 @@ class ReStoreManager(JobListener):
 
     def after_job(self, job: MapReduceJob, stats: JobStats, workflow: Workflow) -> None:
         with self._lock:
+            refreshes = self._pending_refresh.pop(id(job), [])
             candidates = self._pending.pop(id(job), [])
+        # merge delta refreshes before registration: the refreshed
+        # entry must be current before any rescan can match it again
+        for refresh in refreshes:
+            self._apply_refresh(job, refresh, stats)
         for candidate in candidates:
             self._register_sub_job(candidate, stats, workflow)
         self._register_whole_job(job, stats, workflow)
@@ -428,8 +505,37 @@ class ReStoreManager(JobListener):
                         continue
                     if self._is_noop_match(result, entry):
                         continue
-                    if not self._pin_live_entry(workflow, entry):
+                    freshness = self._pin_live_entry(workflow, entry)
+                    if freshness is None:
                         continue  # evicted since the candidate snapshot
+                    if freshness.stale:
+                        # an input was rewritten or deleted: reusing
+                        # the entry would serve stale bytes — and just
+                        # skipping it would poison this job's rerun
+                        # (find_equivalent discards the fresh output)
+                        self._condemn_stale(entry)
+                        continue
+                    if freshness.is_appended:
+                        if self._try_delta_rewrite(
+                            job, entry, result, freshness, workflow
+                        ):
+                            scan.matches += 1
+                            with self._lock:
+                                entry.mark_used(self.clock)
+                                self.rewrite_count += 1
+                            self._emit(
+                                RewriteApplied(
+                                    job_id=job.job_id,
+                                    entry_id=entry.entry_id,
+                                    anchor_kind=entry.anchor_kind,
+                                    output_path=entry.output_path,
+                                    delta=True,
+                                )
+                            )
+                            matched = True
+                            break
+                        self._condemn_stale(entry)
+                        continue
                     if result.whole_job:
                         scan.matches += 1
                         self._apply_whole_job(job, entry, workflow)
@@ -535,6 +641,204 @@ class ReStoreManager(JobListener):
             )
         )
 
+    # -- delta refresh (appended inputs) ---------------------------------------------------
+
+    def _condemn_stale(self, entry: RepositoryEntry) -> None:
+        """Evict a matched entry whose inputs changed underneath it.
+
+        Rejecting the match alone is not enough: the stale entry would
+        still answer ``find_equivalent`` after this job's full rerun,
+        so the selector would discard the *fresh* output and leave the
+        stale one registered forever.  Condemning at match time lets
+        the rerun re-register fresh state.  The file deletion defers
+        while an in-flight workflow reads it (this entry was pinned by
+        the caller just before classification, so it always defers to
+        at least this workflow's end).
+        """
+        event = self._evict(
+            entry,
+            "stale-input",
+            defer_delete=entry.output_path in self._pinned_paths(),
+        )
+        if event is not None:
+            self._emit(event)
+            if self.persistence is not None:
+                # like run_evictions: the removal must hit the journal
+                # before the rerun re-registers over the same path
+                self.persistence.flush()
+
+    def _try_delta_rewrite(
+        self,
+        job: MapReduceJob,
+        entry: RepositoryEntry,
+        result,
+        freshness: EntryFreshness,
+        workflow: Workflow,
+    ) -> bool:
+        """Rewrite *job* to recompute only the appended tail of the
+        matched entry's input (i2MapReduce-style, PAPERS.md).
+
+        The entry's sub-plan must be an identity-preserving chain
+        (:func:`repro.core.freshness.delta_chain`); the probe plan is
+        then spliced to read ``UNION(stored output, chain(tail))`` and
+        a refresh is queued for ``after_job`` to merge the side-stored
+        delta rows into the entry.  Returns True on success; False
+        tells the caller to condemn the entry and fall back to a full
+        rerun — a typed :class:`DeltaFallback` records why.
+        """
+
+        def fallback(path: str, reason: str) -> bool:
+            with self._lock:
+                self.delta_fallback_count += 1
+            self._emit(
+                DeltaFallback(
+                    job_id=job.job_id,
+                    entry_id=entry.entry_id,
+                    path=path,
+                    reason=reason,
+                )
+            )
+            return False
+
+        path = min(freshness.appended)
+        if not self.config.delta_enabled:
+            return fallback(path, "delta-disabled")
+        if len(job.plan.loads()) != 1:
+            # splicing two loads into a multi-load probe would reorder
+            # the interpreter's load streaming relative to the full
+            # rerun — not provably byte-stable, so rerun instead
+            return fallback(path, "multi-load-probe")
+        chain = delta_chain(entry.plan)
+        if chain is None:
+            # GROUP/JOIN/LIMIT/multi-input shapes: f(old ++ tail) is
+            # not f(old) ++ f(tail); this counter is the headroom a
+            # keyed re-grouping delta model would unlock
+            return fallback(path, "ineligible-chain")
+        # a delta-eligible entry has exactly one load, hence exactly
+        # one (appended) input path
+        live = freshness.appended[path]
+        recorded = entry.input_extents.get(path)
+        if recorded is None:
+            return fallback(path, "no-recorded-extent")
+        if recorded.size > 0:
+            boundary = self.dfs.read_range(path, recorded.size - 1, recorded.size)
+            if boundary != b"\n":
+                # the append glued bytes onto the recorded prefix's
+                # unterminated last line: the tail is not a clean
+                # record suffix of the grown file
+                return fallback(path, "tail-boundary")
+        with self._lock:
+            claimed = entry.entry_id not in self._refreshing
+            if claimed:
+                self._refreshing.add(entry.entry_id)
+        if not claimed:
+            return fallback(path, "refresh-in-flight")
+        delta_id = self.dfs.next_delta_id()
+        tail_path = f"{DELTA_TMP_PREFIX}tail-{delta_id}"
+        delta_path = f"{DELTA_TMP_PREFIX}out-{delta_id}"
+        try:
+            tail = self.dfs.read_range(path, recorded.size, live.size)
+            self.dfs.write_file(tail_path, tail, overwrite=True)
+            self.rewriter.rewrite_delta(
+                job.plan,
+                result,
+                chain,
+                stored_path=entry.output_path,
+                stored_schema=entry.output_schema,
+                tail_path=tail_path,
+                tail_schema=entry.plan.loads()[0].schema,
+                delta_path=delta_path,
+            )
+        except Exception:
+            with self._lock:
+                self._refreshing.discard(entry.entry_id)
+            self._discard_file(tail_path)
+            raise
+        # the refreshed extent extends the recorded prefix checksum
+        # over the tail incrementally — no O(file) re-hash needed —
+        # so the grown input stays verifiable across a restart too
+        merged_crc = (
+            zlib.crc32(tail, recorded.crc) if recorded.crc is not None else None
+        )
+        refresh = _PendingDeltaRefresh(
+            entry_id=entry.entry_id,
+            output_path=entry.output_path,
+            delta_path=delta_path,
+            tail_path=tail_path,
+            input_mtimes={path: live.mtime},
+            input_extents={
+                path: InputExtent(
+                    mtime=live.mtime,
+                    generation=live.generation,
+                    birth=live.birth,
+                    size=live.size,
+                    crc=merged_crc,
+                )
+            },
+            input_bytes_delta=live.size - recorded.size,
+        )
+        with self._lock:
+            self._pending_refresh.setdefault(id(job), []).append(refresh)
+        return True
+
+    def _apply_refresh(
+        self, job: MapReduceJob, refresh: _PendingDeltaRefresh, stats: JobStats
+    ) -> None:
+        """Merge one delta run into its entry's stored output.
+
+        The job side-stored the tail branch's rows at ``delta_path``;
+        append them onto the stored output — unless the job's own
+        primary store already wrote the merged file there (the
+        resubmission shape, where the probe's output path *is* the
+        entry's output path) — then advance the entry's recorded
+        input extents so the grown input now classifies fresh.
+        """
+        try:
+            if not self.repository.has_entry(refresh.entry_id):
+                return  # condemned while the job ran; a rerun re-registers
+            delta_bytes = b""
+            delta_records = 0
+            if self.dfs.exists(refresh.delta_path):
+                delta_bytes = self.dfs.read_file(refresh.delta_path)
+                stat = stats.store_for_path(refresh.delta_path)
+                if stat is not None:
+                    delta_records = stat.records
+            own_stores = {s.path for s in stats.stores if not s.side}
+            if delta_bytes and refresh.output_path not in own_stores:
+                self.dfs.append(refresh.output_path, delta_bytes)
+            try:
+                self.repository.refresh_entry(
+                    refresh.entry_id,
+                    input_mtimes=refresh.input_mtimes,
+                    input_extents=refresh.input_extents,
+                    input_bytes_delta=refresh.input_bytes_delta,
+                    output_bytes_delta=len(delta_bytes),
+                    output_records_delta=delta_records,
+                )
+            except Exception:
+                return  # condemned mid-merge; the rerun re-registers
+            with self._lock:
+                self.delta_refresh_count += 1
+            self._emit(
+                EntryRefreshed(
+                    job_id=job.job_id,
+                    entry_id=refresh.entry_id,
+                    output_path=refresh.output_path,
+                    delta_bytes=len(delta_bytes),
+                    delta_records=delta_records,
+                )
+            )
+            if self.persistence is not None:
+                # the refreshed extents must reach the journal before
+                # a crash, or recovery would replay the pre-append
+                # extents and re-run the delta against a merged output
+                self.persistence.flush()
+        finally:
+            with self._lock:
+                self._refreshing.discard(refresh.entry_id)
+            self._discard_file(refresh.delta_path)
+            self._discard_file(refresh.tail_path)
+
     # -- registration (components 2+3) ----------------------------------------------------
 
     def _register_sub_job(
@@ -543,6 +847,13 @@ class ReStoreManager(JobListener):
         store_stat = stats.store_for_path(candidate.store_path)
         if store_stat is None:
             return
+        load_paths = [op.path for op in candidate.plan.loads()]
+        if any(p.startswith(DELTA_TMP_PREFIX) for p in load_paths):
+            # the plan reads delta scratch (an appended tail): that
+            # file dies when the refresh lands, so the entry could
+            # never be recomputed — don't register it
+            self._discard_file(candidate.store_path)
+            return
         if len(candidate.plan) <= 2:
             self._discard_file(candidate.store_path)
             return
@@ -550,8 +861,8 @@ class ReStoreManager(JobListener):
             # Duplicate computation already stored: drop the new copy.
             self._discard_file(candidate.store_path)
             return
-        load_paths = [op.path for op in candidate.plan.loads()]
         input_bytes = sum(stats.load_bytes.get(p, 0) for p in load_paths)
+        input_mtimes, input_extents = self._input_snapshot(load_paths)
         entry = RepositoryEntry(
             plan=candidate.plan,
             output_path=candidate.store_path,
@@ -570,7 +881,8 @@ class ReStoreManager(JobListener):
             anchor_kind=candidate.anchor_kind,
             created_at=self.clock,
             last_used_at=self.clock,
-            input_mtimes=self._mtimes(load_paths),
+            input_mtimes=input_mtimes,
+            input_extents=input_extents,
         )
         decision = self.selector.decide(entry)
         if not decision.keep:
@@ -634,7 +946,12 @@ class ReStoreManager(JobListener):
         if self.repository.find_equivalent(clean_plan) is not None:
             return
         load_paths = [op.path for op in clean_plan.loads()]
+        if any(p.startswith(DELTA_TMP_PREFIX) for p in load_paths):
+            # a delta-rewritten probe's own plan loads the appended
+            # tail from delta scratch; it is not a recomputable query
+            return
         sim_time = stats.sim.total_without_side_stores if stats.sim is not None else 0.0
+        input_mtimes, input_extents = self._input_snapshot(load_paths)
         entry = RepositoryEntry(
             plan=clean_plan,
             output_path=primary.path,
@@ -648,7 +965,8 @@ class ReStoreManager(JobListener):
             anchor_kind="whole-job",
             created_at=self.clock,
             last_used_at=self.clock,
-            input_mtimes=self._mtimes(load_paths),
+            input_mtimes=input_mtimes,
+            input_extents=input_extents,
         )
         decision = self.selector.decide(entry)
         if not decision.keep:
@@ -682,8 +1000,21 @@ class ReStoreManager(JobListener):
             )
         )
 
-    def _mtimes(self, paths) -> Dict[str, int]:
-        return {path: self.dfs.mtime(path) for path in paths if self.dfs.exists(path)}
+    def _input_snapshot(
+        self, paths
+    ) -> Tuple[Dict[str, int], Dict[str, InputExtent]]:
+        """Record each existing input's mtime *and* extent at
+        registration time — the freshness classifier compares both
+        (the mtimes alone cannot tell an append from a rewrite)."""
+        mtimes: Dict[str, int] = {}
+        extents: Dict[str, InputExtent] = {}
+        for path in paths:
+            extent = self.dfs.input_extent(path, with_crc=True)
+            if extent is None:
+                continue
+            mtimes[path] = extent.mtime
+            extents[path] = extent
+        return mtimes, extents
 
     # -- eviction (§5 rules 3-4) --------------------------------------------------------------
 

@@ -62,6 +62,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.matcher import PlanMatcher
+from repro.dfs.namenode import InputExtent
 from repro.exceptions import RepositoryError
 from repro.pig.physical.plan import PhysicalPlan
 from repro.relational.schema import Schema
@@ -106,6 +107,12 @@ class RepositoryEntry:
     #: DFS logical mtimes of the entry's source datasets at creation
     #: (eviction Rule 4 compares against current mtimes)
     input_mtimes: Dict[str, int] = field(default_factory=dict)
+    #: exact per-input identity + length fingerprints recorded at
+    #: registration (and advanced on every delta refresh); the
+    #: freshness classifier distinguishes appended from rewritten
+    #: inputs with these — entries restored from pre-extent state keep
+    #: the dict empty and degrade to the conservative mtime check
+    input_extents: Dict[str, InputExtent] = field(default_factory=dict)
     entry_id: str = ""
 
     def mark_used(self, now: int) -> None:
@@ -129,6 +136,10 @@ class RepositoryEntry:
             "last_used_at": self.last_used_at,
             "use_count": self.use_count,
             "input_mtimes": self.input_mtimes,
+            "input_extents": {
+                path: extent.to_list()
+                for path, extent in self.input_extents.items()
+            },
         }
 
     @classmethod
@@ -143,6 +154,10 @@ class RepositoryEntry:
             last_used_at=data.get("last_used_at", 0),
             use_count=data.get("use_count", 0),
             input_mtimes=dict(data.get("input_mtimes", {})),
+            input_extents={
+                path: InputExtent.from_list(extent)
+                for path, extent in data.get("input_extents", {}).items()
+            },
             entry_id=data.get("entry_id", ""),
         )
 
@@ -245,8 +260,9 @@ class Repository:
         #: as one amortized batch by the next ordered scan)
         self._pending: List[str] = []
         #: durability hooks: called as ``listener(kind, entry)`` with
-        #: kind "added"/"removed", *under the repository lock*, right
-        #: after the mutation commits (see subscribe_mutations)
+        #: kind "added"/"removed"/"refreshed", *under the repository
+        #: lock*, right after the mutation commits (see
+        #: subscribe_mutations)
         self._mutation_listeners: List[Callable[[str, RepositoryEntry], None]] = []
 
     @contextmanager
@@ -390,6 +406,52 @@ class Repository:
             else:
                 self._retire_from_order(entry_id)
             self._notify_mutation("removed", entry)
+            return entry
+
+    def refresh_entry(
+        self,
+        entry_id: str,
+        *,
+        input_mtimes: Optional[Mapping[str, int]] = None,
+        input_extents: Optional[Mapping[str, InputExtent]] = None,
+        input_bytes_delta: int = 0,
+        output_bytes_delta: int = 0,
+        output_records_delta: int = 0,
+    ) -> RepositoryEntry:
+        """Advance an entry's recorded input state after a delta merge.
+
+        The incremental-recomputation layer appended the tail-run's
+        output onto the entry's stored file; the entry now describes
+        the *grown* computation: input mtimes/extents move to the
+        captured live values and the size statistics grow by the
+        delta.  The plan (and therefore the fingerprint and the
+        signature indexes) is unchanged; only the §3 order position may
+        move with the statistics, and the ``by_input_path`` buckets are
+        extended for any genuinely new path (defensive — a delta
+        refresh never changes the path set today).  Listeners observe
+        the mutation as kind ``"refreshed"``.
+        """
+        with self._lock:
+            entry = self.get(entry_id)
+            if input_mtimes:
+                for path in input_mtimes:
+                    if path not in entry.input_mtimes:
+                        shard = self._shard_of(path)
+                        with shard.lock:
+                            shard.by_input_path.setdefault(path, set()).add(
+                                entry_id
+                            )
+                entry.input_mtimes.update(input_mtimes)
+            if input_extents:
+                entry.input_extents.update(input_extents)
+            entry.stats.input_bytes += input_bytes_delta
+            entry.stats.output_bytes += output_bytes_delta
+            entry.stats.output_records += output_records_delta
+            if entry_id in self._sorted:
+                # io_ratio / exec_time feed the §3 scan key: re-place
+                # the entry so _sorted stays sorted under current keys
+                self._reposition(entry_id)
+            self._notify_mutation("refreshed", entry)
             return entry
 
     def flush(self) -> None:

@@ -16,6 +16,7 @@ from repro.pig.physical.operators import (
     POLoad,
     POSplit,
     POStore,
+    POUnion,
 )
 from repro.pig.physical.plan import PhysicalPlan
 from repro.relational.schema import Schema
@@ -51,6 +52,73 @@ class PlanRewriter:
         if load not in plan:
             raise PlanError("rewrite removed its own load (no live consumers)")
         return load
+
+    def rewrite_delta(
+        self,
+        plan: PhysicalPlan,
+        match: MatchResult,
+        chain: List,
+        stored_path: str,
+        stored_schema: Schema,
+        tail_path: str,
+        tail_schema: Schema,
+        delta_path: str,
+    ) -> POUnion:
+        """Splice a delta recomputation in place of the matched sub-plan.
+
+        The matched entry's input grew by an append and its sub-plan is
+        an identity-preserving *chain* (``freshness.delta_chain``), so
+        ``f(old ++ tail) == f(old) ++ f(tail)``: instead of rerunning
+        the chain over the whole input, the frontier's consumers read
+
+            UNION(Load(stored output), chain-clone(Load(appended tail)))
+
+        with a Split tee side-storing the tail branch into *delta_path*
+        — the manager appends those delta bytes onto the entry's stored
+        output after the job, advancing the entry's recorded extents.
+
+        The stored-output Load is added *before* the tail Load: the
+        interpreter streams loads in plan insertion order and store
+        rows accumulate in arrival order, so the merged stream (and any
+        downstream store) is stored-prefix ++ tail-suffix — byte-
+        identical to a full rerun.  Returns the inserted Union.
+        """
+        frontier = match.frontier
+        if frontier is None or frontier not in plan:
+            raise PlanError("match frontier is not part of the plan")
+
+        stored_load = POLoad(stored_path, stored_schema)
+        plan.add(stored_load)
+        tail_load = POLoad(tail_path, tail_schema)
+        plan.add(tail_load)
+
+        prev = tail_load
+        for op in chain:
+            clone = op.copy()
+            plan.add(clone)
+            plan.connect(prev, clone)
+            prev = clone
+
+        tee = POSplit(schema=stored_schema)
+        plan.add(tee)
+        plan.connect(prev, tee)
+        delta_store = POStore(delta_path, schema=stored_schema, side=True)
+        plan.add(delta_store)
+        plan.connect(tee, delta_store)
+
+        union = POUnion(2, schema=stored_schema)
+        plan.add(union)
+        plan.connect(stored_load, union)
+        plan.connect(tee, union)
+
+        for succ in list(plan.successors(frontier)):
+            plan.disconnect(frontier, succ)
+            plan.connect(union, succ)
+
+        self._garbage_collect(plan)
+        if union not in plan:
+            raise PlanError("delta rewrite removed its own union (no live consumers)")
+        return union
 
     def rewrite_as_copy_job(
         self,

@@ -114,6 +114,16 @@ class Block:
         """Whether the chunk bytes have been sliced out of the payload."""
         return self._data is not None
 
+    @property
+    def bytes_available(self) -> bool:
+        """Whether :attr:`data` can be served without building a still
+        deferred :class:`LazyPayload` (metadata-grade probes refuse to
+        force a serialization their caller never asked for)."""
+        if self._data is not None:
+            return True
+        payload = self._payload
+        return not (isinstance(payload, LazyPayload) and not payload.materialized)
+
     def __repr__(self) -> str:
         return f"Block({self.block_id}, size={self._size})"
 

@@ -11,12 +11,13 @@ the cost model.
 from __future__ import annotations
 
 import threading
+import zlib
 from typing import Iterable, List, Optional, Tuple
 
 from repro.dfs.blocks import Block, LazyPayload
 from repro.dfs.datanode import DataNode
 from repro.dfs.dataset import TypedDataset, canonical_ascii_size, rows_are_canonical
-from repro.dfs.namenode import FileStatus, INode, NameNode
+from repro.dfs.namenode import FileStatus, INode, InputExtent, NameNode
 from repro.dfs.replication import PlacementPolicy, RoundRobinPlacement
 from repro.exceptions import DFSError, FileNotFoundInDFS
 from repro.relational.schema import Schema
@@ -68,6 +69,7 @@ class DistributedFileSystem:
         self.serializations = 0
         self._script_id_next = 1
         self._subjob_id_next = 1
+        self._delta_id_next = 1
         #: one filesystem is shared by every concurrent service worker;
         #: this lock makes namespace mutations (block allocation, the
         #: mtime clock, delete-if-exists) atomic — without it two
@@ -87,6 +89,20 @@ class DistributedFileSystem:
         with self._lock:
             value = self._subjob_id_next
             self._subjob_id_next += 1
+            return value
+
+    def next_delta_id(self) -> int:
+        """Allocate a delta-refresh scratch number.
+
+        Scoped like :meth:`next_subjob_id`: ``restore/delta/...``
+        scratch paths (appended-tail inputs, side-stored delta rows)
+        are short-lived but must still never collide between managers
+        sharing one DFS — the loser of a collision would merge another
+        manager's delta bytes into its own stored output.
+        """
+        with self._lock:
+            value = self._delta_id_next
+            self._delta_id_next += 1
             return value
 
     def next_script_id(self) -> int:
@@ -446,6 +462,36 @@ class DistributedFileSystem:
             self.bytes_read += len(data)
             return data
 
+    def read_range(self, path: str, start: int, end: int) -> bytes:
+        """Read the byte range ``[start, end)`` of *path*.
+
+        Only the blocks overlapping the range are touched — the tail
+        view the incremental-recomputation layer uses to run a sub-plan
+        over just the appended suffix of a grown input, without paying
+        a full-file read.  Counters move for the blocks actually read.
+        """
+        with self._lock:
+            inode = self.namenode.lookup(path)
+            start = max(0, start)
+            end = min(end, inode.size)
+            if start >= end:
+                return b""
+            chunks = []
+            offset = 0
+            for block_id in inode.block_ids:
+                node = self._locate(block_id)
+                block = node.get_block(block_id)
+                block_end = offset + block.size
+                if block_end > start and offset < end:
+                    data = node.read_block(block_id)
+                    chunks.append(data[max(0, start - offset) : end - offset])
+                offset = block_end
+                if offset >= end:
+                    break
+            data = b"".join(chunks)
+            self.bytes_read += len(data)
+            return data
+
     def read_text(self, path: str) -> str:
         return self.read_file(path).decode()
 
@@ -561,6 +607,55 @@ class DistributedFileSystem:
 
     def mtime(self, path: str) -> int:
         return self.namenode.stat(path).mtime
+
+    def input_extent(
+        self, path: str, with_crc: bool = False
+    ) -> Optional[InputExtent]:
+        """The live :class:`InputExtent` of *path*, or None when the
+        file does not exist (freshness classification's "dead").
+
+        ``with_crc`` additionally records the content checksum that
+        makes the extent survive a persistence restart (registration
+        pays it once; match-time probes stay metadata-only).
+        """
+        with self._lock:
+            if not self.namenode.exists(path):
+                return None
+            inode = self.namenode.lookup(path)
+            return InputExtent(
+                mtime=inode.mtime,
+                generation=inode.generation,
+                birth=inode.birth,
+                size=inode.size,
+                crc=self.prefix_crc32(path) if with_crc else None,
+            )
+
+    def prefix_crc32(self, path: str, size: Optional[int] = None) -> Optional[int]:
+        """crc32 of the first *size* bytes of *path* (whole file when
+        None), or None when it cannot be computed cheaply.
+
+        A metadata-grade probe for freshness classification: it moves
+        no logical read counters and refuses to force a still-deferred
+        lazy payload into serializing (callers treat None as "cannot
+        verify" and classify conservatively).
+        """
+        with self._lock:
+            if not self.namenode.exists(path):
+                return None
+            inode = self.namenode.lookup(path)
+            end = inode.size if size is None else min(size, inode.size)
+            crc = 0
+            offset = 0
+            for block_id in inode.block_ids:
+                if offset >= end:
+                    break
+                node = self._locate(block_id)
+                block = node.get_block(block_id)
+                if not block.bytes_available:
+                    return None
+                crc = zlib.crc32(block.data[: end - offset], crc)
+                offset += block.size
+            return crc
 
     def list_paths(self, prefix: str = "") -> List[str]:
         return self.namenode.list_paths(prefix)

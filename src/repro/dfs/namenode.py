@@ -24,6 +24,11 @@ class INode:
     block_ids: List[BlockId] = field(default_factory=list)
     size: int = 0
     mtime: int = 0
+    #: logical-clock tick at which this inode was created.  The clock
+    #: only moves forward and every create draws a fresh tick, so a
+    #: deleted-and-recreated path can never alias its predecessor:
+    #: identical (path, size, generation) still differ in ``birth``.
+    birth: int = 0
     replication: int = 3
     #: bumped on every mutation (append/delete/rename); pinned typed
     #: datasets record the generation they were built at and become
@@ -53,6 +58,52 @@ class FileStatus:
     mtime: int
     block_count: int
     replication: int
+
+
+@dataclass(frozen=True)
+class InputExtent:
+    """The identity-and-length fingerprint of one input file.
+
+    Recorded per source dataset when a repository entry registers and
+    compared against the live inode at match time (see
+    :mod:`repro.core.freshness`): ``birth`` pins the inode identity
+    (delete-and-recreate always changes it, because creates draw fresh
+    logical-clock ticks), ``size`` detects growth, and the pair
+    classifies an input as fresh / appended / rewritten exactly —
+    appends are the only in-place mutation the DFS offers, so same
+    birth plus same size means byte-identical content.
+
+    ``crc`` is the crc32 of the first ``size`` bytes, recorded when
+    available.  Logical clocks are process-local, so ``birth`` cannot
+    identify an inode across a persistence restart — a recovered entry
+    always sees a foreign birth for a re-materialized input.  The
+    checksum is the portable half of the identity: a birth mismatch
+    with a matching prefix crc proves the recorded bytes are still an
+    exact prefix (fresh or appended); None means "cannot verify" and
+    classifies the mismatch as rewritten.
+    """
+
+    mtime: int
+    generation: int
+    birth: int
+    size: int
+    crc: Optional[int] = None
+
+    def to_list(self) -> list:
+        """Compact JSON form (column order is part of the codec)."""
+        return [self.mtime, self.generation, self.birth, self.size, self.crc]
+
+    @classmethod
+    def from_list(cls, data) -> "InputExtent":
+        mtime, generation, birth, size = data[:4]
+        crc = data[4] if len(data) > 4 else None
+        return cls(
+            mtime=int(mtime),
+            generation=int(generation),
+            birth=int(birth),
+            size=int(size),
+            crc=None if crc is None else int(crc),
+        )
 
 
 class NameNode:
@@ -85,7 +136,8 @@ class NameNode:
     def create(self, path: str, replication: int) -> INode:
         if path in self._inodes:
             raise FileAlreadyExists(f"path already exists: {path}")
-        inode = INode(path=path, mtime=self.tick(), replication=replication)
+        tick = self.tick()
+        inode = INode(path=path, mtime=tick, birth=tick, replication=replication)
         self._inodes[path] = inode
         return inode
 

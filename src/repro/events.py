@@ -56,8 +56,18 @@ class RewriteApplied(ReStoreEvent):
     output_path: str = ""
     #: True when the entire job matched and degraded to a copy job
     whole_job: bool = False
+    #: True when the match was applied as a delta recomputation: the
+    #: entry's input grew by an append, so the rewrite unions the
+    #: stored output with the sub-plan rerun over just the tail
+    delta: bool = False
 
     def render(self) -> str:
+        if self.delta:
+            return (
+                f"{self.job_id}: reused sub-job {self.entry_id} "
+                f"({self.anchor_kind}) from {self.output_path} "
+                f"+ delta over appended tail"
+            )
         if self.whole_job:
             return (
                 f"{self.job_id}: whole job matched {self.entry_id}; "
@@ -150,6 +160,56 @@ class MatchScanned(ReStoreEvent):
             f"{self.passes} pass(es): {self.candidates} candidate(s), "
             f"{self.pruned} pruned, {self.traversals} traversal(s), "
             f"{self.matches} match(es)"
+        )
+
+
+@dataclass
+class DeltaFallback(ReStoreEvent):
+    """An append-grown entry could not be refreshed incrementally.
+
+    The probe falls back to a full rerun (the stale entry is condemned
+    so the rerun re-registers fresh state); the event records *why*,
+    so the ``incremental`` bench can count the headroom a finer delta
+    model (i2MapReduce-style keyed re-grouping) would unlock.
+    """
+
+    job_id: str = ""
+    entry_id: str = ""
+    #: the appended input that triggered the delta attempt
+    path: str = ""
+    #: "ineligible-chain" (GROUP/JOIN/LIMIT/multi-input shapes),
+    #: "multi-load-probe", "tail-boundary" (append split a record),
+    #: "refresh-in-flight", "no-recorded-extent", or "delta-disabled"
+    reason: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.job_id}: delta fallback for {self.entry_id} "
+            f"on {self.path}: {self.reason}"
+        )
+
+
+@dataclass
+class EntryRefreshed(ReStoreEvent):
+    """A delta run was merged into an entry's stored output.
+
+    The appended tail of the entry's input ran through the sub-plan
+    alone; the resulting delta rows were appended onto the stored
+    output file and the entry's recorded extents advanced — the entry
+    now answers probes over the grown input without a full rerun.
+    """
+
+    job_id: str = ""
+    entry_id: str = ""
+    output_path: str = ""
+    delta_bytes: int = 0
+    delta_records: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{self.job_id}: refreshed {self.entry_id} with "
+            f"{self.delta_records} delta record(s) "
+            f"({self.delta_bytes} bytes) onto {self.output_path}"
         )
 
 

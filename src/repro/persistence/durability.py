@@ -130,6 +130,11 @@ class ReplayTarget:
         data = record.data
         if record.type == "entry_added":
             self.repository.add(entry_from_record(data["entry"]))
+        elif record.type == "entry_refreshed":
+            # delta merge: the record carries the entry's full
+            # post-refresh state; a same-id add replaces in place
+            # (idempotent on replay, no-op ordering hazards)
+            self.repository.add(entry_from_record(data["entry"]))
         elif record.type == "entry_removed":
             entry_id = data["entry_id"]
             if self.repository.has_entry(entry_id):
@@ -284,6 +289,10 @@ class RepositoryPersister:
     def _on_mutation(self, kind: str, entry) -> None:
         if kind == "added":
             payload = {"type": "entry_added", "entry": entry_record(entry)}
+        elif kind == "refreshed":
+            # the full post-refresh entry state (extents, stats):
+            # replay re-adds it over the original entry_added record
+            payload = {"type": "entry_refreshed", "entry": entry_record(entry)}
         elif kind == "removed":
             payload = {"type": "entry_removed", "entry_id": entry.entry_id}
         else:

@@ -16,10 +16,17 @@ in O(entries read) — **without re-registering a single plan**:
 * optionally the owning manager's kept-path set and eviction clock,
   and the DFS script/sub-job id floors.
 
-Layout (version 1)::
+Layout (version 2)::
 
     magic "RSNP" | version u8 | crc32 u32 | index_len u32 | body_len u32
     index (JSON) | cold blob (concatenated per-entry plan JSON)
+
+Version 2 adds one entry-row column, ``input_extents`` (the per-input
+identity/length fingerprints freshness classification compares).
+Version-1 snapshots still load: their 15-element rows are recognised
+by length and decode with empty extents, which the freshness layer
+treats as legacy entries (any mtime movement classifies as
+rewritten — conservative, never stale-serving).
 
 The CRC covers the whole body (index + cold blob): a half-written or
 bit-rotted snapshot is rejected as a unit, never partially applied.
@@ -42,18 +49,21 @@ import zlib
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.repository import EntryStats, Repository, RepositoryEntry
+from repro.dfs.namenode import InputExtent
 from repro.exceptions import ReproError
 from repro.pig.physical.plan import PhysicalPlan
 from repro.relational.schema import Schema
 
 SNAPSHOT_FORMAT = "restore-repo-snapshot"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 _MAGIC = b"RSNP"
 #: magic, version, crc32(body), index length, total body length
 _HEADER = struct.Struct(">4sBIII")
 
-# positional entry-row columns, version 1 (order is part of the format)
+# positional entry-row columns, version 2 (order is part of the
+# format; version-1 rows lack "input_extents" and are told apart by
+# row length in _entry_from_row)
 _COLUMNS = (
     "entry_id",
     "seq",
@@ -64,6 +74,7 @@ _COLUMNS = (
     "use_count",
     "stats",  # [input_bytes, output_bytes, output_records, exec_time_s]
     "input_mtimes",
+    "input_extents",  # {path: [mtime, generation, birth, size, crc]}
     "output_schema",
     "fingerprint",
     "load_sigs",
@@ -215,6 +226,10 @@ def entry_from_record(record: dict) -> RepositoryEntry:
         last_used_at=record.get("last_used_at", 0),
         use_count=record.get("use_count", 0),
         input_mtimes=dict(record.get("input_mtimes", {})),
+        input_extents={
+            path: InputExtent.from_list(extent)
+            for path, extent in record.get("input_extents", {}).items()
+        },
         entry_id=record.get("entry_id", ""),
     )
 
@@ -239,6 +254,10 @@ def _entry_row(
             stats.exec_time_s,
         ],
         entry.input_mtimes,
+        {
+            path: extent.to_list()
+            for path, extent in entry.input_extents.items()
+        },
         entry.output_schema.to_dict(),
         derived["fingerprint"],
         derived["load_sigs"],
@@ -249,6 +268,10 @@ def _entry_row(
 
 
 def _entry_from_row(row: list, blob: memoryview) -> Tuple[RepositoryEntry, int]:
+    if len(row) == len(_COLUMNS) - 1:
+        # version-1 row: splice in an empty input_extents column, which
+        # downgrades the entry to legacy (mtime-only) freshness checks
+        row = row[:9] + [{}] + row[9:]
     (
         entry_id,
         seq,
@@ -259,6 +282,7 @@ def _entry_from_row(row: list, blob: memoryview) -> Tuple[RepositoryEntry, int]:
         use_count,
         stats,
         input_mtimes,
+        input_extents,
         schema,
         fingerprint,
         load_sigs,
@@ -282,6 +306,10 @@ def _entry_from_row(row: list, blob: memoryview) -> Tuple[RepositoryEntry, int]:
         last_used_at=last_used_at,
         use_count=use_count,
         input_mtimes=input_mtimes,
+        input_extents={
+            path: InputExtent.from_list(extent)
+            for path, extent in input_extents.items()
+        },
         entry_id=entry_id,
     )
     return entry, seq

@@ -14,6 +14,7 @@ from repro.bench.repo_scale import build_repository, generate_entry_specs
 from repro.core.manager import ReStoreManager
 from repro.core.repository import Repository
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.namenode import InputExtent
 from repro.persistence.durability import (
     PersistenceConfig,
     ReplayTarget,
@@ -133,6 +134,31 @@ class TestReplaySemantics:
         target = ReplayTarget(Repository())
         target.apply(JournalRecord(type="from_the_future", data={"x": 1}))
         assert len(target.repository) == 0
+
+    def test_entry_refreshed_replaces_in_place(self):
+        """A delta refresh journals the full post-merge entry; replay
+        must update the existing entry (same id, new extents/stats)
+        without duplicating it or disturbing the scan order."""
+        repo = build_repository(generate_entry_specs(8, seed=3), seed=3)
+        order = [e.entry_id for e in repo.ordered_entries()]
+        snapshot = RepositorySnapshot.capture(repo)
+        entry = repo.entries()[2]
+        record = entry_record(entry)
+        record["input_extents"] = {"data/pv": [4, 0, 2, 64, 123]}
+        refreshed = JournalRecord.from_payload(
+            {"type": "entry_refreshed", "entry": record}
+        )
+        restored = Repository.restore(
+            snapshot, journal=[refreshed, refreshed]
+        )
+        assert len(restored) == len(repo)
+        assert [e.entry_id for e in restored.ordered_entries()] == order
+        twin = restored.get(entry.entry_id)
+        assert twin.input_extents == {
+            "data/pv": InputExtent(
+                mtime=4, generation=0, birth=2, size=64, crc=123
+            )
+        }
 
 
 class TestLivePersisterCrash:

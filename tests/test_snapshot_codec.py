@@ -8,11 +8,14 @@ must never collide with persisted state.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.bench.repo_scale import build_repository, generate_entry_specs
 from repro.core.repository import Repository
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.dfs.namenode import InputExtent
 from repro.persistence.durability import (
     PersistenceConfig,
     derive_id_floors,
@@ -191,3 +194,51 @@ def _unowned_record(repository: Repository) -> dict:
     record["entry_id"] = ""
     record["output_path"] = "bench/stored/fresh"
     return record
+
+
+class TestInputExtentsColumn:
+    """Version 2 adds the ``input_extents`` entry-row column; version-1
+    snapshots (one column short) must keep loading with empty extents."""
+
+    def _with_extents(self, repository: Repository) -> Repository:
+        for i, entry in enumerate(repository.entries()[:3]):
+            entry.input_extents["data/pv"] = InputExtent(
+                mtime=10 + i,
+                generation=i,
+                birth=5 + i,
+                size=100 * (i + 1),
+                # crc is optional in the wire form: None must survive too
+                crc=None if i == 0 else 0xBEEF + i,
+            )
+        return repository
+
+    def test_extents_round_trip(self, repository):
+        source = self._with_extents(repository)
+        restored = roundtrip(source).restore_repository()
+        for entry in source.entries():
+            assert restored.get(entry.entry_id).input_extents == (
+                entry.input_extents
+            )
+
+    def test_v1_rows_load_with_empty_extents(self, repository):
+        snapshot = roundtrip(self._with_extents(repository))
+        payload = json.loads(json.dumps(snapshot.payload))
+        payload["version"] = 1
+        payload["repository"]["entries"] = [
+            row[:9] + row[10:] for row in payload["repository"]["entries"]
+        ]
+        restored = RepositorySnapshot(
+            payload, snapshot.cold
+        ).restore_repository()
+        assert len(restored) == len(repository)
+        for entry in repository.entries():
+            twin = restored.get(entry.entry_id)
+            assert twin.input_extents == {}
+            assert twin.input_mtimes == entry.input_mtimes
+            assert twin.plan.fingerprint() == entry.plan.fingerprint()
+
+    def test_entry_record_round_trips_extents(self, repository):
+        source = self._with_extents(repository)
+        for entry in source.entries()[:3]:
+            twin = entry_from_record(entry_record(entry))
+            assert twin.input_extents == entry.input_extents
