@@ -3,6 +3,10 @@ figure benchmarks under ``benchmarks/``, which reproduce results; these
 measure the implementation itself and feed the CI perf gates)."""
 
 from repro.bench.exec_sim import check_exec_sim_gates, run_exec_sim_benchmark
+from repro.bench.fault_resilience import (
+    check_fault_resilience_gates,
+    run_fault_resilience,
+)
 from repro.bench.repo_scale import (
     run_repo_scale_benchmark,
     run_service_benchmark,
@@ -11,7 +15,9 @@ from repro.bench.repo_scale import (
 
 __all__ = [
     "check_exec_sim_gates",
+    "check_fault_resilience_gates",
     "run_exec_sim_benchmark",
+    "run_fault_resilience",
     "run_repo_scale_benchmark",
     "run_service_benchmark",
     "run_service_throughput",

@@ -1,0 +1,354 @@
+"""Fault-resilience benchmark: a seeded storm against the self-healing
+JobService, differentially gated against a fault-free twin.
+
+Two identical single-worker process-mode services — standby armed,
+retries budgeted, exchange timeout set — recover the same seeded
+repository from the same snapshot and drive the same probe stream.
+One runs clean (the baseline); the other runs under
+:func:`~repro.faults.plan.storm_plan` plus one entry-corruption rule:
+a worker crash, a hung worker, a journal-error window (circuit breaker
+trips then recovers on probe), one unreadable stored plan
+(quarantined), and a sticky coordinator kill late in the run (the
+standby promotes).
+
+Gates (see :func:`check_fault_resilience_gates`):
+
+* **zero lost or duplicated entries** — the storm's final repository
+  recovers byte-identically from its own snapshot + journal, replaying
+  twice changes nothing, and it equals the baseline's final entry set
+  minus exactly the quarantined entries;
+* **decision parity modulo quarantine** — every job whose decision log
+  diverges from the baseline diverges because the baseline's decision
+  used a quarantined entry;
+* **the storm actually stormed** — ≥1 timeout kill, ≥2 retries, ≥1
+  breaker trip *and* recovery, exactly 1 promotion, exactly 1
+  quarantined entry;
+* **bounded p99 inflation** — the storm's p99 job latency stays under
+  ``baseline_p99 * 5 + 3 * (exchange_timeout + backoff_cap) + slack``;
+  a broken exchange timeout (hung worker sleeping its full
+  ``hang_seconds``) blows this bound by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.repo_scale import (
+    _service_workload,
+    build_repository,
+    generate_entry_specs,
+    generate_probe_specs,
+    prepare_service_dfs,
+)
+from repro.core.manager import ReStoreConfig, ReStoreManager
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.events import EntryQuarantined, PersistenceRecovered
+from repro.faults import injector as faults
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule, StormSpec, storm_plan
+from repro.persistence.durability import (
+    PersistenceConfig,
+    RepositoryPersister,
+    recover,
+)
+
+DEFAULT_FAULT_ENTRIES = 200
+DEFAULT_FAULT_JOBS = 18
+#: the hang must dwarf the p99 bound so a broken exchange timeout
+#: (worker sleeps the full hang) cannot slip under the latency gate
+STORM_HANG_SECONDS = 12.0
+EXCHANGE_TIMEOUT_S = 0.75
+BACKOFF_CAP_S = 0.2
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _service_config():
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        executor="processes",
+        max_workers=1,
+        retries=3,
+        exchange_timeout=EXCHANGE_TIMEOUT_S,
+        backoff_base_s=0.01,
+        backoff_cap_s=BACKOFF_CAP_S,
+        standby=True,
+        heartbeat_misses=2,
+    )
+
+
+def _seed_state(workdir: str, entry_specs, seed: int) -> str:
+    """Build the repository once and persist it as a snapshot, so both
+    lanes recover the *same* LazyPlan-backed entries from disk — the
+    corruption rule targets the materialization of stored plans, which
+    only exists on the recovery path."""
+    seed_dir = os.path.join(workdir, "seed")
+    os.makedirs(seed_dir, exist_ok=True)
+    config = PersistenceConfig(
+        backend="local",
+        snapshot_path=os.path.join(seed_dir, "repository.snapshot"),
+        journal_path=os.path.join(seed_dir, "repository.journal"),
+    )
+    repository = build_repository(entry_specs, seed)
+    repository.ordered_entries()
+    dfs = DistributedFileSystem(n_datanodes=2)
+    manager = ReStoreManager(
+        dfs,
+        repository=repository,
+        config=ReStoreConfig(inject_enabled=False, register_whole_jobs="none"),
+    )
+    persister = RepositoryPersister(manager, config)
+    persister.take_snapshot()
+    persister.close()
+    return config.snapshot_path
+
+
+def _lane_dir(workdir: str, label: str, seed_snapshot: str) -> PersistenceConfig:
+    lane = os.path.join(workdir, label)
+    os.makedirs(lane, exist_ok=True)
+    config = PersistenceConfig(
+        backend="local",
+        snapshot_path=os.path.join(lane, "repository.snapshot"),
+        journal_path=os.path.join(lane, "repository.journal"),
+    )
+    shutil.copyfile(seed_snapshot, config.snapshot_path)
+    return config
+
+
+def _run_lane(
+    label: str,
+    persistence: PersistenceConfig,
+    entry_specs,
+    probe_specs,
+    plan: Optional[FaultPlan],
+) -> Dict:
+    """Drive the probe stream through one self-healing service."""
+    from repro.service import JobService
+
+    dfs = DistributedFileSystem(n_datanodes=2)
+    prepare_service_dfs(dfs, entry_specs, probe_specs)
+    if plan is not None:
+        faults.install(FaultInjector(plan))
+    try:
+        service = JobService(
+            dfs=dfs,
+            persistence=persistence,
+            config=ReStoreConfig(
+                inject_enabled=False, register_whole_jobs="none"
+            ),
+            service=_service_config(),
+        )
+        recovered_events = []
+        service.persister.events.subscribe(
+            lambda e: recovered_events.append(e),
+            event_types=(PersistenceRecovered,),
+        )
+        session = service.open_session("bench")
+        latencies: List[float] = []
+        decisions: List[Tuple[str, ...]] = []
+        quarantined: Dict[str, str] = {}
+        for builder in _service_workload(probe_specs, f"bench/fault/{label}"):
+            workflow = builder()
+            started = time.perf_counter()
+            outcome = session.submit_workflow(workflow).result()
+            latencies.append(time.perf_counter() - started)
+            decisions.append(outcome.decisions)
+            for event in outcome.events:
+                if isinstance(event, EntryQuarantined):
+                    quarantined[event.entry_id] = event.output_path
+        final_ids = sorted(
+            entry.entry_id for entry in service.repository.entries()
+        )
+        stats = service.stats
+        breaker_open = (
+            service.persister.breaker_open
+            if service.persister is not None
+            else False
+        )
+        fired = list(faults.active().fired) if plan is not None else []
+        service.shutdown(wait=True)
+    finally:
+        if plan is not None:
+            faults.uninstall()
+    once = recover(persistence)
+    twice = recover(persistence)
+    return {
+        "label": label,
+        "latencies_s": [round(v, 5) for v in latencies],
+        "p50_s": round(_percentile(latencies, 0.50), 5),
+        "p99_s": round(_percentile(latencies, 0.99), 5),
+        "decisions": [list(d) for d in decisions],
+        "final_entry_ids": final_ids,
+        "recovered_entry_ids": sorted(
+            entry.entry_id for entry in once.repository.entries()
+        ),
+        "recovered_twice_entry_ids": sorted(
+            entry.entry_id for entry in twice.repository.entries()
+        ),
+        "quarantined": quarantined,
+        "stats": {
+            "completed": stats.completed,
+            "retried": stats.retried,
+            "timeouts": stats.timeouts,
+            "quarantined_entries": stats.quarantined_entries,
+            "promotions": stats.promotions,
+            "breaker_trips": stats.breaker_trips,
+        },
+        "breaker_open_at_end": breaker_open,
+        "persistence_recoveries": len(recovered_events),
+        "fired": [list(entry) for entry in fired],
+    }
+
+
+def _divergence_attributable(
+    baseline: List[List[str]],
+    storm: List[List[str]],
+    quarantined: Dict[str, str],
+) -> bool:
+    """Every job whose storm decisions differ from the baseline's must
+    differ *because of* quarantine: the baseline's decision lines for
+    that job mention a quarantined entry (by id or stored path)."""
+    markers = set(quarantined) | set(quarantined.values())
+    for base_lines, storm_lines in zip(baseline, storm):
+        if base_lines == storm_lines:
+            continue
+        if not any(
+            marker in line for line in base_lines for marker in markers
+        ):
+            return False
+    return len(baseline) == len(storm)
+
+
+def run_fault_resilience(
+    n_entries: int = DEFAULT_FAULT_ENTRIES,
+    n_jobs: int = DEFAULT_FAULT_JOBS,
+    seed: int = 13,
+) -> Dict:
+    """The full differential: fault-free baseline, then the seeded
+    storm, over identical recovered repositories and probe streams."""
+    entry_specs = generate_entry_specs(n_entries, seed)
+    probe_specs = generate_probe_specs(entry_specs, n_jobs, seed)
+    storm = storm_plan(
+        StormSpec(seed=seed, n_jobs=n_jobs, hang_seconds=STORM_HANG_SECONDS)
+    ).with_rules(
+        # one stored plan turns unreadable the first time a match needs
+        # to materialize it: condemned, journaled, served as a miss
+        FaultRule(site="snapshot.materialize", action="raise", hits=(1,))
+    )
+
+    workdir = tempfile.mkdtemp(prefix="restore-faults-")
+    try:
+        seed_snapshot = _seed_state(workdir, entry_specs, seed)
+        baseline = _run_lane(
+            "baseline",
+            _lane_dir(workdir, "baseline", seed_snapshot),
+            entry_specs,
+            probe_specs,
+            plan=None,
+        )
+        stormy = _run_lane(
+            "storm",
+            _lane_dir(workdir, "storm", seed_snapshot),
+            entry_specs,
+            probe_specs,
+            plan=storm,
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    quarantined = stormy["quarantined"]
+    expected_after_quarantine = sorted(
+        entry_id
+        for entry_id in baseline["final_entry_ids"]
+        if entry_id not in quarantined
+    )
+    p99_bound = round(
+        baseline["p99_s"] * 5.0
+        + 3.0 * (EXCHANGE_TIMEOUT_S + BACKOFF_CAP_S)
+        + 3.0,
+        5,
+    )
+    stats = stormy["stats"]
+    checks = {
+        "no_lost_or_dup": (
+            stormy["recovered_entry_ids"] == stormy["final_entry_ids"]
+            and len(set(stormy["final_entry_ids"]))
+            == len(stormy["final_entry_ids"])
+        ),
+        "replay_idempotent": (
+            stormy["recovered_twice_entry_ids"]
+            == stormy["recovered_entry_ids"]
+        ),
+        "entries_match_modulo_quarantine": (
+            stormy["final_entry_ids"] == expected_after_quarantine
+        ),
+        "decision_parity_modulo_quarantine": _divergence_attributable(
+            baseline["decisions"], stormy["decisions"], quarantined
+        ),
+        "promotion": stats["promotions"] == 1,
+        "quarantine_count": (
+            stats["quarantined_entries"] == 1 and len(quarantined) == 1
+        ),
+        "timeouts_seen": stats["timeouts"] >= 1,
+        "retries_seen": stats["retried"] >= 2,
+        "breaker_tripped_and_recovered": (
+            stats["breaker_trips"] >= 1
+            and stormy["persistence_recoveries"] >= 1
+            and not stormy["breaker_open_at_end"]
+        ),
+        "p99_bounded": stormy["p99_s"] <= p99_bound,
+        "baseline_clean": all(
+            value == 0
+            for key, value in baseline["stats"].items()
+            if key != "completed"
+        ),
+    }
+    return {
+        "n_entries": n_entries,
+        "n_jobs": n_jobs,
+        "seed": seed,
+        "storm_rules": len(storm),
+        "storm_fired": len(stormy["fired"]),
+        "baseline": baseline,
+        "storm": stormy,
+        "quarantined_ids": sorted(quarantined),
+        "p99_bound_s": p99_bound,
+        "checks": checks,
+    }
+
+
+def check_fault_resilience_gates(section: Dict) -> List[str]:
+    """CI gates over one :func:`run_fault_resilience` payload."""
+    failures = []
+    for name, passed in section.get("checks", {}).items():
+        if not passed:
+            failures.append(f"fault_resilience: check {name!r} failed")
+    # worker-side fires (crash, hang) are logged inside the worker
+    # processes; the coordinator's log must still show the corruption,
+    # the journal window, and the sticky kill
+    if section.get("storm_fired", 0) < 4:
+        failures.append(
+            "fault_resilience: coordinator logged "
+            f"{section.get('storm_fired', 0)} fault firing(s), expected "
+            ">= 4 (materialize, journal window, kill)"
+        )
+    return failures
+
+
+__all__ = [
+    "DEFAULT_FAULT_ENTRIES",
+    "DEFAULT_FAULT_JOBS",
+    "check_fault_resilience_gates",
+    "run_fault_resilience",
+]

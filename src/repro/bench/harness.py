@@ -19,6 +19,7 @@ import sys
 from typing import Optional, Tuple
 
 from repro.bench.exec_sim import run_exec_sim_benchmark
+from repro.bench.fault_resilience import run_fault_resilience
 from repro.bench.incremental import run_incremental_benchmark
 from repro.bench.repo_persistence import run_repo_persistence_benchmark
 from repro.bench.repo_scale import (
@@ -51,7 +52,7 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
-    payload["version"] = 7
+    payload["version"] = 8
     # exec_sim runs before the service benchmark: its wall-time gate is
     # the noise-sensitive one, so it gets the freshest process state
     payload["exec_sim"] = run_exec_sim_benchmark(
@@ -77,6 +78,10 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
+    # the fault storm runs last: it spawns/kills worker processes and
+    # sleeps through backoffs, so its noise must not land inside the
+    # wall-time-gated sections above
+    payload["fault_resilience"] = run_fault_resilience(seed=seed)
     failures = check_gates(payload)
     payload["gates"] = {
         "passed": not failures,
@@ -173,6 +178,20 @@ def run_benchmark_suite(
             f"outputs identical={scale['outputs_identical']}, "
             f"shuffle fallback ok={scale['group_fallbacks'] >= 1}"
         )
+
+    faultline = payload["fault_resilience"]
+    storm_stats = faultline["storm"]["stats"]
+    print(
+        f"  fault_resilience: {faultline['storm_fired']} fault(s) fired, "
+        f"{storm_stats['retried']} retried, {storm_stats['timeouts']} "
+        f"timeout(s), {storm_stats['quarantined_entries']} quarantined, "
+        f"{storm_stats['promotions']} promotion(s), "
+        f"{storm_stats['breaker_trips']} breaker trip(s); "
+        f"p99 {faultline['storm']['p99_s']:.2f}s vs baseline "
+        f"{faultline['baseline']['p99_s']:.2f}s "
+        f"(bound {faultline['p99_bound_s']:.2f}s), "
+        f"checks passed={all(faultline['checks'].values())}"
+    )
 
     if failures:
         for failure in failures:

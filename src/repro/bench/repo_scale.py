@@ -701,9 +701,17 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
       ``EntryRefreshed``), and a shuffle probe must decline the delta
       path with a typed ``DeltaFallback`` while still recomputing
       correctly (see
-      :func:`repro.bench.incremental.check_incremental_gates`).
+      :func:`repro.bench.incremental.check_incremental_gates`);
+    * when a ``fault_resilience`` section is present: the seeded storm
+      must lose and duplicate zero entries, keep decision parity with
+      the fault-free twin modulo quarantined entries, actually exercise
+      every self-healing path (timeout kill, retry, breaker trip and
+      recovery, one promotion, one quarantine), and keep p99 latency
+      inflation bounded (see
+      :func:`repro.bench.fault_resilience.check_fault_resilience_gates`).
     """
     from repro.bench.exec_sim import check_exec_sim_gates
+    from repro.bench.fault_resilience import check_fault_resilience_gates
     from repro.bench.incremental import check_incremental_gates
     from repro.bench.repo_persistence import check_repo_persistence_gates
     from repro.bench.subjob_enum import check_subjob_enum_gates
@@ -716,6 +724,9 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
         check_repo_persistence_gates(payload.get("repo_persistence"))
     )
     failures.extend(check_incremental_gates(payload.get("incremental")))
+    fault_section = payload.get("fault_resilience")
+    if fault_section:
+        failures.extend(check_fault_resilience_gates(fault_section))
     for scale in payload["scales"]:
         n = scale["n_entries"]
         indexed = scale["modes"]["indexed"]

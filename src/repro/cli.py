@@ -157,8 +157,12 @@ def _run_via_service(args, source: str, name: str):
             "(drop --no-restore, or drop the service flags)"
         )
     persistence = _persistence_config(args)
+    timeout = getattr(args, "exchange_timeout", 30.0)
     service_config = ServiceConfig(
-        executor=args.executor or "threads", max_workers=args.workers
+        executor=args.executor or "threads",
+        max_workers=args.workers,
+        exchange_timeout=timeout if timeout and timeout > 0 else None,
+        retries=getattr(args, "retries", 1),
     )
     config = ReStoreConfig(
         heuristic=args.heuristic,
@@ -358,6 +362,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JobService execution substrate (implies the service "
              "path even with --workers 1)",
+    )
+    run_p.add_argument(
+        "--exchange-timeout",
+        type=float,
+        default=30.0,
+        help="process mode: seconds to wait for any single worker "
+             "reply before killing the hung worker and retrying "
+             "(0 = block forever; default 30)",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="process mode: replays of a submission after its worker "
+             "crashed or hung (default 1)",
     )
     run_p.set_defaults(func=cmd_run)
 

@@ -51,6 +51,7 @@ from repro.execution.interpreter import DEFAULT_BATCH_SIZE
 from repro.events import (
     DeltaFallback,
     EntryEvicted,
+    EntryQuarantined,
     EntryRefreshed,
     EventBus,
     JobEliminated,
@@ -60,6 +61,7 @@ from repro.events import (
     SubJobDiscarded,
     SubJobStored,
 )
+from repro.persistence.snapshot import SnapshotError
 from repro.mapreduce.job import MapReduceJob, Workflow
 from repro.mapreduce.runner import JobListener
 from repro.mapreduce.stats import JobStats
@@ -304,6 +306,9 @@ class ReStoreManager(JobListener):
         # counters for reporting / tests
         self.rewrite_count = 0
         self.elimination_count = 0
+        #: entries evicted because their stored plan failed to
+        #: materialize (fingerprint mismatch, undecodable plan JSON)
+        self.quarantine_count = 0
         #: delta refreshes merged / delta attempts that fell back to a
         #: full rerun (the ``incremental`` bench reads both)
         self.delta_refresh_count = 0
@@ -500,7 +505,15 @@ class ReStoreManager(JobListener):
                 scan.pruned += pass_stats.pruned
                 for entry in candidates:
                     scan.traversals += 1
-                    result = self.matcher.match(job.plan, entry.plan)
+                    try:
+                        result = self.matcher.match(job.plan, entry.plan)
+                    except SnapshotError as exc:
+                        # the stored plan is corrupt (restored-plan
+                        # fingerprint mismatch, undecodable plan JSON):
+                        # quarantine the entry and serve the match miss
+                        # — never crash the scan, never reuse bad bytes
+                        self._quarantine(entry, str(exc))
+                        continue
                     if result is None:
                         continue
                     if self._is_noop_match(result, entry):
@@ -666,6 +679,37 @@ class ReStoreManager(JobListener):
                 # like run_evictions: the removal must hit the journal
                 # before the rerun re-registers over the same path
                 self.persistence.flush()
+
+    def _quarantine(self, entry: RepositoryEntry, reason: str) -> None:
+        """Evict an entry whose stored plan failed to materialize.
+
+        Like :meth:`_condemn_stale`, rejecting the match alone is not
+        enough — the corrupt entry would keep answering index probes
+        (its recorded fingerprint and signatures are served without
+        materializing) and fail every future scan the same way.  The
+        eviction is journaled as ``entry_quarantined`` so recovery and
+        the standby converge on the same repository.
+        """
+        event = self._evict(
+            entry,
+            "quarantined",
+            defer_delete=entry.output_path in self._pinned_paths(),
+        )
+        if event is None:
+            return  # already evicted by a concurrent scan
+        with self._lock:
+            self.quarantine_count += 1
+        self._emit(event)
+        self._emit(
+            EntryQuarantined(
+                entry_id=entry.entry_id,
+                output_path=entry.output_path,
+                reason=reason,
+            )
+        )
+        if self.persistence is not None:
+            self.persistence.note_quarantine(entry.entry_id, reason)
+            self.persistence.flush()
 
     def _try_delta_rewrite(
         self,

@@ -20,6 +20,7 @@ from repro.dfs.dataset import TypedDataset, canonical_ascii_size, rows_are_canon
 from repro.dfs.namenode import FileStatus, INode, InputExtent, NameNode
 from repro.dfs.replication import PlacementPolicy, RoundRobinPlacement
 from repro.exceptions import DFSError, FileNotFoundInDFS
+from repro.faults import injector as faults
 from repro.relational.schema import Schema
 from repro.relational.tuples import (
     Row,
@@ -459,6 +460,10 @@ class DistributedFileSystem:
                 node = self._locate(block_id)
                 chunks.append(node.read_block(block_id))
             data = b"".join(chunks)
+            # injection site "dfs.read": block-payload bit rot on the
+            # read path (persistence reads through here on the "dfs"
+            # backend, so this also corrupts snapshot/journal bytes)
+            data = faults.fire("dfs.read", data=data)
             self.bytes_read += len(data)
             return data
 

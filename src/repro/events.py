@@ -258,6 +258,104 @@ class JournalAppended(ReStoreEvent):
         return f"journal: {self.records} record(s) ({self.bytes} bytes) to {self.path}"
 
 
+@dataclass
+class PersistenceDegraded(ReStoreEvent):
+    """A journal/snapshot write failed and the persister's circuit
+    breaker opened: mutation records buffer in memory (the reuse
+    pipeline keeps serving) until a probe write succeeds.
+
+    Emitted on the persister's bus, like the other durability events.
+    """
+
+    path: str = ""
+    error: str = ""
+    #: records parked in the in-memory backlog when the breaker opened
+    buffered: int = 0
+
+    def render(self) -> str:
+        return (
+            f"persistence degraded at {self.path}: {self.error} "
+            f"({self.buffered} record(s) buffered)"
+        )
+
+
+@dataclass
+class PersistenceRecovered(ReStoreEvent):
+    """A probe write succeeded: the breaker closed and the buffered
+    backlog drained to the journal (emitted on the persister's bus)."""
+
+    path: str = ""
+    #: backlog records flushed on recovery
+    flushed: int = 0
+    #: failed write attempts while the breaker was open
+    failures: int = 0
+
+    def render(self) -> str:
+        return (
+            f"persistence recovered at {self.path}: flushed "
+            f"{self.flushed} record(s) after {self.failures} failure(s)"
+        )
+
+
+@dataclass
+class EntryQuarantined(ReStoreEvent):
+    """A stored entry failed integrity checks at match time (plan
+    fingerprint mismatch, corrupt cold bytes) and was condemned
+    instead of served; the probe proceeds as a match miss."""
+
+    entry_id: str = ""
+    output_path: str = ""
+    reason: str = ""
+
+    def render(self) -> str:
+        return (
+            f"quarantined {self.entry_id} ({self.reason}): "
+            f"{self.output_path}"
+        )
+
+
+@dataclass
+class WorkerKilled(ReStoreEvent):
+    """A worker process was forcibly terminated (hung past its
+    exchange timeout, or alive at a non-waiting shutdown)."""
+
+    worker: str = ""
+    pid: int = 0
+    reason: str = ""
+
+    def render(self) -> str:
+        return f"killed worker {self.worker} (pid {self.pid}): {self.reason}"
+
+
+@dataclass
+class CoordinatorHeartbeat(ReStoreEvent):
+    """One liveness tick of the coordinator's health channel (emitted
+    on the persister's bus; the standby watchdog counts these)."""
+
+    tick: int = 0
+
+    def render(self) -> str:
+        return f"coordinator heartbeat #{self.tick}"
+
+
+@dataclass
+class StandbyPromoted(ReStoreEvent):
+    """The warm standby became the authoritative repository after the
+    coordinator's health channel went silent."""
+
+    entries: int = 0
+    #: journal records the replica had applied at promotion
+    records_applied: int = 0
+    missed_beats: int = 0
+
+    def render(self) -> str:
+        return (
+            f"standby promoted: {self.entries} entries, "
+            f"{self.records_applied} record(s) applied, after "
+            f"{self.missed_beats} missed heartbeat(s)"
+        )
+
+
 EventTypes = Union[Type[ReStoreEvent], Tuple[Type[ReStoreEvent], ...]]
 
 

@@ -1,0 +1,65 @@
+"""Deterministic, seeded fault injection for chaos testing.
+
+``repro.faults`` turns "does this survive a crash?" from a claim into
+a replayable experiment: a :class:`FaultPlan` schedules misbehaviour
+at named injection sites threaded through the worker pipe protocol,
+the persistence I/O stack, and the DFS read path, and a
+:class:`FaultInjector` executes it with per-site clocks so the same
+plan against the same workload produces the same fault timeline.
+
+Usage::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(seed=7, rules=(
+        faults.FaultRule(site="journal.append", action="raise", hits=(2,)),
+    ))
+    faults.install(plan)
+    try:
+        ...  # run the workload; the 2nd journal append raises
+    finally:
+        faults.uninstall()
+
+Production code never imports plans — only :func:`fire`, whose no-op
+fast path is one global load and a ``None`` check.
+"""
+
+from repro.faults.injector import (
+    GARBLED,
+    FaultClock,
+    FaultInjector,
+    InjectedFault,
+    active,
+    fire,
+    install,
+    register_site,
+    registered_sites,
+    uninstall,
+)
+from repro.faults.plan import (
+    ACTIONS,
+    WHENS,
+    FaultPlan,
+    FaultRule,
+    StormSpec,
+    storm_plan,
+)
+
+__all__ = [
+    "ACTIONS",
+    "GARBLED",
+    "WHENS",
+    "FaultClock",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "StormSpec",
+    "active",
+    "fire",
+    "install",
+    "register_site",
+    "registered_sites",
+    "storm_plan",
+    "uninstall",
+]

@@ -38,9 +38,12 @@ from repro.events import (
     EventBus,
     JobEliminated,
     JournalAppended,
+    PersistenceDegraded,
+    PersistenceRecovered,
     RewriteApplied,
     SnapshotTaken,
 )
+from repro.faults import injector as faults
 from repro.persistence.journal import Journal, JournalRecord
 from repro.persistence.snapshot import (
     RepositorySnapshot,
@@ -69,6 +72,10 @@ class PersistenceConfig:
     snapshot_interval: int = 0
     #: buffered records per journal write; 1 (default) is write-through
     flush_every: int = 1
+    #: circuit breaker: while journal writes are failing, only every
+    #: N-th flush attempt probes storage again (the rest buffer in
+    #: memory instantly instead of eating an I/O error each)
+    probe_every: int = 3
 
     def _storage(self, path: str, dfs):
         if self.backend == "local":
@@ -101,6 +108,8 @@ class RecoveredState:
     journal_records: int = 0
     #: bytes of torn journal tail truncated (0 = clean shutdown)
     journal_torn_bytes: int = 0
+    #: mid-journal records quarantined for failing their checksum
+    journal_skipped: int = 0
 
 
 class ReplayTarget:
@@ -135,7 +144,9 @@ class ReplayTarget:
             # post-refresh state; a same-id add replaces in place
             # (idempotent on replay, no-op ordering hazards)
             self.repository.add(entry_from_record(data["entry"]))
-        elif record.type == "entry_removed":
+        elif record.type in ("entry_removed", "entry_quarantined"):
+            # quarantine is an eviction with a recorded reason: replay
+            # treats both as an idempotent remove
             entry_id = data["entry_id"]
             if self.repository.has_entry(entry_id):
                 self.repository.remove(entry_id)
@@ -203,7 +214,10 @@ def recover(
     journal = Journal(config.journal_storage(dfs))
     snapshot_entries = 0
     if snapshot_storage.exists() and snapshot_storage.size() > 0:
-        snapshot = RepositorySnapshot.from_bytes(snapshot_storage.read())
+        # injection site "snapshot.read": corruption here must surface
+        # as a SnapshotError, never as silent partial state
+        data = faults.fire("snapshot.read", data=snapshot_storage.read())
+        snapshot = RepositorySnapshot.from_bytes(data)
         repository = snapshot.restore_repository(matcher=matcher)
         snapshot_entries = len(snapshot)
         manager_state = snapshot.manager_state
@@ -233,6 +247,7 @@ def recover(
         snapshot_entries=snapshot_entries,
         journal_records=replayed,
         journal_torn_bytes=scan.torn_bytes,
+        journal_skipped=scan.skipped,
     )
 
 
@@ -273,6 +288,17 @@ class RepositoryPersister:
         self._buffer_lock = threading.Lock()
         #: serializes journal writes so flushed batches stay in order
         self._io_lock = threading.Lock()
+        #: records drained from the buffer but not yet durably written
+        #: (non-empty only while the circuit breaker is open)
+        self._backlog: List[dict] = []
+        #: circuit breaker over journal/snapshot writes: open = storage
+        #: is failing, records accumulate in ``_backlog`` and only
+        #: every ``probe_every``-th flush attempt touches storage
+        self._breaker_open = False
+        self._breaker_failures = 0
+        self._probe_countdown = 0
+        self.breaker_trips = 0
+        self.breaker_recoveries = 0
         self._records_since_snapshot = 0
         self._last_counters: Optional[dict] = None
         self._closed = False
@@ -314,6 +340,17 @@ class RepositoryPersister:
             }
         )
 
+    def note_quarantine(self, entry_id: str, reason: str) -> None:
+        """Called by the manager (under its lock) when an entry is
+        quarantined for corruption; replayed as an idempotent remove."""
+        self._enqueue(
+            {
+                "type": "entry_quarantined",
+                "entry_id": entry_id,
+                "reason": reason,
+            }
+        )
+
     def note_kept_path(self, path: str, added: bool) -> None:
         """Called by the manager (under its lock) when a stored output
         enters or leaves the kept-path set."""
@@ -349,22 +386,84 @@ class RepositoryPersister:
         if due:
             self.flush()
 
-    def flush(self) -> int:
-        """Write buffered records to the journal; returns the number
-        of records written."""
+    def flush(self, *, force: bool = False) -> int:
+        """Write pending records to the journal; returns the number of
+        records durably written.
+
+        Storage failures open the circuit breaker instead of
+        propagating: the records stay staged in ``_backlog`` (nothing
+        is lost from the in-memory view), a
+        :class:`PersistenceDegraded` event announces the degraded mode,
+        and while open only every ``probe_every``-th flush attempt
+        probes storage again (*force* bypasses the gating — used on
+        close).  The first successful probe drains the whole backlog in
+        order and emits :class:`PersistenceRecovered`.
+        """
+        pending: List = []
+        written = 0
         with self._io_lock:
             with self._buffer_lock:
-                batch, self._buffer = self._buffer, []
-                if not batch:
-                    return 0
+                if self._buffer:
+                    self._backlog.extend(self._buffer)
+                    self._buffer = []
+            if not self._backlog:
+                return 0
+            if self._breaker_open and not force:
+                self._probe_countdown -= 1
+                if self._probe_countdown > 0:
+                    return 0  # buffered in memory; not yet time to probe
+                self._probe_countdown = max(1, self.config.probe_every)
+            batch = list(self._backlog)
+            try:
+                nbytes = self.journal.append_payloads(batch)
+            except OSError as exc:
+                self._breaker_failures += 1
+                if not self._breaker_open:
+                    self._breaker_open = True
+                    self.breaker_trips += 1
+                    self._probe_countdown = max(1, self.config.probe_every)
+                    pending.append(
+                        PersistenceDegraded(
+                            path=self.journal.location,
+                            error=str(exc),
+                            buffered=len(batch),
+                        )
+                    )
+            else:
+                self._backlog.clear()
                 self._records_since_snapshot += len(batch)
-            nbytes = self.journal.append_payloads(batch)
-        self.events.emit(
-            JournalAppended(
-                path=self.journal.location, records=len(batch), bytes=nbytes
-            )
-        )
-        return len(batch)
+                written = len(batch)
+                if self._breaker_open:
+                    self._breaker_open = False
+                    self.breaker_recoveries += 1
+                    pending.append(
+                        PersistenceRecovered(
+                            path=self.journal.location,
+                            flushed=len(batch),
+                            failures=self._breaker_failures,
+                        )
+                    )
+                    self._breaker_failures = 0
+                pending.append(
+                    JournalAppended(
+                        path=self.journal.location,
+                        records=len(batch),
+                        bytes=nbytes,
+                    )
+                )
+        for event in pending:  # emitted outside the io lock
+            self.events.emit(event)
+        return written
+
+    @property
+    def breaker_open(self) -> bool:
+        return self._breaker_open
+
+    @property
+    def buffered_records(self) -> int:
+        """Records staged in memory but not yet durably journaled."""
+        with self._buffer_lock:
+            return len(self._buffer) + len(self._backlog)
 
     @property
     def records_since_snapshot(self) -> int:
@@ -377,7 +476,7 @@ class RepositoryPersister:
             return True
         return False
 
-    def take_snapshot(self) -> SnapshotTaken:
+    def take_snapshot(self) -> Optional[SnapshotTaken]:
         """Capture + write a snapshot and reset the journal, atomically
         with respect to mutations (manager and repository locks held
         through the whole rotation).
@@ -385,7 +484,13 @@ class RepositoryPersister:
         A crash after the snapshot write but before the reset leaves
         already-folded records in the journal; replay is idempotent,
         so the next recovery converges to the same state.
+
+        A storage failure aborts the rotation *without* touching the
+        journal or the staged records (nothing folded, nothing lost),
+        trips the circuit breaker, and returns ``None``.
         """
+        pending: List = []
+        event: Optional[SnapshotTaken] = None
         with self.manager.locked():
             with self.repository.locked():
                 snapshot = RepositorySnapshot.capture(
@@ -395,17 +500,52 @@ class RepositoryPersister:
                     dfs_ids=self.dfs.id_state(),
                 )
                 data = snapshot.to_bytes()
-                self.snapshot_storage.write(data)
-                with self._buffer_lock:
-                    # buffered records were captured in the snapshot
-                    self._buffer.clear()
-                    self._records_since_snapshot = 0
-                self.journal.reset()
-                entries = len(snapshot)
-        event = SnapshotTaken(
-            path=self.snapshot_storage.location, entries=entries, bytes=len(data)
-        )
-        self.events.emit(event)
+                with self._io_lock:
+                    try:
+                        # injection site "snapshot.write": rotation I/O
+                        faults.fire("snapshot.write")
+                        self.snapshot_storage.write(data)
+                        self.journal.reset()
+                    except OSError as exc:
+                        self._breaker_failures += 1
+                        if not self._breaker_open:
+                            self._breaker_open = True
+                            self.breaker_trips += 1
+                            self._probe_countdown = max(
+                                1, self.config.probe_every
+                            )
+                            pending.append(
+                                PersistenceDegraded(
+                                    path=self.snapshot_storage.location,
+                                    error=str(exc),
+                                    buffered=self.buffered_records,
+                                )
+                            )
+                    else:
+                        with self._buffer_lock:
+                            # staged records were captured in the snapshot
+                            self._buffer.clear()
+                        self._backlog.clear()
+                        self._records_since_snapshot = 0
+                        if self._breaker_open:
+                            self._breaker_open = False
+                            self.breaker_recoveries += 1
+                            pending.append(
+                                PersistenceRecovered(
+                                    path=self.snapshot_storage.location,
+                                    flushed=0,
+                                    failures=self._breaker_failures,
+                                )
+                            )
+                            self._breaker_failures = 0
+                        event = SnapshotTaken(
+                            path=self.snapshot_storage.location,
+                            entries=len(snapshot),
+                            bytes=len(data),
+                        )
+                        pending.append(event)
+        for item in pending:  # emitted outside every lock
+            self.events.emit(item)
         return event
 
     def close(self, *, snapshot: bool = False) -> None:
@@ -414,7 +554,9 @@ class RepositoryPersister:
         if self._closed:
             return
         self._journal_counters_if_moved()
-        self.flush()
+        # force past the breaker's probe gating: closing is the last
+        # chance to drain the backlog to storage
+        self.flush(force=True)
         if snapshot:
             self.take_snapshot()
         self._closed = True
@@ -425,8 +567,10 @@ class RepositoryPersister:
             self.manager.persistence = None
 
     def __repr__(self) -> str:
+        state = "degraded" if self._breaker_open else "ok"
         return (
             f"RepositoryPersister(journal={self.journal.location!r}, "
             f"snapshot={self.snapshot_storage.location!r}, "
-            f"pending={len(self._buffer)})"
+            f"pending={len(self._buffer) + len(self._backlog)}, "
+            f"breaker={state})"
         )

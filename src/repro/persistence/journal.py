@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import List, Mapping
 
 from repro.exceptions import ReproError
+from repro.faults import injector as faults
 
 #: payload length, crc32(payload)
 _FRAME = struct.Struct(">II")
@@ -75,6 +76,10 @@ class JournalScan:
     records: List[JournalRecord]
     clean_bytes: int
     total_bytes: int
+    #: mid-journal records skipped over a CRC failure (quarantined:
+    #: the frame length was intact and valid records follow, so one
+    #: record was bit-rotted in place rather than the tail torn)
+    skipped: int = 0
 
     @property
     def torn(self) -> bool:
@@ -85,10 +90,30 @@ class JournalScan:
         return self.total_bytes - self.clean_bytes
 
 
+def _frame_intact(data: bytes, offset: int) -> bool:
+    """True when a complete, checksum-valid frame starts at *offset*."""
+    total = len(data)
+    if total - offset < _FRAME.size:
+        return False
+    length, crc = _FRAME.unpack_from(data, offset)
+    start = offset + _FRAME.size
+    end = start + length
+    return end <= total and zlib.crc32(data[start:end]) == crc
+
+
 def decode_journal(data: bytes) -> JournalScan:
-    """Decode every intact record; stop (never raise) at a torn tail."""
+    """Decode every intact record; stop (never raise) at a torn tail.
+
+    A record whose checksum fails *mid*-journal — its declared length
+    lands on another intact frame — is bit rot, not a tear: the bad
+    record is quarantined (skipped, counted in ``skipped``) and the
+    scan continues, so one flipped byte can never erase the intact
+    suffix of the log.  Only damage with no valid continuation is
+    treated as a torn tail.
+    """
     records: List[JournalRecord] = []
     offset = 0
+    skipped = 0
     total = len(data)
     while offset < total:
         if total - offset < _FRAME.size:
@@ -99,15 +124,21 @@ def decode_journal(data: bytes) -> JournalScan:
         if end > total:
             break  # torn payload
         body = data[start:end]
-        if zlib.crc32(body) != crc:
-            break  # corrupted tail
-        try:
-            payload = json.loads(body.decode())
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            break  # checksummed garbage can only be a torn rewrite
+        payload = None
+        if zlib.crc32(body) == crc:
+            try:
+                payload = json.loads(body.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = None  # checksummed garbage: a torn rewrite
+        if payload is None:
+            if end < total and _frame_intact(data, end):
+                skipped += 1
+                offset = end  # quarantine the rotten record, resync
+                continue
+            break  # no valid continuation: a genuine torn tail
         records.append(JournalRecord.from_payload(payload))
         offset = end
-    return JournalScan(records, offset, total)
+    return JournalScan(records, offset, total, skipped=skipped)
 
 
 def read_journal(source) -> JournalScan:
@@ -134,11 +165,18 @@ class Journal:
         flush are contiguous)."""
         data = b"".join(encode_record(payload) for payload in payloads)
         if data:
+            # injection site "journal.append": an OSError here is what
+            # trips the persister's circuit breaker
+            faults.fire("journal.append")
             self.storage.append(data)
         return len(data)
 
     def scan(self) -> JournalScan:
-        return read_journal(self.storage)
+        data = self.storage.read() if self.storage.exists() else b""
+        # injection site "journal.read": bit rot on the read-back path
+        # (exercises record quarantine / torn-tail truncation)
+        data = faults.fire("journal.read", data=data)
+        return decode_journal(data)
 
     def repair(self, scan: JournalScan = None) -> int:
         """Truncate a torn tail in place; returns the bytes dropped."""

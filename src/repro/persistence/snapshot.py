@@ -51,6 +51,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.core.repository import EntryStats, Repository, RepositoryEntry
 from repro.dfs.namenode import InputExtent
 from repro.exceptions import ReproError
+from repro.faults import injector as faults
 from repro.pig.physical.plan import PhysicalPlan
 from repro.relational.schema import Schema
 
@@ -132,7 +133,13 @@ class LazyPlan:
 
     def _plan_data(self) -> dict:
         if not isinstance(self._source, dict):
-            self._source = json.loads(bytes(self._source).decode())
+            try:
+                self._source = json.loads(bytes(self._source).decode())
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise SnapshotError(
+                    f"stored plan {self._fingerprint!r} is not decodable "
+                    f"JSON: {exc}"
+                ) from exc
         return self._source
 
     def to_dict(self) -> dict:
@@ -148,7 +155,25 @@ class LazyPlan:
 
     def materialize(self) -> PhysicalPlan:
         if self._plan is None:
-            plan = PhysicalPlan.from_dict(self._plan_data())
+            # injection site "snapshot.materialize": a fault here must
+            # surface as a SnapshotError so the manager can quarantine
+            # the entry instead of crashing the match scan
+            try:
+                faults.fire("snapshot.materialize")
+            except OSError as exc:
+                raise SnapshotError(
+                    f"stored plan {self._fingerprint!r} unreadable: {exc}"
+                ) from exc
+            data = self._plan_data()
+            try:
+                plan = PhysicalPlan.from_dict(data)
+            except SnapshotError:
+                raise
+            except Exception as exc:
+                raise SnapshotError(
+                    f"stored plan {self._fingerprint!r} failed to "
+                    f"rebuild: {exc}"
+                ) from exc
             rebuilt = plan.fingerprint()
             if rebuilt != self._fingerprint:
                 raise SnapshotError(

@@ -110,9 +110,14 @@ class StandbyReplica:
 
         Drains the primary's buffer first, then catches up through the
         last journaled record, so nothing the primary committed is
-        missing: zero lost reuse opportunities.
+        missing: zero lost reuse opportunities.  The flush is forced
+        past the circuit breaker's probe gating — promotion is the last
+        chance to drain a backlog the breaker parked in memory.
         """
-        self.persister.flush()
+        try:
+            self.persister.flush(force=True)
+        except TypeError:  # pre-breaker persisters (tests stub them)
+            self.persister.flush()
         with self._lock:
             self._catch_up_locked()
             target = self._target

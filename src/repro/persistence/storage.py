@@ -17,11 +17,44 @@ for journal records, and ``truncate`` for repairing a torn journal
 tail.  Individual operations are atomic at the backend's granularity
 (one DFS call under its lock; one file syscall), which is all the
 framing layers need — they tolerate torn *tails*, not torn records.
+
+:class:`LocalStorage` is additionally *durable* at each operation:
+appends, truncates, and the snapshot's write-temp-then-rename all
+fsync the file (and, for the rename, its directory) before returning.
+Without the fsync after ``truncate`` a crash right after torn-tail
+repair could resurrect the very tail the repair removed; without the
+fsyncs around the rename a crash could publish a snapshot whose bytes
+never reached the platter.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+
+from repro.faults import injector as faults
+
+
+def _fsync_fileobj(handle) -> None:
+    """Flush + fsync one open file (injection site "storage.fsync")."""
+    handle.flush()
+    faults.fire("storage.fsync")
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    """fsync a directory so a rename inside it is durable; platforms
+    that cannot open directories simply skip (the rename itself is
+    still atomic — durability degrades, correctness does not)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        faults.fire("storage.fsync")
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class LocalStorage:
@@ -44,17 +77,23 @@ class LocalStorage:
         return self.path.read_bytes()
 
     def write(self, data: bytes) -> None:
-        """Replace the whole file (write-temp-then-rename, so a crash
-        mid-write never leaves a half-written snapshot in place)."""
+        """Replace the whole file: write-temp, fsync the temp, rename
+        over the target, fsync the directory — a crash at any point
+        leaves either the old complete file or the new complete file,
+        and the survivor is on stable storage."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_bytes(data)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            _fsync_fileobj(handle)
         tmp.replace(self.path)
+        _fsync_dir(self.path.parent)
 
     def append(self, data: bytes) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "ab") as handle:
             handle.write(data)
+            _fsync_fileobj(handle)
 
     def truncate(self, length: int) -> None:
         if not self.path.exists():
@@ -63,6 +102,9 @@ class LocalStorage:
             raise FileNotFoundError(str(self.path))
         with open(self.path, "r+b") as handle:
             handle.truncate(length)
+            # fsync-after-truncate: torn-tail repair must not be
+            # resurrectable by a crash right after it
+            _fsync_fileobj(handle)
 
     def delete(self) -> None:
         self.path.unlink(missing_ok=True)

@@ -164,6 +164,8 @@ def manager_report(manager: ReStoreManager) -> str:
     lines.append(
         f"manager: {manager.rewrite_count} partial rewrite(s), "
         f"{manager.elimination_count} whole-job elimination(s), "
+        f"{manager.quarantine_count} quarantined entr"
+        f"{'y' if manager.quarantine_count == 1 else 'ies'}, "
         f"clock={manager.clock}"
     )
     return "\n".join(lines)
@@ -183,7 +185,27 @@ def session_report(session: "ReStoreSession") -> str:
         lines.append(manager_report(session.manager))
     else:
         lines.append("ReStore: disabled")
+    if session.persister is not None:
+        persister = session.persister
+        state = "open" if persister.breaker_open else "closed"
+        lines.append(
+            f"persistence: breaker {state}, "
+            f"{persister.breaker_trips} trip(s), "
+            f"{persister.buffered_records} buffered record(s)"
+        )
     return "\n".join(lines)
+
+
+def resilience_report(stats) -> str:
+    """One line of self-healing counters from a
+    :class:`~repro.service.jobservice.ServiceStats` (the bench summary
+    and the chaos tests read this surface)."""
+    return (
+        f"resilience: {stats.retried} retried, {stats.timeouts} "
+        f"timeout(s), {stats.quarantined_entries} quarantined, "
+        f"{stats.promotions} promotion(s), {stats.breaker_trips} "
+        f"breaker trip(s)"
+    )
 
 
 def comparison_table(

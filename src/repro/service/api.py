@@ -59,6 +59,23 @@ class ServiceConfig:
     retries: int = 1
     optimize: bool = True
     default_parallel: int = 28
+    #: process mode: seconds the coordinator waits for any single
+    #: worker reply before declaring the worker hung, killing it, and
+    #: re-dispatching within the retry budget (None = block forever)
+    exchange_timeout: Optional[float] = 30.0
+    #: crash/timeout retry backoff: attempt k sleeps
+    #: ``min(backoff_base_s * 2**(k-1), backoff_cap_s)`` plus a
+    #: deterministic jitter seeded from (session, attempt) — retries
+    #: de-synchronize across tenants yet replay identically
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 1.0
+    #: standby watchdog: consecutive missed coordinator heartbeats
+    #: before the warm replica is promoted into a fresh manager
+    heartbeat_misses: int = 3
+    #: keep a journal-tailing StandbyReplica warm and promote it
+    #: automatically when the heartbeat channel goes silent
+    #: (requires persistence=)
+    standby: bool = False
 
     def validate(self) -> "ServiceConfig":
         if self.executor not in EXECUTORS:
@@ -70,6 +87,15 @@ class ServiceConfig:
             raise ValueError("need at least one worker")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.exchange_timeout is not None and self.exchange_timeout <= 0:
+            raise ValueError(
+                "exchange_timeout must be positive seconds (or None to "
+                "block forever)"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff seconds must be >= 0")
+        if self.heartbeat_misses < 1:
+            raise ValueError("heartbeat_misses must be >= 1")
         return self
 
 

@@ -57,7 +57,9 @@ Quick start::
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -66,7 +68,15 @@ from repro.core.manager import ReStoreConfig, ReStoreManager
 from repro.core.repository import Repository
 from repro.costmodel.model import CostModel
 from repro.dfs.filesystem import DistributedFileSystem
-from repro.events import ReStoreEvent
+from repro.events import (
+    CoordinatorHeartbeat,
+    EntryQuarantined,
+    PersistenceDegraded,
+    ReStoreEvent,
+    StandbyPromoted,
+    WorkerKilled,
+)
+from repro.faults import injector as faults
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.job import Workflow
 from repro.persistence.durability import (
@@ -74,6 +84,7 @@ from repro.persistence.durability import (
     RepositoryPersister,
     recover,
 )
+from repro.persistence.standby import StandbyReplica
 from repro.pig.engine import PigRunResult
 from repro.service.api import JobOutcome, JobRequest, ServiceConfig
 from repro.service.procpool import (
@@ -81,6 +92,7 @@ from repro.service.procpool import (
     ProcessWorkerPool,
     WorkerCrashed,
     WorkerJobError,
+    WorkerTimeout,
 )
 from repro.session import ReStoreSession
 
@@ -95,6 +107,17 @@ class ServiceStats:
     cancelled: int = 0
     #: process mode: extra attempts spent replaying crashed workers
     retried: int = 0
+    #: process mode: worker exchanges that exceeded exchange_timeout
+    #: (the hung worker was killed; counted within ``retried`` too
+    #: when the re-dispatch stayed inside the retry budget)
+    timeouts: int = 0
+    #: repository entries evicted for failing to materialize
+    quarantined_entries: int = 0
+    #: standby replicas promoted into a fresh coordinator manager
+    promotions: int = 0
+    #: persistence circuit-breaker trips (journal/snapshot write
+    #: failures that degraded to buffered-in-memory mode)
+    breaker_trips: int = 0
     #: session id -> jobs completed for that tenant
     per_session: Dict[str, int] = field(default_factory=dict)
 
@@ -248,6 +271,11 @@ class JobService:
                 ),
             )
         service.validate()
+        if service.standby and persistence is None:
+            raise ValueError(
+                "standby=True needs persistence= (the warm replica "
+                "tails the persister's journal)"
+            )
         self.service_config = service
         self.cluster = cluster or ClusterConfig()
         self.dfs = dfs or DistributedFileSystem(
@@ -294,6 +322,10 @@ class JobService:
                     persistence.snapshot_path,
                     persistence.journal_path,
                 )
+            # ship the active fault plan (if a harness installed one)
+            # to every worker: workers re-install it keyed by their
+            # own ordinal, so worker-targeted rules replay exactly
+            active_injector = faults.active()
             self._pool = ProcessWorkerPool(
                 service.max_workers,
                 {
@@ -305,10 +337,18 @@ class JobService:
                     "fast_data_plane": self.config.fast_data_plane,
                     "batch_size": self.config.batch_size,
                     "payload_reuse": self.config.payload_reuse,
+                    "faults": (
+                        active_injector.plan
+                        if active_injector is not None
+                        else None
+                    ),
                 },
             )
         self._runner = ProcessJobRunner(
-            self.manager, self.dfs, reserved_paths=reserved_paths
+            self.manager,
+            self.dfs,
+            reserved_paths=reserved_paths,
+            exchange_timeout=service.exchange_timeout,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=service.max_workers,
@@ -319,6 +359,36 @@ class JobService:
         self._session_counter = 0
         self._closed = False
         self.stats = ServiceStats()
+        self._persistence_config = persistence
+        #: the warm replica (standby=True), swapped on promotion
+        self.standby: Optional[StandbyReplica] = None
+        self._heartbeat_tick = 0
+        self._missed_beats = 0
+        self._wire_resilience()
+        if service.standby:
+            self.standby = StandbyReplica(self.persister)
+
+    def _wire_resilience(self) -> None:
+        """Fold resilience events into the service counters (the
+        manager bus for quarantines, the persister bus for breaker
+        trips); re-run against the fresh manager after a promotion."""
+
+        def _count_quarantine(event) -> None:
+            with self._lock:
+                self.stats.quarantined_entries += 1
+
+        self.manager.events.subscribe(
+            _count_quarantine, event_types=(EntryQuarantined,)
+        )
+        if self.persister is not None:
+
+            def _count_trip(event) -> None:
+                with self._lock:
+                    self.stats.breaker_trips += 1
+
+            self.persister.events.subscribe(
+                _count_trip, event_types=(PersistenceDegraded,)
+            )
 
     # -- tenants -----------------------------------------------------------------
 
@@ -451,6 +521,7 @@ class JobService:
             self.stats.completed += 1
             sid = handle.session_id
             self.stats.per_session[sid] = self.stats.per_session.get(sid, 0) + 1
+        self._heartbeat()
         return outcome
 
     def _run_on_workers(
@@ -479,15 +550,22 @@ class JobService:
                     workflow, stats, outputs = self._runner.run_conversation(
                         worker, request, script_id
                     )
-                except WorkerCrashed:
+                except WorkerCrashed as exc:
+                    # WorkerTimeout subclasses WorkerCrashed: a hung
+                    # worker is killed and replayed exactly like a
+                    # crashed one, it just moves the timeout counter too
                     self._pool.discard(worker)
                     # the crashed attempt's partial decisions must not
                     # leak into the retry's (or a later drain's) log
                     self.manager.drain_session(sid)
+                    with self._lock:
+                        if isinstance(exc, WorkerTimeout):
+                            self.stats.timeouts += 1
                     if attempts > self.service_config.retries:
                         raise
                     with self._lock:
                         self.stats.retried += 1
+                    self._backoff(sid, attempts)
                     continue
                 except WorkerJobError:
                     # the job failed but the worker completed the error
@@ -510,6 +588,110 @@ class JobService:
             result, session_id=sid, executor="processes", attempts=attempts
         )
 
+    # -- self-healing ------------------------------------------------------------
+
+    def _backoff(self, session_id: str, attempt: int) -> None:
+        """Sleep before replaying a crashed/hung attempt: exponential
+        backoff capped at ``backoff_cap_s``, plus a jitter drawn from a
+        generator seeded by (session, attempt) — retries de-synchronize
+        across tenants yet replay to identical delays run over run."""
+        cfg = self.service_config
+        if cfg.backoff_base_s <= 0:
+            return
+        delay = min(cfg.backoff_base_s * 2 ** (attempt - 1), cfg.backoff_cap_s)
+        jitter = random.Random(f"{session_id}:{attempt}").uniform(
+            0.0, cfg.backoff_base_s
+        )
+        time.sleep(min(delay + jitter, cfg.backoff_cap_s))
+
+    def _heartbeat(self) -> None:
+        """One coordinator liveness tick, taken after every completed
+        job.  The tick routes through the "coordinator.heartbeat"
+        injection site; a suppressed beat (the harness's stand-in for a
+        dead coordinator) advances the missed-beat counter, and
+        ``heartbeat_misses`` consecutive misses trigger the standby
+        promotion.  A no-op unless standby mode is on.
+        """
+        if self.standby is None:
+            return
+        with self._lock:
+            self._heartbeat_tick += 1
+            tick = self._heartbeat_tick
+        beat = faults.fire("coordinator.heartbeat", data=tick)
+        if beat is None:
+            with self._lock:
+                self._missed_beats += 1
+                missed = self._missed_beats
+            if missed >= self.service_config.heartbeat_misses:
+                self.promote_standby(missed_beats=missed)
+            return
+        with self._lock:
+            self._missed_beats = 0
+        if self.persister is not None:
+            self.persister.events.emit(CoordinatorHeartbeat(tick=tick))
+
+    def promote_standby(self, *, missed_beats: int = 0):
+        """Fail over to the warm replica: the standby's caught-up state
+        becomes a fresh manager + persister, and every open tenant
+        session is re-wired onto it.
+
+        The promoted state contains every mutation the old coordinator
+        ever journaled (``StandbyReplica.promote`` flushes the primary
+        and catches up through the final record), so no entry is lost
+        and none duplicates — recovery and the replica replay the same
+        idempotent log.  Returns the :class:`StandbyPromoted` event, or
+        ``None`` when no standby is armed.
+        """
+        with self._lock:
+            standby = self.standby
+            if standby is None:
+                return None
+            self.standby = None  # single promotion in flight
+        state = standby.promote()
+        standby.close()
+        if self.persister is not None:
+            self.persister.close()
+        manager = ReStoreManager(
+            self.dfs,
+            cost_model=self.cost_model,
+            repository=state.repository,
+            config=self.config,
+        )
+        manager.kept_paths.update(state.kept_paths)
+        manager.clock = max(manager.clock, state.clock)
+        self.dfs.ensure_id_floor(**state.id_floors)
+        persister = None
+        if self._persistence_config is not None:
+            persister = RepositoryPersister(manager, self._persistence_config)
+        with self._lock:
+            self.manager = manager
+            self.persister = persister
+            self._runner.manager = manager
+            for handle in self._sessions.values():
+                session = handle.session
+                session.manager = manager
+                session.server.restore = manager
+                session._events = manager.events
+            self.stats.promotions += 1
+            self._missed_beats = 0
+        self._wire_resilience()
+        # re-arm: the new coordinator gets its own warm replica, and
+        # the harness's suppressed heartbeat site comes back to life
+        # (the old coordinator entity is gone)
+        injector = faults.active()
+        if injector is not None:
+            injector.revive("coordinator.heartbeat")
+        if persister is not None:
+            self.standby = StandbyReplica(persister)
+        event = StandbyPromoted(
+            entries=len(state.repository),
+            records_applied=state.journal_records,
+            missed_beats=missed_beats,
+        )
+        if persister is not None:
+            persister.events.emit(event)
+        return event
+
     # -- lifecycle ---------------------------------------------------------------
 
     def _check_open(self) -> None:
@@ -523,23 +705,34 @@ class JobService:
         finishes, then the tenant sessions close and the worker pool
         stops.  With ``wait=False`` queued jobs are cancelled (their
         futures report cancelled — they must not run against closed
-        sessions) and the currently running jobs complete in the
-        background with their sessions left open; worker processes are
-        daemons, so an abandoned pool dies with the coordinator.  The
-        DFS, repository, and manager stay readable so state can be
-        inspected or persisted afterwards.  A durable service flushes
-        its journal and detaches the persister once the last job has
-        drained.
+        sessions) and every worker process — idle *or* hung mid-job —
+        is terminated with a bounded join, each kill surfaced as a
+        typed :class:`~repro.events.WorkerKilled` event on the shared
+        bus (an in-flight submission then fails with
+        :class:`WorkerCrashed` instead of blocking forever behind a
+        hung worker).  The DFS, repository, and manager stay readable
+        so state can be inspected or persisted afterwards.  A durable
+        service flushes its journal and detaches the persister once the
+        last job has drained.
         """
         with self._lock:
             self._closed = True
             handles = list(self._sessions.values())
+        if not wait and self._pool is not None:
+            # kill before joining the executor: a hung worker would
+            # otherwise park its submission thread forever
+            for name, pid, reason in self._pool.kill_all():
+                self.manager.events.emit(
+                    WorkerKilled(worker=name, pid=pid, reason=reason)
+                )
         self._executor.shutdown(wait=wait, cancel_futures=not wait)
         if wait:
             for handle in handles:
                 handle.session.close()
             if self._pool is not None:
                 self._pool.stop()
+            if self.standby is not None:
+                self.standby.close()
             if self.persister is not None:
                 self.persister.close()
 

@@ -48,6 +48,7 @@ import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.faults import injector as faults
 from repro.mapreduce.job import MapReduceJob, Workflow
 from repro.mapreduce.runner import JobListener
 from repro.pig.physical.plan import PhysicalPlan
@@ -63,6 +64,13 @@ class WorkerCrashed(RuntimeError):
     registration is idempotent (``add_if_absent``), so a crash after a
     partial run cannot duplicate entries.
     """
+
+
+class WorkerTimeout(WorkerCrashed):
+    """The worker exceeded the per-exchange timeout: it is hung (or
+    dead without closing the pipe).  Handled exactly like a crash —
+    the worker is killed and the request re-dispatched — but kept as
+    its own type so the service can count timeouts separately."""
 
 
 class WorkerJobError(RuntimeError):
@@ -94,8 +102,19 @@ class _CoordinatorProxy(JobListener):
         self._kept: Set[str] = set()
 
     def _exchange(self, message: dict) -> dict:
-        self._conn.send(message)
-        return self._conn.recv()
+        # injection site "worker.hook": crash/hang before the request
+        # reaches the coordinator, garble the frame, or (when="after")
+        # crash once the reply arrived but before it was applied
+        out = faults.fire("worker.hook", data=message)
+        if out is faults.GARBLED:
+            # a corrupted frame: raw junk the coordinator cannot
+            # unpickle — it must treat this worker as crashed
+            self._conn.send_bytes(b"\xde\xad\xbe\xef not a pickle")
+        else:
+            self._conn.send(message)
+        reply = self._conn.recv()
+        faults.fire("worker.hook", when="after", data=reply)
+        return reply
 
     def on_workflow_start(self, workflow: Workflow) -> None:
         self._kept = set()
@@ -143,7 +162,7 @@ class _CoordinatorProxy(JobListener):
         return []
 
 
-def worker_main(conn, context: dict) -> None:
+def worker_main(conn, context: dict, ordinal: int = 0) -> None:
     """Entry point of one worker process (the spawn target).
 
     Builds a private DFS + ``PigServer`` once, then serves run
@@ -151,10 +170,19 @@ def worker_main(conn, context: dict) -> None:
     arrive through ``before_job`` directives; store payloads flow back
     through ``after_job`` — the worker's filesystem is a cache of the
     coordinator's, never the source of truth.
+
+    ``ordinal`` is this worker's pool spawn-sequence number; a fault
+    plan shipped in the context is installed keyed by it, so chaos
+    rules address individual workers deterministically across spawns
+    (a crashed worker's replacement has a fresh ordinal and can never
+    re-trip a one-shot rule).
     """
     from repro.pig.engine import PigServer
     from repro.service.api import JobRequest
 
+    plan = context.get("faults")
+    if plan is not None:
+        faults.install(faults.FaultInjector(plan, worker_ordinal=ordinal))
     dfs = DistributedFileSystem(n_datanodes=context["datanodes"])
     proxy = _CoordinatorProxy(conn, dfs)
     server = PigServer(
@@ -199,9 +227,14 @@ def worker_main(conn, context: dict) -> None:
                 break
             continue
         try:
+            # injection site "worker.result": crash/hang after the job
+            # ran but before its result reached the coordinator — the
+            # retry must stay idempotent despite completed side effects
+            faults.fire("worker.result")
             conn.send(
                 {"op": "result", "stats": result.stats, "outputs": result.outputs}
             )
+            faults.fire("worker.result", when="after")
         except (BrokenPipeError, OSError):
             break
     conn.close()
@@ -213,10 +246,12 @@ def worker_main(conn, context: dict) -> None:
 class WorkerHandle:
     """Coordinator-side state of one live worker process."""
 
-    def __init__(self, process, conn, name: str):
+    def __init__(self, process, conn, name: str, ordinal: int = 0):
         self.process = process
         self.conn = conn
         self.name = name
+        #: pool spawn-sequence number (fault plans target it)
+        self.ordinal = ordinal
         #: coordinator-DFS logical mtime of every path this worker
         #: already holds (shipped to it, or received back from it) —
         #: the file-sync version map
@@ -246,6 +281,9 @@ class ProcessWorkerPool:
         self._n = n_workers
         self._lock = threading.Condition()
         self._idle: List[WorkerHandle] = []
+        #: handles currently out on a conversation (kill_all must be
+        #: able to reach hung workers, not just idle ones)
+        self._busy: List[WorkerHandle] = []
         self._live = 0
         self._seq = 0
         self._closed = False
@@ -256,11 +294,12 @@ class ProcessWorkerPool:
     def _spawn(self) -> WorkerHandle:
         with self._lock:
             self._seq += 1
-            name = f"restore-proc-{self._seq}"
+            ordinal = self._seq
+            name = f"restore-proc-{ordinal}"
         parent_conn, child_conn = self._mp.Pipe()
         process = self._mp.Process(
             target=worker_main,
-            args=(child_conn, self._context),
+            args=(child_conn, self._context, ordinal),
             name=name,
             daemon=True,
         )
@@ -268,7 +307,7 @@ class ProcessWorkerPool:
         # close our copy of the child end so a dead worker surfaces as
         # EOFError on the next recv instead of a hang
         child_conn.close()
-        return WorkerHandle(process, parent_conn, name)
+        return WorkerHandle(process, parent_conn, name, ordinal=ordinal)
 
     def acquire(self) -> WorkerHandle:
         """Take an idle worker, spawning a replacement for a discarded
@@ -278,22 +317,29 @@ class ProcessWorkerPool:
                 if self._closed:
                     raise RuntimeError("worker pool is stopped")
                 if self._idle:
-                    return self._idle.pop()
+                    handle = self._idle.pop()
+                    self._busy.append(handle)
+                    return handle
                 if self._live < self._n:
                     self._live += 1
                     break
                 self._lock.wait()
         try:
-            return self._spawn()
+            handle = self._spawn()
         except BaseException:
             with self._lock:
                 self._live -= 1
                 self._lock.notify()
             raise
+        with self._lock:
+            self._busy.append(handle)
+        return handle
 
     def release(self, handle: WorkerHandle) -> None:
         """Return a healthy worker to the pool."""
         with self._lock:
+            if handle in self._busy:
+                self._busy.remove(handle)
             if not self._closed:
                 self._idle.append(handle)
                 self._lock.notify()
@@ -301,11 +347,14 @@ class ProcessWorkerPool:
         self._stop_handle(handle, graceful=True)
 
     def discard(self, handle: WorkerHandle) -> None:
-        """Drop a crashed or desynced worker; its replacement is
+        """Drop a crashed, hung, or desynced worker (terminated
+        immediately — it may be unresponsive); its replacement is
         spawned by the next acquire that needs one."""
         self._stop_handle(handle, graceful=False)
         with self._lock:
-            self._live -= 1
+            if handle in self._busy:
+                self._busy.remove(handle)
+            self._live = max(0, self._live - 1)
             self._lock.notify()
 
     def stop(self) -> None:
@@ -321,6 +370,41 @@ class ProcessWorkerPool:
         for handle in idle:
             self._stop_handle(handle, graceful=True)
 
+    def kill_all(
+        self, join_timeout: float = 1.0
+    ) -> List[Tuple[str, Optional[int], str]]:
+        """Terminate every live worker — idle *and* busy — with a
+        bounded join, and refuse further acquires.
+
+        The non-waiting shutdown path uses this: a hung worker would
+        otherwise survive ``stop()`` (which only reaps idle handles)
+        and wedge interpreter exit on its pipe.  Returns
+        ``(name, pid, state)`` for each worker that had to be killed
+        while alive, so the service can surface ``WorkerKilled``
+        events.
+        """
+        with self._lock:
+            self._closed = True
+            victims = self._idle + self._busy
+            self._idle.clear()
+            self._busy.clear()
+            self._live = 0
+            self._lock.notify_all()
+        killed: List[Tuple[str, Optional[int], str]] = []
+        for handle in victims:
+            alive = handle.process.is_alive()
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            if alive:
+                handle.process.terminate()
+                handle.process.join(timeout=join_timeout)
+                killed.append((handle.name, handle.pid, "terminated"))
+            else:
+                handle.process.join(timeout=join_timeout)
+        return killed
+
     def _stop_handle(self, handle: WorkerHandle, graceful: bool) -> None:
         if graceful and handle.process.is_alive():
             try:
@@ -331,7 +415,11 @@ class ProcessWorkerPool:
             handle.conn.close()
         except OSError:
             pass
-        handle.process.join(timeout=5.0)
+        if graceful:
+            handle.process.join(timeout=5.0)
+        # non-graceful: terminate immediately — the worker may be hung
+        # mid-exchange, and a courtesy join would stall every retry by
+        # its full timeout
         if handle.process.is_alive():
             handle.process.terminate()
             handle.process.join(timeout=5.0)
@@ -363,12 +451,39 @@ class ProcessJobRunner:
     pinning, and eviction see exactly the state a serial run would.
     """
 
-    def __init__(self, manager, dfs, reserved_paths=()):
+    def __init__(self, manager, dfs, reserved_paths=(), exchange_timeout=None):
         self.manager = manager
         self.dfs = dfs
         #: coordinator-owned DFS paths a worker must never store to
         #: (the persistence snapshot/journal)
         self.reserved_paths: Set[str] = set(reserved_paths)
+        #: seconds to wait for any single worker reply (None/0 = block
+        #: forever, the historical behaviour)
+        self.exchange_timeout: Optional[float] = exchange_timeout
+
+    def _recv(self, handle: WorkerHandle):
+        """One reply off the worker pipe, bounded by the exchange
+        timeout.
+
+        Any receive failure — EOF, pipe loss, or an undecodable
+        (garbled) frame — maps to :class:`WorkerCrashed`: the sender
+        is the only plausible culprit once bytes went bad, and the
+        worker must leave the pool either way.
+        """
+        timeout = self.exchange_timeout
+        if timeout:
+            if not handle.conn.poll(timeout):
+                raise WorkerTimeout(
+                    f"worker {handle.name} (pid {handle.pid}) sent nothing "
+                    f"for {timeout:g}s: hung mid-exchange"
+                )
+        try:
+            return handle.conn.recv()
+        except Exception as exc:
+            raise WorkerCrashed(
+                f"worker {handle.name} (pid {handle.pid}) pipe "
+                f"unreadable: {exc!r}"
+            ) from exc
 
     def run_conversation(
         self, handle: WorkerHandle, request, script_id: Optional[int]
@@ -390,7 +505,7 @@ class ProcessJobRunner:
                     }
                 )
                 while True:
-                    message = conn.recv()
+                    message = self._recv(handle)
                     op = message.get("op")
                     if op == "wf_start":
                         self._on_wf_start(state, message)
@@ -510,5 +625,6 @@ __all__ = [
     "WorkerCrashed",
     "WorkerHandle",
     "WorkerJobError",
+    "WorkerTimeout",
     "worker_main",
 ]
