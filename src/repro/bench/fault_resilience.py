@@ -138,6 +138,13 @@ def _run_lane(
 
     dfs = DistributedFileSystem(n_datanodes=2)
     prepare_service_dfs(dfs, entry_specs, probe_specs)
+    # a prior lane or seed sweep must not bleed its FaultClock hit
+    # counters or fired log into this lane: rules scheduled for hit 1
+    # would silently never fire again
+    leftover = faults.active()
+    if leftover is not None:
+        leftover.reset()
+        faults.uninstall()
     if plan is not None:
         faults.install(FaultInjector(plan))
     try:

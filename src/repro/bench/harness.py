@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 from repro.bench.exec_sim import run_exec_sim_benchmark
 from repro.bench.fault_resilience import run_fault_resilience
 from repro.bench.incremental import run_incremental_benchmark
+from repro.bench.payload_durability import run_payload_durability
 from repro.bench.repo_persistence import run_repo_persistence_benchmark
 from repro.bench.repo_scale import (
     check_gates,
@@ -52,7 +53,7 @@ def run_benchmark_suite(
         seed=seed,
         quick=quick,
     )
-    payload["version"] = 8
+    payload["version"] = 9
     # exec_sim runs before the service benchmark: its wall-time gate is
     # the noise-sensitive one, so it gets the freshest process state
     payload["exec_sim"] = run_exec_sim_benchmark(
@@ -64,6 +65,10 @@ def run_benchmark_suite(
     payload["repo_persistence"] = run_repo_persistence_benchmark(
         n_entries=persistence_entries,
         n_probes=n_probes,
+        seed=seed,
+        quick=quick,
+    )
+    payload["payload_durability"] = run_payload_durability(
         seed=seed,
         quick=quick,
     )
@@ -166,6 +171,19 @@ def run_benchmark_suite(
             f"torn tail recovered="
             f"{scale['torn_tail']['torn_tail_recovered']}"
         )
+
+    durability = payload["payload_durability"]
+    sweep = durability["byte_sweep"]
+    warm = durability["warm_restart"]
+    print(
+        f"  payload_durability: {sweep['boundaries']} crash boundaries "
+        f"swept over {sweep['block_bytes']} block-store bytes, "
+        f"{sweep['condemned_total']} condemnation(s), "
+        f"{len(sweep['violations'])} violation(s); warm restart "
+        f"{warm['warm_jobs']} job(s) executed "
+        f"(cold {warm['cold_jobs']}), outputs identical="
+        f"{warm['outputs_identical'] and warm['served_bytes_identical']}"
+    )
 
     for scale in payload["incremental"]["scales"]:
         print(

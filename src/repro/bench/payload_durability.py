@@ -1,0 +1,253 @@
+"""Payload-durability benchmark: every-byte crash sweep + warm restart.
+
+The block store's claim is absolute: *no* crash point can leave the
+repository serving an entry whose output bytes are missing or corrupt,
+and a warm restart serves stored results without executing anything.
+This section proves both halves and gates them in CI:
+
+* ``byte_sweep`` — persist a populated repository, then truncate the
+  block-store segment file at **every byte boundary** (simulating a
+  crash mid-append at each offset) and recover into a fresh DFS each
+  time.  At every cut, each surviving entry must serve byte-identical
+  payloads and each lost payload must be condemned by the scrub —
+  survivors ∪ condemned must exactly cover the registered entries;
+* ``scrub`` — condemnations must be journaled (``entry_quarantined``)
+  so a second recovery replays them instead of re-deriving, and
+  recovery must be idempotent;
+* ``warm_restart`` — a cold session runs a real Pig script under a
+  live persister and rotates a snapshot; a second session over a
+  **fresh DFS** recovers from it and re-runs the same script.  The
+  warm run must execute **0 jobs** while serving byte-identical
+  outputs, restored natively from the block store (no sidecar).
+
+Gates (see :func:`check_payload_durability_gates`): zero sweep
+violations, journaled + idempotent condemnations, 0 warm jobs with
+identical outputs and served bytes.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List
+
+from repro.bench.repo_scale import build_repository, generate_entry_specs
+from repro.core.manager import ReStoreManager
+from repro.dfs.filesystem import DistributedFileSystem
+from repro.persistence.blockstore import decode_blockstore
+from repro.persistence.durability import (
+    PersistenceConfig,
+    RepositoryPersister,
+    recover,
+)
+
+PV_SCHEMA = (
+    "user, action:int, timestamp:int, est_revenue:double, "
+    "page_info, page_links"
+)
+
+SCRIPT = f"""
+A = load 'data/page_views' as ({PV_SCHEMA});
+B = foreach A generate user, est_revenue;
+C = group B by user;
+D = foreach C generate group, SUM(B.est_revenue);
+store D into 'out/daily';
+"""
+
+PAGE_VIEWS = "\n".join(
+    f"user{i % 7}\t1\t{100 + i}\t{(i % 5) + 0.5}\tinfo\tlinks"
+    for i in range(40)
+)
+
+
+def _config(workdir: str) -> PersistenceConfig:
+    return PersistenceConfig(
+        snapshot_path=f"{workdir}/repo.snap",
+        journal_path=f"{workdir}/repo.journal",
+        backend="local",
+    )
+
+
+def _payload_for(path: str) -> bytes:
+    return f"payload:{path}".encode()
+
+
+def run_byte_sweep(n_entries: int, seed: int) -> Dict:
+    """Crash a block-store append at every byte boundary; recover."""
+    with tempfile.TemporaryDirectory(prefix="restore-bench-") as workdir:
+        config = _config(workdir)
+        dfs = DistributedFileSystem(n_datanodes=2)
+        manager = ReStoreManager(dfs)
+        RepositoryPersister(manager, config)
+        repo = build_repository(generate_entry_specs(n_entries, seed), seed)
+        expected = set()
+        for entry in repo.entries():
+            dfs.write_file(entry.output_path, _payload_for(entry.output_path))
+            manager.repository.add(entry)
+            expected.add(entry.output_path)
+
+        block_file = config.blockstore_file(0)
+        block_bytes = config.blockstore_storage(None, 0).read()
+        journal_bytes = config.journal_storage().read()
+        assert not decode_blockstore(block_bytes).torn
+
+        violations: List[str] = []
+        condemned_total = 0
+        boundaries = len(block_bytes) + 1
+        for cut in range(boundaries):
+            # rewind the lane (recovery repairs + journals in place),
+            # then crash the append at byte *cut*
+            with open(config.journal_path, "wb") as fh:
+                fh.write(journal_bytes)
+            with open(block_file, "wb") as fh:
+                fh.write(block_bytes[:cut])
+            fresh = DistributedFileSystem(n_datanodes=2)
+            recovered = recover(config, fresh)
+            survivors = {
+                e.output_path for e in recovered.repository.entries()
+            }
+            condemned = {p for _, p, _ in recovered.payloads_condemned}
+            condemned_total += len(condemned)
+            if survivors | condemned != expected:
+                violations.append(
+                    f"cut={cut}: entries lost without condemnation "
+                    f"({sorted(expected - survivors - condemned)})"
+                )
+            if survivors & condemned:
+                violations.append(
+                    f"cut={cut}: entry both served and condemned"
+                )
+            for path in survivors:
+                if fresh.read_file(path) != _payload_for(path):
+                    violations.append(
+                        f"cut={cut}: corrupt payload served for {path}"
+                    )
+
+        # scrub condemnations are journaled: recovering twice after a
+        # mid-file cut replays them instead of re-deriving
+        with open(config.journal_path, "wb") as fh:
+            fh.write(journal_bytes)
+        with open(block_file, "wb") as fh:
+            fh.write(block_bytes[: len(block_bytes) // 2])
+        once = recover(config, DistributedFileSystem(n_datanodes=2))
+        twice = recover(config, DistributedFileSystem(n_datanodes=2))
+        journaled = len(once.payloads_condemned) > 0
+        idempotent = twice.payloads_condemned == [] and sorted(
+            e.entry_id for e in twice.repository.entries()
+        ) == sorted(e.entry_id for e in once.repository.entries())
+
+        return {
+            "n_entries": n_entries,
+            "block_bytes": len(block_bytes),
+            "boundaries": boundaries,
+            "condemned_total": condemned_total,
+            "violations": violations,
+            "scrub": {
+                "condemnations_journaled": journaled,
+                "replay_idempotent": idempotent,
+            },
+        }
+
+
+def run_warm_restart(seed: int) -> Dict:
+    """Cold run + snapshot rotation, then a warm restart on a fresh
+    DFS: 0 jobs executed, byte-identical outputs from the block store."""
+    from repro.session import ReStoreSession
+
+    with tempfile.TemporaryDirectory(prefix="restore-bench-") as workdir:
+        config = _config(workdir)
+
+        cold_dfs = DistributedFileSystem(n_datanodes=2)
+        cold_dfs.write_file("data/page_views", PAGE_VIEWS + "\n")
+        cold_session = (
+            ReStoreSession.builder().dfs(cold_dfs).persistence(config).build()
+        )
+        cold = cold_session.run(SCRIPT, name="bench_payload")
+        cold_session.persister.take_snapshot()
+        stored_bytes = cold_dfs.read_file("out/daily")
+
+        warm_dfs = DistributedFileSystem(n_datanodes=2)
+        warm_dfs.write_file("data/page_views", PAGE_VIEWS + "\n")
+        warm_session = (
+            ReStoreSession.builder().dfs(warm_dfs).persistence(config).build()
+        )
+        warm = warm_session.run(SCRIPT, name="bench_payload")
+
+        return {
+            "cold_jobs": cold.stats.n_jobs_executed,
+            "warm_jobs": warm.stats.n_jobs_executed,
+            "outputs_identical": sorted(warm.outputs["out/daily"])
+            == sorted(cold.outputs["out/daily"]),
+            "served_bytes_identical": (
+                warm_dfs.read_file("out/daily") == stored_bytes
+            ),
+        }
+
+
+def run_payload_durability(seed: int = 13, quick: bool = False) -> Dict:
+    n_entries = 4 if quick else 8
+    return {
+        "seed": seed,
+        "byte_sweep": run_byte_sweep(n_entries, seed),
+        "warm_restart": run_warm_restart(seed),
+    }
+
+
+def check_payload_durability_gates(section) -> List[str]:
+    """CI gates over the payload-durability section (empty = green):
+
+    * the every-byte crash sweep must report zero violations — no cut
+      leaves an entry referencing a missing or corrupt payload, and
+      no payload is lost without a scrub condemnation;
+    * condemnations must be journaled and recovery replay-idempotent;
+    * the warm restart must execute 0 jobs with byte-identical outputs
+      served from the block store.
+    """
+    if not section:
+        return []
+    failures = []
+    sweep = section["byte_sweep"]
+    for violation in sweep["violations"]:
+        failures.append(f"payload_durability byte sweep: {violation}")
+    if sweep["boundaries"] < sweep["block_bytes"] + 1:
+        failures.append(
+            "payload_durability: the byte sweep did not cover every "
+            f"boundary ({sweep['boundaries']} of "
+            f"{sweep['block_bytes'] + 1})"
+        )
+    if not sweep["scrub"]["condemnations_journaled"]:
+        failures.append(
+            "payload_durability: scrub condemnations were not journaled"
+        )
+    if not sweep["scrub"]["replay_idempotent"]:
+        failures.append(
+            "payload_durability: a second recovery diverged from the "
+            "first (condemnation replay is not idempotent)"
+        )
+    warm = section["warm_restart"]
+    if warm["cold_jobs"] < 1:
+        failures.append(
+            "payload_durability: the cold run executed no jobs — the "
+            "warm-restart lane measured nothing"
+        )
+    if warm["warm_jobs"] != 0:
+        failures.append(
+            f"payload_durability: warm restart executed "
+            f"{warm['warm_jobs']} job(s), expected 0"
+        )
+    if not warm["outputs_identical"]:
+        failures.append(
+            "payload_durability: warm-restart outputs differ from the "
+            "cold run"
+        )
+    if not warm["served_bytes_identical"]:
+        failures.append(
+            "payload_durability: the warm restart served different "
+            "bytes than the block store persisted"
+        )
+    return failures
+
+
+__all__ = [
+    "check_payload_durability_gates",
+    "run_payload_durability",
+]

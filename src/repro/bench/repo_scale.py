@@ -695,6 +695,13 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
       byte-identical rewrite decisions, zero subsumption traversals
       spent restoring, and clean torn-tail journal recovery (see
       :func:`repro.bench.repo_persistence.check_repo_persistence_gates`);
+    * when a ``payload_durability`` section is present: crashing a
+      block-store append at every byte boundary must recover with zero
+      entries referencing missing or corrupt payloads (every lost
+      payload condemned, never served), condemnations must be
+      journaled and replay-idempotent, and a warm restart must execute
+      0 jobs while serving byte-identical outputs (see
+      :func:`repro.bench.payload_durability.check_payload_durability_gates`);
     * when an ``incremental`` section is present: the delta probe over
       an appended input must be ≥3x faster than the full-rerun oracle
       with byte-identical outputs, must actually refresh (one
@@ -713,6 +720,9 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
     from repro.bench.exec_sim import check_exec_sim_gates
     from repro.bench.fault_resilience import check_fault_resilience_gates
     from repro.bench.incremental import check_incremental_gates
+    from repro.bench.payload_durability import (
+        check_payload_durability_gates,
+    )
     from repro.bench.repo_persistence import check_repo_persistence_gates
     from repro.bench.subjob_enum import check_subjob_enum_gates
 
@@ -722,6 +732,9 @@ def check_gates(payload: Dict, require_reduction_at: int = 1000) -> List[str]:
     failures.extend(check_subjob_enum_gates(payload.get("subjob_enum")))
     failures.extend(
         check_repo_persistence_gates(payload.get("repo_persistence"))
+    )
+    failures.extend(
+        check_payload_durability_gates(payload.get("payload_durability"))
     )
     failures.extend(check_incremental_gates(payload.get("incremental")))
     fault_section = payload.get("fault_resilience")

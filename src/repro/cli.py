@@ -22,12 +22,19 @@ spawn-based worker-process pool.
 ``--snapshot``/``--journal`` make the repository durable across
 invocations: the session recovers from the named local files before
 running, journals every mutation, and rotates a fresh snapshot on
-exit.  Kept output files travel in a ``<snapshot>.files/`` sidecar
-directory so a later process's DFS can serve the stored results::
+exit.  Stored output payloads persist natively in the crc-framed
+block store next to the snapshot (``<snapshot>.blocks.g<N>``), and
+recovery scrubs every entry against it — restoring intact bytes into
+the fresh DFS and condemning anything missing or corrupt instead of
+serving it::
 
     python -m repro run q1.pig --data pv.tsv=data/pv --snapshot state.snap
     python -m repro run q2.pig --data pv.tsv=data/pv --snapshot state.snap
     # q2's overlapping sub-jobs are answered from q1's stored results
+
+A legacy ``<snapshot>.files/`` sidecar directory (written by older
+versions) is imported into the block store once, on the first warm
+start that finds it, and is no longer written afterwards.
 """
 
 from __future__ import annotations
@@ -70,43 +77,41 @@ def _sidecar_dir(config) -> pathlib.Path:
     return pathlib.Path(config.snapshot_path + ".files")
 
 
-def _load_kept_files(target, config) -> None:
-    """Seed the fresh DFS with the kept files a previous invocation
-    dumped, so restored repository entries point at real data.
-    ``target`` is anything carrying a ``dfs`` (session or service)."""
+def _migrate_sidecar(config) -> int:
+    """One-shot import of a legacy ``<snapshot>.files/`` sidecar.
+
+    Earlier versions mirrored stored DFS files into a local sidecar
+    directory; payloads now live natively in the block store.  The
+    first warm start that finds a sidecar folds every file into block
+    generation 0 and journals its segment ref (so the recovery that
+    follows restores the bytes and the scrub verifies them), then
+    retires the directory — the sidecar is deprecated and never
+    written again.  Must run *before* recovery: the scrub condemns
+    entries whose bytes it cannot find.
+    """
     root = _sidecar_dir(config)
     if not root.is_dir():
-        return
+        return 0
+    from repro.persistence.blockstore import BlockStore
+    from repro.persistence.journal import Journal
+
+    store = BlockStore(config.blockstore_storage(None, 0), 0)
+    journal = Journal(config.journal_storage(None))
+    records = []
     for local in sorted(root.rglob("*")):
-        if local.is_file():
-            dfs_path = local.relative_to(root).as_posix()
-            target.dfs.write_file(dfs_path, local.read_bytes(), overwrite=True)
-
-
-def _dump_kept_files(target, config) -> None:
-    """Mirror every stored DFS file into the sidecar directory so the
-    next invocation can reuse the repository's results.  That is the
-    kept temporary outputs plus every entry's output path — whole-job
-    entries anchor on user outputs, which ``kept_paths`` never holds.
-    ``target`` is a session or a service (``dfs``/``manager``/
-    ``repository`` attributes)."""
-    root = _sidecar_dir(config)
-    paths = set(target.manager.kept_paths) if target.manager else set()
-    if target.repository is not None:
-        paths.update(e.output_path for e in target.repository.entries())
-    kept = sorted(paths)
-    for dfs_path in kept:
-        if not target.dfs.exists(dfs_path):
+        if not local.is_file():
             continue
-        local = root / dfs_path
-        local.parent.mkdir(parents=True, exist_ok=True)
-        local.write_bytes(target.dfs.read_file(dfs_path))
-    # drop sidecar files for paths that are no longer kept (evicted)
-    kept_set = set(kept)
-    if root.is_dir():
-        for local in root.rglob("*"):
-            if local.is_file() and local.relative_to(root).as_posix() not in kept_set:
-                local.unlink()
+        dfs_path = local.relative_to(root).as_posix()
+        ref = store.append(dfs_path, local.read_bytes())
+        records.append(
+            {"type": "payload_stored", "path": dfs_path, "ref": ref.to_list()}
+        )
+    if records:
+        journal.append_payloads(records)
+    import shutil
+
+    shutil.rmtree(root, ignore_errors=True)
+    return len(records)
 
 
 def _load_data(target, mappings: List[str]) -> None:
@@ -131,6 +136,8 @@ def _build_session(args) -> ReStoreSession:
             builder.evict(*args.evict)
         if persistence is not None:
             builder.persistence(persistence)
+    if persistence is not None:
+        _migrate_sidecar(persistence)
     try:
         session = builder.build()
     except ValueError as exc:
@@ -138,8 +145,6 @@ def _build_session(args) -> ReStoreSession:
         # valid registry entries
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
-    if persistence is not None:
-        _load_kept_files(session, persistence)
     _load_data(session, args.data or [])
     return session
 
@@ -157,6 +162,8 @@ def _run_via_service(args, source: str, name: str):
             "(drop --no-restore, or drop the service flags)"
         )
     persistence = _persistence_config(args)
+    if persistence is not None:
+        _migrate_sidecar(persistence)
     timeout = getattr(args, "exchange_timeout", 30.0)
     service_config = ServiceConfig(
         executor=args.executor or "threads",
@@ -180,15 +187,13 @@ def _run_via_service(args, source: str, name: str):
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from None
     try:
-        if persistence is not None:
-            _load_kept_files(service, persistence)
         _load_data(service, args.data or [])
         outcome = service.open_session("cli").run(source, name=name)
         if service.persister is not None:
-            # rotate a fresh snapshot + mirror the kept files so the
-            # next invocation starts warm
+            # rotate a fresh snapshot — compaction folds every live
+            # payload into the block store, so the next invocation
+            # starts warm with natively restored bytes
             service.persister.take_snapshot()
-            _dump_kept_files(service, persistence)
         return outcome, len(service.repository)
     finally:
         service.shutdown(wait=True)
@@ -205,10 +210,10 @@ def cmd_run(args) -> int:
         session = _build_session(args)
         result = session.run(source, name=name)
         if session.persister is not None:
-            # rotate a fresh snapshot + mirror the kept files so the
-            # next invocation starts warm
+            # rotate a fresh snapshot — compaction folds every live
+            # payload into the block store, so the next invocation
+            # starts warm with natively restored bytes
             session.persister.take_snapshot()
-            _dump_kept_files(session, _persistence_config(args))
         repo_entries = (
             len(session.repository) if session.repository is not None else None
         )
@@ -337,7 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="persist the repository to a local snapshot file and "
                  "recover from it on the next run (journals to "
-                 "PATH.journal unless --journal overrides)",
+                 "PATH.journal unless --journal overrides; stored "
+                 "payloads live in PATH.blocks.g<N>; a legacy "
+                 "PATH.files/ sidecar is imported once and deprecated)",
         )
         p.add_argument(
             "--journal",

@@ -34,10 +34,17 @@ class FileAlreadyExists(DFSError):
 class PigParseError(ReproError):
     """The Pig Latin text could not be tokenized or parsed."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+    ):
         location = ""
         if line is not None:
-            location = f" (line {line}" + (f", col {column})" if column is not None else ")")
+            location = f" (line {line}" + (
+                f", col {column})" if column is not None else ")"
+            )
         super().__init__(message + location)
         self.line = line
         self.column = column

@@ -48,6 +48,23 @@ class InjectedFault(OSError):
         self.hit = hit
 
 
+class PartialWriteFault(InjectedFault):
+    """A ``partial``-action rule: the write tore mid-syscall.
+
+    Carries the ``prefix`` that reached the medium before the tear.
+    Append-style sites (journal, block store) write the prefix and
+    re-raise, leaving a genuinely torn tail for recovery to repair;
+    atomic-replace sites (snapshot write-temp-rename) let it propagate
+    untouched — a real partial write there dies in the temp file and
+    never publishes, so the fault degenerates to a failed rotation.
+    Uninstrumented sites inherit plain ``raise`` semantics for free.
+    """
+
+    def __init__(self, site: str, hit: int, prefix: bytes = b""):
+        super().__init__(site, hit)
+        self.prefix = prefix
+
+
 #: every known injection site -> one-line description (the chaos sweep
 #: parametrizes over this registry, so a new site is tested by default)
 _SITES: Dict[str, str] = {}
@@ -99,6 +116,16 @@ SITE_SNAPSHOT_MATERIALIZE = register_site(
 )
 #: DFS block read (corrupted payload)
 SITE_DFS_READ = register_site("dfs.read", "DFS file read (block payload)")
+#: block-store segment append (partial write → torn segment, OSError →
+#: payload capture skipped, scrub condemns at recovery)
+SITE_BLOCKSTORE_APPEND = register_site(
+    "blockstore.append", "block-store payload segment append"
+)
+#: block-store read-back during recovery scrub (bit rot → segment
+#: quarantine / torn-tail truncation)
+SITE_BLOCKSTORE_READ = register_site(
+    "blockstore.read", "block-store segment read during recovery scrub"
+)
 #: coordinator liveness channel (suppress → standby promotion)
 SITE_COORDINATOR_HEARTBEAT = register_site(
     "coordinator.heartbeat", "coordinator health heartbeat tick"
@@ -146,6 +173,20 @@ class FaultInjector:
         with self._lock:
             self._revived.add(site)
 
+    def reset(self) -> None:
+        """Zero every clock, the fired log, and the revived set.
+
+        Reusing one injector across seeds or bench lanes without a
+        reset lets hit counters bleed between runs — rules scheduled
+        for hit 1 silently never fire again.  Lanes that share an
+        injector call this between runs; the test suite's autouse
+        fixture calls it on the way out so no state leaks across tests.
+        """
+        with self._lock:
+            self.clock = FaultClock()
+            self.fired.clear()
+            self._revived.clear()
+
     def _match(self, site: str, when: str, worker: int) -> Optional[
         Tuple[FaultRule, int]
     ]:
@@ -171,8 +212,10 @@ class FaultInjector:
 
         Returns ``data`` (transformed for ``corrupt`` rules on bytes,
         :data:`GARBLED` for ``corrupt`` on non-bytes, ``None`` for
-        ``suppress``); raises :class:`InjectedFault` for ``raise``
-        rules; never returns from ``crash``.
+        ``suppress``, delayed but unchanged for ``slow``); raises
+        :class:`InjectedFault` for ``raise`` rules and
+        :class:`PartialWriteFault` (carrying the written prefix) for
+        ``partial`` rules; never returns from ``crash``.
         """
         if worker is None:
             worker = self.worker_ordinal
@@ -187,6 +230,19 @@ class FaultInjector:
             return data
         if rule.action == "raise":
             raise InjectedFault(site, hit)
+        if rule.action == "slow":
+            # seeded latency: the operation still succeeds, just late
+            # (distinct from "hang", whose 30s default is meant to trip
+            # exchange timeouts; slow-disk stays under them)
+            time.sleep(rule.arg if rule.arg > 0 else 0.02)
+            return data
+        if rule.action == "partial":
+            prefix = b""
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                raw = bytes(data)
+                cut = min(max(int(rule.arg), 0), len(raw))
+                prefix = raw[:cut]
+            raise PartialWriteFault(site, hit, prefix)
         if rule.action == "suppress":
             return None
         # corrupt: deterministic single-bit-flavoured damage
@@ -238,6 +294,9 @@ __all__ = [
     "FaultClock",
     "FaultInjector",
     "InjectedFault",
+    "PartialWriteFault",
+    "SITE_BLOCKSTORE_APPEND",
+    "SITE_BLOCKSTORE_READ",
     "SITE_COORDINATOR_HEARTBEAT",
     "SITE_DFS_READ",
     "SITE_JOURNAL_APPEND",

@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` is a pure-data description of *which* injection
 sites misbehave, *when* (which hit numbers of that site), and *how*
-(crash / hang / raise / corrupt).  Plans are frozen, picklable, and
+(crash / hang / raise / corrupt / partial / slow).  Plans are frozen,
+picklable, and
 carry their seed, so a chaos run is byte-replayable: the same plan
 against the same workload produces the same fault timeline, and the
 :class:`~repro.faults.injector.FaultInjector` records every firing in
@@ -28,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 #: actions an injected rule can take when its site fires
-ACTIONS = ("crash", "hang", "raise", "corrupt", "suppress")
+ACTIONS = ("crash", "hang", "raise", "corrupt", "suppress", "partial", "slow")
 
 #: rule timing relative to the instrumented operation
 WHENS = ("before", "after")
@@ -53,7 +54,8 @@ class FaultRule:
     #: worker ordinal this rule targets (0 = coordinator-side sites)
     worker: int = 0
     sticky: bool = False
-    #: action parameter: hang seconds, OSError text, corrupt XOR mask
+    #: action parameter: hang/slow seconds, corrupt XOR mask, or the
+    #: byte offset a ``partial`` write is cut at (0 = nothing lands)
     arg: float = 0.0
 
     def __post_init__(self):

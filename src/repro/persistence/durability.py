@@ -23,18 +23,25 @@ Crash-safety argument, in one place:
   same-id re-add replaces and re-integrates to the identical order,
   a remove of a missing entry is a no-op, usage stats and counter
   floors merge by max), so applying them twice equals applying them
-  once.
+  once;
+* entry payloads are appended to the block store *before* the
+  ``entry_added`` record is journaled, and the post-recovery scrub
+  (:class:`_PayloadScrub`) refuses to serve any entry whose payload
+  segment is missing, corrupt, or length-drifted — the metadata may
+  over-promise after a torn write, but recovery can never over-serve.
 """
 
 from __future__ import annotations
 
 import re
 import threading
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.repository import Repository
 from repro.events import (
+    EntryQuarantined,
     EventBus,
     JobEliminated,
     JournalAppended,
@@ -44,6 +51,13 @@ from repro.events import (
     SnapshotTaken,
 )
 from repro.faults import injector as faults
+from repro.persistence.blockstore import (
+    BlockScan,
+    BlockStore,
+    BlockStoreError,
+    SegmentRef,
+    verify_ref,
+)
 from repro.persistence.journal import Journal, JournalRecord
 from repro.persistence.snapshot import (
     RepositorySnapshot,
@@ -70,12 +84,27 @@ class PersistenceConfig:
     #: journal records between automatic snapshot rotations
     #: (0 = snapshot only when explicitly requested)
     snapshot_interval: int = 0
+    #: seconds between timer-driven rotations under a live service
+    #: (0 = no timer; rotation still happens at workflow boundaries
+    #: via ``snapshot_interval``); a timer rotation that fails aborts
+    #: without touching the journal, like any other rotation
+    snapshot_interval_s: float = 0.0
+    #: base path of the payload block store (generation files append
+    #: ``.g<N>``); defaults to ``snapshot_path + ".blocks"``
+    blockstore_path: Optional[str] = None
     #: buffered records per journal write; 1 (default) is write-through
     flush_every: int = 1
     #: circuit breaker: while journal writes are failing, only every
     #: N-th flush attempt probes storage again (the rest buffer in
     #: memory instantly instead of eating an I/O error each)
     probe_every: int = 3
+
+    @property
+    def blockstore_base(self) -> str:
+        return self.blockstore_path or self.snapshot_path + ".blocks"
+
+    def blockstore_file(self, gen: int) -> str:
+        return f"{self.blockstore_base}.g{gen}"
 
     def _storage(self, path: str, dfs):
         if self.backend == "local":
@@ -91,6 +120,9 @@ class PersistenceConfig:
 
     def journal_storage(self, dfs=None):
         return self._storage(self.journal_path, dfs)
+
+    def blockstore_storage(self, dfs=None, gen: int = 0):
+        return self._storage(self.blockstore_file(gen), dfs)
 
 
 @dataclass
@@ -110,6 +142,23 @@ class RecoveredState:
     journal_torn_bytes: int = 0
     #: mid-journal records quarantined for failing their checksum
     journal_skipped: int = 0
+    #: path → raw segment ref ([gen, offset, length, crc]) for every
+    #: payload the scrub verified (the persister resumes dedup from
+    #: these)
+    payload_refs: Dict[str, list] = field(default_factory=dict)
+    #: block-store generation new appends continue into
+    blockstore_gen: int = 0
+    #: payloads written back into the DFS from the block store
+    payloads_restored: int = 0
+    #: (entry_id, output_path, reason) per entry the scrub condemned —
+    #: already removed from the repository and journaled as
+    #: ``entry_quarantined``; the caller emits the events
+    payloads_condemned: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: kept paths the scrub dropped (bytes unrecoverable)
+    kept_paths_condemned: List[str] = field(default_factory=list)
+    #: entries tolerated without a payload ref (pre-block-store state
+    #: whose output bytes were still present, or no DFS to check)
+    payloads_legacy: int = 0
 
 
 class ReplayTarget:
@@ -127,6 +176,7 @@ class ReplayTarget:
         kept_paths=None,
         clock: int = 0,
         id_floors: Optional[Dict[str, int]] = None,
+        payloads: Optional[dict] = None,
     ) -> None:
         self.repository = repository
         self.kept_paths: Set[str] = set(kept_paths or ())
@@ -134,6 +184,14 @@ class ReplayTarget:
         self.id_floors: Dict[str, int] = {"next_script_id": 1, "next_subjob_id": 1}
         for key, value in (id_floors or {}).items():
             self.id_floors[key] = max(self.id_floors.get(key, 1), int(value))
+        #: path → raw block-store segment ref; seeded from the
+        #: snapshot's payload table, extended by ``payload_stored``
+        #: journal records
+        payloads = payloads or {}
+        self.payload_refs: Dict[str, list] = {
+            path: list(ref) for path, ref in payloads.get("refs", {}).items()
+        }
+        self.payload_gen = int(payloads.get("gen", 0))
 
     def apply(self, record: JournalRecord) -> None:
         data = record.data
@@ -163,6 +221,11 @@ class ReplayTarget:
             self.kept_paths.add(data["path"])
         elif record.type == "kept_path_removed":
             self.kept_paths.discard(data["path"])
+        elif record.type == "payload_stored":
+            # a later ref for the same path supersedes (refresh /
+            # re-capture); replaying twice lands on the same ref
+            self.payload_refs[data["path"]] = list(data["ref"])
+            self.payload_gen = max(self.payload_gen, int(data["ref"][0]))
         elif record.type == "counters":
             for key in ("next_script_id", "next_subjob_id"):
                 if key in data:
@@ -200,15 +263,141 @@ def derive_id_floors(repository: Repository) -> Dict[str, int]:
     return {"next_script_id": script + 1, "next_subjob_id": subjob + 1}
 
 
+#: sentinel distinguishing "no ref recorded" from "ref malformed"
+_NO_REF = object()
+
+
+class _PayloadScrub:
+    """The post-recovery payload integrity pass.
+
+    Every restored entry (and kept path) is checked against the block
+    store before it can ever be served:
+
+    * a recorded ref whose segment is missing, checksum-mismatched, or
+      length-drifted **condemns** the entry — removed from the
+      repository, journaled as ``entry_quarantined`` so the decision
+      replays idempotently, surfaced for the caller to emit
+      :class:`~repro.events.EntryQuarantined`;
+    * an intact ref restores its bytes into the DFS when the file is
+      absent (the warm-start path: payloads come back natively);
+    * an entry with **no** ref is legacy (pre-block-store state): it
+      is tolerated when its output bytes are already present — or when
+      there is no DFS to check against — and condemned when a DFS is
+      given and the bytes are gone, which is exactly the stale-output
+      hazard the scrub exists to close.
+    """
+
+    def __init__(self, config: PersistenceConfig, dfs, journal: Journal):
+        self.config = config
+        self.dfs = dfs
+        self.journal = journal
+        self.restored = 0
+        self.legacy = 0
+        self.condemned: List[Tuple[str, str, str]] = []
+        self.kept_condemned: List[str] = []
+        self._scans: Dict[int, BlockScan] = {}
+
+    def _scan_gen(self, gen: int) -> BlockScan:
+        scan = self._scans.get(gen)
+        if scan is None:
+            store = BlockStore(self.config.blockstore_storage(self.dfs, gen), gen)
+            scan = store.scan()
+            if scan.torn:
+                try:
+                    store.repair(scan)
+                except OSError:
+                    pass  # repair is advisory; the scan already excludes the tear
+            self._scans[gen] = scan
+        return scan
+
+    def _check(self, path: str, refs: Dict[str, list]):
+        """``(ok, payload_or_None, reason)`` for one referenced path."""
+        raw = refs.get(path, _NO_REF)
+        if raw is _NO_REF:
+            if self.dfs is None or self.dfs.exists(path):
+                self.legacy += 1
+                return True, None, ""
+            return False, None, "no payload segment recorded and output bytes missing"
+        try:
+            ref = SegmentRef.from_list(raw)
+        except (BlockStoreError, TypeError, ValueError):
+            return False, None, f"malformed payload segment ref {raw!r}"
+        payload = verify_ref(self._scan_gen(ref.gen), ref, path)
+        if payload is None:
+            return (
+                False,
+                None,
+                f"payload segment missing or corrupt "
+                f"(gen {ref.gen}, offset {ref.offset})",
+            )
+        return True, payload, ""
+
+    def run(self, target: ReplayTarget) -> None:
+        refs = target.payload_refs
+        for entry in list(target.repository.entries()):
+            ok, payload, reason = self._check(entry.output_path, refs)
+            if not ok:
+                self.condemned.append((entry.entry_id, entry.output_path, reason))
+                continue
+            self._restore(entry.output_path, payload)
+        for path in sorted(target.kept_paths):
+            ok, payload, _ = self._check(path, refs)
+            if not ok:
+                self.kept_condemned.append(path)
+                continue
+            self._restore(path, payload)
+        for entry_id, path, _ in self.condemned:
+            if target.repository.has_entry(entry_id):
+                target.repository.remove(entry_id)
+            refs.pop(path, None)
+        for path in self.kept_condemned:
+            target.kept_paths.discard(path)
+            refs.pop(path, None)
+        self._journal_condemnations()
+
+    def _restore(self, path: str, payload: Optional[bytes]) -> None:
+        if payload is None or self.dfs is None or self.dfs.exists(path):
+            return
+        self.dfs.write_file(path, payload)
+        self.restored += 1
+
+    def _journal_condemnations(self) -> None:
+        """Make the scrub's verdicts durable: an ``entry_quarantined``
+        replays as an idempotent remove, so the next recovery reaches
+        the same state without re-deriving it — and a degraded journal
+        merely defers that (the scrub re-derives identically)."""
+        records = [
+            {
+                "type": "entry_quarantined",
+                "entry_id": entry_id,
+                "reason": f"payload-scrub: {reason}",
+            }
+            for entry_id, _, reason in self.condemned
+        ]
+        records.extend(
+            {"type": "kept_path_removed", "path": path}
+            for path in self.kept_condemned
+        )
+        if not records:
+            return
+        try:
+            self.journal.append_payloads(records)
+        except OSError:
+            pass
+
+
 def recover(
     config: PersistenceConfig, dfs=None, *, matcher=None
 ) -> RecoveredState:
     """Rebuild repository + manager state from snapshot and journal.
 
     Loads the snapshot (if any), replays every intact journal record
-    on top, truncates a torn tail in place, and derives/merges the id
-    and clock floors.  When *dfs* is given the id floors are pushed
-    into it immediately via :meth:`ensure_id_floor`.
+    on top, truncates a torn tail in place, scrubs every restored
+    entry's payload against the block store (see :class:`_PayloadScrub`
+    — intact bytes are written back into *dfs*, condemned entries are
+    removed and journaled), and derives/merges the id and clock
+    floors.  When *dfs* is given the id floors are pushed into it
+    immediately via :meth:`ensure_id_floor`.
     """
     snapshot_storage = config.snapshot_storage(dfs)
     journal = Journal(config.journal_storage(dfs))
@@ -226,6 +415,7 @@ def recover(
             kept_paths=manager_state.get("kept_paths", ()),
             clock=manager_state.get("clock", 0),
             id_floors=snapshot.dfs_state,
+            payloads=snapshot.payload_state,
         )
     else:
         target = ReplayTarget(Repository(matcher=matcher))
@@ -233,12 +423,17 @@ def recover(
     replayed = target.apply_all(scan.records)
     if scan.torn:
         journal.repair(scan)
+    scrub = _PayloadScrub(config, dfs, journal)
+    scrub.run(target)
     for key, value in derive_id_floors(target.repository).items():
         target.id_floors[key] = max(target.id_floors.get(key, 1), value)
     for entry in target.repository.entries():
         target.clock = max(target.clock, entry.created_at, entry.last_used_at)
     if dfs is not None:
         dfs.ensure_id_floor(**target.id_floors)
+    blockstore_gen = target.payload_gen
+    for raw in target.payload_refs.values():
+        blockstore_gen = max(blockstore_gen, int(raw[0]))
     return RecoveredState(
         repository=target.repository,
         kept_paths=target.kept_paths,
@@ -248,7 +443,37 @@ def recover(
         journal_records=replayed,
         journal_torn_bytes=scan.torn_bytes,
         journal_skipped=scan.skipped,
+        payload_refs=dict(target.payload_refs),
+        blockstore_gen=blockstore_gen,
+        payloads_restored=scrub.restored,
+        payloads_condemned=scrub.condemned,
+        kept_paths_condemned=scrub.kept_condemned,
+        payloads_legacy=scrub.legacy,
     )
+
+
+def announce_scrub_condemnations(manager, recovered: RecoveredState) -> None:
+    """Surface the recovery scrub's verdicts on a live manager.
+
+    The repository removals and ``entry_quarantined`` journal records
+    already happened inside :func:`recover`; this bumps the manager's
+    quarantine counter and emits one
+    :class:`~repro.events.EntryQuarantined` per condemned entry so
+    operators and the service stats see them like any match-time
+    quarantine.
+    """
+    if not recovered.payloads_condemned:
+        return
+    with manager.locked():
+        manager.quarantine_count += len(recovered.payloads_condemned)
+    for entry_id, output_path, reason in recovered.payloads_condemned:
+        manager.events.emit(
+            EntryQuarantined(
+                entry_id=entry_id,
+                output_path=output_path,
+                reason=f"payload-scrub: {reason}",
+            )
+        )
 
 
 class RepositoryPersister:
@@ -275,7 +500,14 @@ class RepositoryPersister:
     replicas never touch the manager bus.
     """
 
-    def __init__(self, manager, config: PersistenceConfig, *, dfs=None) -> None:
+    def __init__(
+        self,
+        manager,
+        config: PersistenceConfig,
+        *,
+        dfs=None,
+        recovered: Optional[RecoveredState] = None,
+    ) -> None:
         self.manager = manager
         self.repository = manager.repository
         self.config = config
@@ -284,6 +516,20 @@ class RepositoryPersister:
         self.events = EventBus()
         self.snapshot_storage = config.snapshot_storage(self.dfs)
         self.journal = Journal(config.journal_storage(self.dfs))
+        #: payload block store; *recovered* (from :func:`recover` or a
+        #: standby promotion) resumes the generation and the ref table
+        #: so unchanged payloads are not re-appended
+        gen = recovered.blockstore_gen if recovered is not None else 0
+        self.blockstore = BlockStore(
+            config.blockstore_storage(self.dfs, gen), gen
+        )
+        self._payload_refs: Dict[str, SegmentRef] = {}
+        if recovered is not None:
+            for path, raw in recovered.payload_refs.items():
+                try:
+                    self._payload_refs[path] = SegmentRef.from_list(raw)
+                except (BlockStoreError, TypeError, ValueError):
+                    continue
         self._buffer: List[dict] = []
         self._buffer_lock = threading.Lock()
         #: serializes journal writes so flushed batches stay in order
@@ -309,21 +555,80 @@ class RepositoryPersister:
             ),
         ]
         manager.persistence = self
+        #: timer-driven rotation (satellite of the payload-durability
+        #: work): a daemon thread rotates the snapshot every
+        #: ``snapshot_interval_s`` seconds of wall clock while records
+        #: have accumulated, so a service that never reaches a workflow
+        #: boundary still bounds its replay window
+        self._timer_stop = threading.Event()
+        self._timer: Optional[threading.Thread] = None
+        if config.snapshot_interval_s > 0:
+            self._timer = threading.Thread(
+                target=self._timer_loop,
+                name="persister-snapshot-timer",
+                daemon=True,
+            )
+            self._timer.start()
+
+    def _timer_loop(self) -> None:
+        while not self._timer_stop.wait(self.config.snapshot_interval_s):
+            if self._closed:
+                break
+            try:
+                if self._records_since_snapshot > 0:
+                    self.take_snapshot()
+            except Exception:
+                # rotation failures already report via the breaker /
+                # events; the timer itself must never die of one
+                continue
 
     # -- record sources -----------------------------------------------------------
 
     def _on_mutation(self, kind: str, entry) -> None:
         if kind == "added":
+            self._capture_payload(entry.output_path)
             payload = {"type": "entry_added", "entry": entry_record(entry)}
         elif kind == "refreshed":
             # the full post-refresh entry state (extents, stats):
-            # replay re-adds it over the original entry_added record
+            # replay re-adds it over the original entry_added record;
+            # re-capture first — refreshed outputs may hold new bytes
+            self._capture_payload(entry.output_path)
             payload = {"type": "entry_refreshed", "entry": entry_record(entry)}
         elif kind == "removed":
             payload = {"type": "entry_removed", "entry_id": entry.entry_id}
         else:
             return
         self._enqueue(payload)
+
+    def _capture_payload(self, path: str) -> None:
+        """Persist *path*'s DFS bytes into the block store and journal
+        the segment ref, best-effort.
+
+        A failure here (storage error, file not yet written) leaves
+        the entry's metadata journaled without a usable ref — the
+        recovery scrub then refuses to serve it instead of serving
+        stale or missing bytes, so skipping is always safe.  Unchanged
+        bytes (same crc32 as the recorded ref) are not re-appended.
+        """
+        if self._closed or self.dfs is None:
+            return
+        try:
+            if not self.dfs.exists(path):
+                return
+            data = self.dfs.read_file(path)
+        except OSError:
+            return
+        existing = self._payload_refs.get(path)
+        if existing is not None and existing.crc == zlib.crc32(data):
+            return
+        try:
+            ref = self.blockstore.append(path, data)
+        except OSError:
+            return
+        self._payload_refs[path] = ref
+        self._enqueue(
+            {"type": "payload_stored", "path": path, "ref": ref.to_list()}
+        )
 
     def _on_usage(self, event) -> None:
         entry_id = event.entry_id
@@ -354,6 +659,8 @@ class RepositoryPersister:
     def note_kept_path(self, path: str, added: bool) -> None:
         """Called by the manager (under its lock) when a stored output
         enters or leaves the kept-path set."""
+        if added:
+            self._capture_payload(path)
         self._enqueue(
             {
                 "type": "kept_path_added" if added else "kept_path_removed",
@@ -481,27 +788,62 @@ class RepositoryPersister:
         with respect to mutations (manager and repository locks held
         through the whole rotation).
 
+        The rotation also *compacts the block store*: every live
+        payload (entry outputs + kept paths still holding DFS bytes)
+        is re-appended into generation ``gen+1``, the snapshot records
+        the fresh ref table, and superseded generation files are
+        deleted only after the journal reset committed — so at every
+        crash point all referenced segments are still on disk.
+
         A crash after the snapshot write but before the reset leaves
         already-folded records in the journal; replay is idempotent,
         so the next recovery converges to the same state.
 
-        A storage failure aborts the rotation *without* touching the
-        journal or the staged records (nothing folded, nothing lost),
-        trips the circuit breaker, and returns ``None``.
+        A storage failure (including a partial write torn into the
+        new generation) aborts the rotation *without* touching the
+        journal, the staged records, or the live ref table (nothing
+        folded, nothing lost), trips the circuit breaker, and returns
+        ``None``; the half-written generation file is debris the next
+        rotation truncates.
         """
         pending: List = []
         event: Optional[SnapshotTaken] = None
         with self.manager.locked():
             with self.repository.locked():
-                snapshot = RepositorySnapshot.capture(
-                    self.repository,
-                    kept_paths=self.manager.kept_paths,
-                    clock=self.manager.clock,
-                    dfs_ids=self.dfs.id_state(),
+                live = {
+                    entry.output_path for entry in self.repository.entries()
+                }
+                live.update(self.manager.kept_paths)
+                new_gen = self.blockstore.gen + 1
+                new_store = BlockStore(
+                    self.config.blockstore_storage(self.dfs, new_gen), new_gen
                 )
-                data = snapshot.to_bytes()
+                new_refs: Dict[str, SegmentRef] = {}
                 with self._io_lock:
                     try:
+                        if new_store.storage.exists():
+                            # debris from an earlier aborted rotation
+                            new_store.storage.truncate(0)
+                        for path in sorted(live):
+                            if self.dfs is None or not self.dfs.exists(path):
+                                continue  # nothing durable to carry over
+                            new_refs[path] = new_store.append(
+                                path, self.dfs.read_file(path)
+                            )
+                        snapshot = RepositorySnapshot.capture(
+                            self.repository,
+                            kept_paths=self.manager.kept_paths,
+                            clock=self.manager.clock,
+                            dfs_ids=self.dfs.id_state(),
+                            payloads={
+                                "gen": new_gen,
+                                "refs": {
+                                    path: ref.to_list()
+                                    for path, ref in new_refs.items()
+                                },
+                            },
+                        )
+                        data = snapshot.to_bytes()
                         # injection site "snapshot.write": rotation I/O
                         faults.fire("snapshot.write")
                         self.snapshot_storage.write(data)
@@ -522,6 +864,21 @@ class RepositoryPersister:
                                 )
                             )
                     else:
+                        old_gen = self.blockstore.gen
+                        self.blockstore = new_store
+                        self._payload_refs = new_refs
+                        # superseded generations: safe to drop only now
+                        # (snapshot + journal reset are durable, so no
+                        # surviving ref can point into them); deletion
+                        # is best-effort and also sweeps stragglers
+                        # from older aborted rotations
+                        for gen in range(max(0, old_gen - 2), new_gen):
+                            try:
+                                self.config.blockstore_storage(
+                                    self.dfs, gen
+                                ).delete()
+                            except OSError:
+                                pass
                         with self._buffer_lock:
                             # staged records were captured in the snapshot
                             self._buffer.clear()
@@ -553,6 +910,10 @@ class RepositoryPersister:
         snapshotting) first; idempotent."""
         if self._closed:
             return
+        self._timer_stop.set()
+        if self._timer is not None and self._timer.is_alive():
+            self._timer.join(timeout=5.0)
+        self._timer = None
         self._journal_counters_if_moved()
         # force past the breaker's probe gating: closing is the last
         # chance to drain the backlog to storage

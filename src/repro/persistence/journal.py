@@ -30,6 +30,7 @@ from typing import List, Mapping
 
 from repro.exceptions import ReproError
 from repro.faults import injector as faults
+from repro.faults.injector import PartialWriteFault
 
 #: payload length, crc32(payload)
 _FRAME = struct.Struct(">II")
@@ -166,8 +167,18 @@ class Journal:
         data = b"".join(encode_record(payload) for payload in payloads)
         if data:
             # injection site "journal.append": an OSError here is what
-            # trips the persister's circuit breaker
-            faults.fire("journal.append")
+            # trips the persister's circuit breaker; a ``partial`` rule
+            # lands its prefix first, leaving a genuinely torn tail for
+            # the next scan to truncate; ``suppress`` models a lost
+            # write (the flush claims success, nothing hit the medium)
+            try:
+                data = faults.fire("journal.append", data=data)
+            except PartialWriteFault as fault:
+                if fault.prefix:
+                    self.storage.append(fault.prefix)
+                raise
+            if not data:
+                return 0
             self.storage.append(data)
         return len(data)
 

@@ -28,6 +28,13 @@ by length and decode with empty extents, which the freshness layer
 treats as legacy entries (any mtime movement classifies as
 rewritten — conservative, never stale-serving).
 
+Version 3 adds one *optional* top-level index key, ``payloads`` —
+the block-store generation and the path → segment-ref table captured
+at rotation time (see :mod:`repro.persistence.blockstore`).  The
+entry rows are unchanged, so version-2 snapshots load as v3 with an
+empty payload table (the recovery scrub treats their entries as
+legacy: tolerated when the DFS already holds their bytes).
+
 The CRC covers the whole body (index + cold blob): a half-written or
 bit-rotted snapshot is rejected as a unit, never partially applied.
 The *index* keeps each entry as a positional row of small scalars —
@@ -56,7 +63,7 @@ from repro.pig.physical.plan import PhysicalPlan
 from repro.relational.schema import Schema
 
 SNAPSHOT_FORMAT = "restore-repo-snapshot"
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 
 _MAGIC = b"RSNP"
 #: magic, version, crc32(body), index length, total body length
@@ -373,6 +380,7 @@ class RepositorySnapshot:
         kept_paths=None,
         clock: Optional[int] = None,
         dfs_ids: Optional[dict] = None,
+        payloads: Optional[dict] = None,
     ) -> "RepositorySnapshot":
         """A point-in-time snapshot of *repository* (and optionally the
         manager/DFS state that travels with it), taken atomically
@@ -404,6 +412,10 @@ class RepositorySnapshot:
             }
         if dfs_ids:
             payload["dfs"] = dict(dfs_ids)
+        if payloads is not None:
+            # {"gen": N, "refs": {path: [gen, offset, length, crc]}} —
+            # the block-store table the recovery scrub verifies against
+            payload["payloads"] = payloads
         return cls(payload, bytes(blob))
 
     # -- codec --------------------------------------------------------------------
@@ -452,6 +464,11 @@ class RepositorySnapshot:
     @property
     def dfs_state(self) -> dict:
         return self.payload.get("dfs", {})
+
+    @property
+    def payload_state(self) -> dict:
+        """The block-store table (empty for pre-v3 snapshots)."""
+        return self.payload.get("payloads", {})
 
     def __len__(self) -> int:
         return len(self.entry_rows)

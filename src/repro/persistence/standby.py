@@ -75,6 +75,7 @@ class StandbyReplica:
                     kept_paths=manager_state.get("kept_paths", ()),
                     clock=manager_state.get("clock", 0),
                     id_floors=snapshot.dfs_state,
+                    payloads=snapshot.payload_state,
                 )
                 self._snapshot_entries = len(snapshot)
             else:
@@ -127,6 +128,9 @@ class StandbyReplica:
                 target.clock = max(
                     target.clock, entry.created_at, entry.last_used_at
                 )
+            blockstore_gen = target.payload_gen
+            for raw in target.payload_refs.values():
+                blockstore_gen = max(blockstore_gen, int(raw[0]))
             return RecoveredState(
                 repository=target.repository,
                 kept_paths=set(target.kept_paths),
@@ -134,6 +138,11 @@ class StandbyReplica:
                 id_floors=dict(target.id_floors),
                 snapshot_entries=self._snapshot_entries,
                 journal_records=self.records_applied,
+                payload_refs={
+                    path: list(ref)
+                    for path, ref in target.payload_refs.items()
+                },
+                blockstore_gen=blockstore_gen,
             )
 
     def close(self) -> None:

@@ -109,9 +109,7 @@ def qp_query(dataset: SyntheticDataset, n_fields: int, out: str) -> str:
     if not 1 <= n_fields <= 5:
         raise ValueError("QP projects between 1 and 5 fields")
     projected = ", ".join(f"field{i}" for i in range(1, n_fields + 1))
-    group_key = (
-        f"({projected})" if n_fields > 1 else "field1"
-    )
+    group_key = f"({projected})" if n_fields > 1 else "field1"
     return f"""
 A = load '{dataset.path}' as ({SCHEMA_TEXT});
 B = foreach A generate {projected};
@@ -121,7 +119,9 @@ store D into '{out}';
 """
 
 
-def qf_query(dataset: SyntheticDataset, field_name: str, out: str, value: int = 0) -> str:
+def qf_query(
+    dataset: SyntheticDataset, field_name: str, out: str, value: int = 0
+) -> str:
     """QF: equality filter on one of field6..field12, group, COUNT."""
     if field_name not in TABLE2_FIELDS:
         raise ValueError(

@@ -82,6 +82,7 @@ from repro.mapreduce.job import Workflow
 from repro.persistence.durability import (
     PersistenceConfig,
     RepositoryPersister,
+    announce_scrub_condemnations,
     recover,
 )
 from repro.persistence.standby import StandbyReplica
@@ -306,7 +307,10 @@ class JobService:
         if recovered is not None:
             self.manager.kept_paths.update(recovered.kept_paths)
             self.manager.clock = max(self.manager.clock, recovered.clock)
-            self.persister = RepositoryPersister(self.manager, persistence)
+            self.persister = RepositoryPersister(
+                self.manager, persistence, recovered=recovered
+            )
+            announce_scrub_condemnations(self.manager, recovered)
         self._optimize = service.optimize
         self._default_parallel = service.default_parallel
         self._pool: Optional[ProcessWorkerPool] = None
@@ -321,6 +325,9 @@ class JobService:
                 reserved_paths = (
                     persistence.snapshot_path,
                     persistence.journal_path,
+                    # covers every generation file (prefix-matched:
+                    # "<base>.g0", "<base>.g1", ...)
+                    persistence.blockstore_base,
                 )
             # ship the active fault plan (if a harness installed one)
             # to every worker: workers re-install it keyed by their
@@ -662,7 +669,12 @@ class JobService:
         self.dfs.ensure_id_floor(**state.id_floors)
         persister = None
         if self._persistence_config is not None:
-            persister = RepositoryPersister(manager, self._persistence_config)
+            # the promoted state carries the replica's payload-ref
+            # table, so the new persister resumes block-store dedup
+            # where the old coordinator left off
+            persister = RepositoryPersister(
+                manager, self._persistence_config, recovered=state
+            )
         with self._lock:
             self.manager = manager
             self.persister = persister

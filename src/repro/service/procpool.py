@@ -455,7 +455,8 @@ class ProcessJobRunner:
         self.manager = manager
         self.dfs = dfs
         #: coordinator-owned DFS paths a worker must never store to
-        #: (the persistence snapshot/journal)
+        #: (the persistence snapshot/journal, and the block-store base
+        #: whose generation files hang off it as "<base>.g<N>")
         self.reserved_paths: Set[str] = set(reserved_paths)
         #: seconds to wait for any single worker reply (None/0 = block
         #: forever, the historical behaviour)
@@ -577,14 +578,24 @@ class ProcessJobRunner:
     ) -> None:
         job = state.mirror.job_by_id(message["job_id"])
         for path, payload in message["stores"]:
-            if path in self.reserved_paths:
+            if self._reserved(path):
                 raise RuntimeError(
                     f"worker stored to reserved persistence path {path!r}; "
-                    "the snapshot/journal are coordinator-owned files"
+                    "the snapshot/journal/block store are "
+                    "coordinator-owned files"
                 )
             self.dfs.write_file(path, payload, overwrite=True)
             handle.synced[path] = self.dfs.mtime(path)
         self.manager.after_job(job, message["stats"], state.mirror)
+
+    def _reserved(self, path: str) -> bool:
+        """Exact reserved paths, plus their dot-suffixed derivatives
+        (block-store generations "<base>.gN", temp files)."""
+        if path in self.reserved_paths:
+            return True
+        return any(
+            path.startswith(base + ".") for base in self.reserved_paths
+        )
 
     def _on_wf_end(self, state: _Conversation) -> dict:
         self.manager.on_workflow_end(state.mirror)

@@ -45,6 +45,7 @@ from repro.mapreduce.cluster import ClusterConfig
 from repro.persistence.durability import (
     PersistenceConfig,
     RepositoryPersister,
+    announce_scrub_condemnations,
     recover,
 )
 from repro.pig.engine import PigRunResult, PigServer
@@ -146,7 +147,10 @@ class ReStoreSession:
         if recovered is not None and self.manager is not None:
             self.manager.kept_paths.update(recovered.kept_paths)
             self.manager.clock = max(self.manager.clock, recovered.clock)
-            self.persister = RepositoryPersister(self.manager, persistence)
+            self.persister = RepositoryPersister(
+                self.manager, persistence, recovered=recovered
+            )
+            announce_scrub_condemnations(self.manager, recovered)
         self.server = PigServer(
             self.dfs,
             cluster=self.cluster,

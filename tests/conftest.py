@@ -13,8 +13,23 @@ import pytest
 
 from repro.core.manager import ReStoreConfig, ReStoreManager
 from repro.dfs.filesystem import DistributedFileSystem
+from repro.faults import injector as fault_injector
 from repro.pig.engine import PigServer
 from repro.pigmix.datagen import PigMixConfig, PigMixDataGenerator
+
+
+@pytest.fixture(autouse=True)
+def _fault_injector_hygiene():
+    """No fault-injector state may bleed between tests: clocks, fired
+    logs, and the installed injector itself are test-local.  Reset the
+    active injector (if a test installed one) before uninstalling so a
+    later install of the *same* plan starts from hit zero."""
+    fault_injector.uninstall()
+    yield
+    active = fault_injector.active()
+    if active is not None:
+        active.reset()
+    fault_injector.uninstall()
 
 PAGE_VIEWS_SCHEMA = (
     "user, action:int, timestamp:int, est_revenue:double, page_info, page_links"

@@ -180,22 +180,43 @@ class TestLivePersisterCrash:
         repo = build_repository(generate_entry_specs(n, seed=5), seed=5)
         return repo.entries()
 
+    def _add(self, dfs, manager, entries):
+        """Register entries the way a live run does: the output bytes
+        land in the DFS first, so the persister captures them into the
+        block store and the recovery scrub can verify (and restore)
+        them instead of condemning ref-less entries."""
+        added = []
+        for entry in entries:
+            dfs.write_file(
+                entry.output_path, f"bytes:{entry.output_path}".encode()
+            )
+            added.append(manager.repository.add(entry))
+        return added
+
     def test_eviction_journaled_then_crash_replays_the_eviction(
         self, tmp_path
     ):
         dfs, config, manager, persister = self._manager(tmp_path)
-        added = [manager.repository.add(e) for e in self._entries()]
+        added = self._add(dfs, manager, self._entries())
         manager.repository.remove(added[1].entry_id)
         # crash now: no close(), no snapshot — the journal alone must
         # carry three adds and one remove
-        recovered = recover(config, DistributedFileSystem(n_datanodes=2))
+        fresh = DistributedFileSystem(n_datanodes=2)
+        recovered = recover(config, fresh)
         assert len(recovered.repository) == 2
         assert not recovered.repository.has_entry(added[1].entry_id)
         assert recovered.journal_torn_bytes == 0
+        assert recovered.payloads_condemned == []
+        # surviving entries came back with byte-identical outputs,
+        # restored natively from the block store
+        for entry in recovered.repository.entries():
+            assert fresh.read_file(entry.output_path) == dfs.read_file(
+                entry.output_path
+            )
 
     def test_eviction_record_torn_means_entry_survives(self, tmp_path):
         dfs, config, manager, persister = self._manager(tmp_path)
-        added = [manager.repository.add(e) for e in self._entries()]
+        added = self._add(dfs, manager, self._entries())
         journal_path = tmp_path / "repo.journal"
         before = len(journal_path.read_bytes())
         manager.repository.remove(added[1].entry_id)
@@ -215,15 +236,15 @@ class TestLivePersisterCrash:
     def test_recovery_after_snapshot_rotation_plus_tail(self, tmp_path):
         dfs, config, manager, persister = self._manager(tmp_path)
         entries = self._entries(4)
-        for entry in entries[:2]:
-            manager.repository.add(entry)
+        self._add(dfs, manager, entries[:2])
         persister.take_snapshot()
-        for entry in entries[2:]:
-            manager.repository.add(entry)
+        self._add(dfs, manager, entries[2:])
         recovered = recover(config, DistributedFileSystem(n_datanodes=2))
         assert len(recovered.repository) == 4
         assert recovered.snapshot_entries == 2
-        assert recovered.journal_records == 2
+        # post-rotation journal: per add, one payload_stored record
+        # (the block-store segment ref) + the entry_added record
+        assert recovered.journal_records == 4
 
     def test_counters_record_restores_dfs_floors(self, tmp_path):
         dfs, config, manager, persister = self._manager(tmp_path)

@@ -169,8 +169,14 @@ class TestIdHygiene:
         )
         config.snapshot_storage().write(snapshot.to_bytes())
         dfs = DistributedFileSystem(n_datanodes=2)
+        # a legacy (pre-block-store) snapshot carries no payload refs:
+        # the recovery scrub tolerates its entries only while their
+        # output bytes are present, so stage them like a live DFS
+        for entry in repo.entries():
+            dfs.write_file(entry.output_path, b"x")
         recovered = recover(config, dfs)
         assert len(recovered.repository) == 4
+        assert recovered.payloads_legacy == 4
         assert dfs.id_state()["next_script_id"] >= 40
         assert dfs.id_state()["next_subjob_id"] >= 90
         # allocation after recovery starts past the persisted floor
